@@ -1,0 +1,79 @@
+// gbbs-bench regenerates the tables and figures of the paper's evaluation
+// (§6) at a configurable scale.
+//
+// Usage:
+//
+//	gbbs-bench -table 2            # Table 2: 15 problems on Hyperlink2012-sim
+//	gbbs-bench -table 3            # Table 3 + Tables 8-13: graph statistics
+//	gbbs-bench -table 4            # Table 4: uncompressed inputs
+//	gbbs-bench -table 5            # Table 5: compressed inputs
+//	gbbs-bench -table 6            # Table 6: optimization ablations
+//	gbbs-bench -table 7            # Table 7: cross-system comparison layout
+//	gbbs-bench -figure 1           # Figure 1: torus throughput sweep
+//	gbbs-bench -compression        # bytes-per-edge report
+//	gbbs-bench -all                # everything
+//
+// Scaling flags: -scale (log2 base size, default 16), -threads, -seed,
+// -skip-single (omit the single-thread columns).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (2-7; 3 includes tables 8-13)")
+	figure := flag.Int("figure", 0, "figure number to regenerate (1)")
+	compression := flag.Bool("compression", false, "print the compression report")
+	all := flag.Bool("all", false, "regenerate everything")
+	scale := flag.Int("scale", 16, "log2 of the largest simulated graph's vertex count")
+	threads := flag.Int("threads", 0, "worker threads (0 = all CPUs)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	skipSingle := flag.Bool("skip-single", false, "skip single-thread columns")
+	flag.Parse()
+
+	c := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, SkipSingle: *skipSingle}
+	w := os.Stdout
+	ran := false
+	if *all || *table == 2 {
+		bench.Table2(w, c)
+		ran = true
+	}
+	if *all || *table == 3 {
+		bench.Table3(w, c)
+		ran = true
+	}
+	if *all || *table == 4 {
+		bench.Table4(w, c)
+		ran = true
+	}
+	if *all || *table == 5 {
+		bench.Table5(w, c)
+		ran = true
+	}
+	if *all || *table == 6 {
+		bench.Table6(w, c)
+		ran = true
+	}
+	if *all || *table == 7 {
+		bench.Table7(w, c)
+		ran = true
+	}
+	if *all || *figure == 1 {
+		bench.Figure1(w, c)
+		ran = true
+	}
+	if *all || *compression {
+		bench.CompressionReport(w, c)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -table N, -figure 1, -compression or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+}

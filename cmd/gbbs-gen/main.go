@@ -1,0 +1,63 @@
+// gbbs-gen generates synthetic graphs and writes them in the
+// (Weighted)AdjacencyGraph text format the benchmark's I/O specification
+// uses.
+//
+// Usage:
+//
+//	gbbs-gen -kind rmat -scale 18 -factor 16 -sym -o graph.adj
+//	gbbs-gen -kind torus -side 64 -weighted -o torus.adj
+//	gbbs-gen -kind er -n 100000 -m 1000000 -o er.adj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/gbbs"
+)
+
+func main() {
+	kind := flag.String("kind", "rmat", "graph family: rmat | torus | er | ba | ws")
+	scale := flag.Int("scale", 16, "rmat: log2 vertex count")
+	factor := flag.Int("factor", 16, "rmat: edges per vertex")
+	side := flag.Int("side", 32, "torus: side length (n = side^3)")
+	n := flag.Int("n", 1<<16, "er: vertices")
+	m := flag.Int("m", 1<<20, "er: edges")
+	sym := flag.Bool("sym", false, "symmetrize")
+	weighted := flag.Bool("weighted", false, "attach uniform weights from [1, log n)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	var g *gbbs.CSR
+	switch *kind {
+	case "rmat":
+		g = gbbs.RMATGraph(*scale, *factor, *sym, *weighted, *seed)
+	case "torus":
+		g = gbbs.TorusGraph(*side, *weighted, *seed)
+	case "er":
+		g = gbbs.RandomGraph(*n, *m, *sym, *weighted, *seed)
+	case "ba":
+		g = gbbs.PreferentialGraph(*n, *factor, *weighted, *seed)
+	case "ws":
+		g = gbbs.SmallWorldGraph(*n, *factor, 0.1, *weighted, *seed)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := gbbs.WriteAdjacency(w, g); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s graph: n=%d m=%d weighted=%v symmetric=%v\n",
+		*kind, g.N(), g.M(), g.Weighted(), g.Symmetric())
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Theoretically
+// Efficient Parallel Graph Algorithms Can Be Fast and Scalable" (Dhulipala,
+// Blelloch, Shun; SPAA 2018) — the GBBS benchmark.
+//
+// The public API lives in the gbbs subpackage; the benchmark harness in
+// cmd/gbbs-bench regenerates every table and figure of the paper's
+// evaluation, and the testing.B benchmarks in bench_test.go mirror it. See
+// README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

@@ -1,0 +1,65 @@
+// Web-graph pipeline on compressed graphs: the paper's headline engineering
+// point is that Ligra+ parallel-byte compression lets the Hyperlink2012
+// crawl fit in one machine (<1.5 bytes/edge vs 8+ uncompressed). This
+// example builds a web-like graph, compresses it, reports the ratio, and
+// shows the same algorithms producing identical answers on both
+// representations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/gbbs"
+)
+
+func main() {
+	scale := flag.Int("scale", 17, "log2 of vertex count")
+	flag.Parse()
+
+	g := gbbs.RMATGraph(*scale, 16, true, false, 2012)
+	cg := gbbs.Compress(g, 0)
+
+	uncompressedBytes := int64(g.M()) * 4 // 4-byte neighbor IDs
+	fmt.Printf("web-sim:      n=%d m=%d\n", g.N(), g.M())
+	fmt.Printf("uncompressed: %.1f MB (4 B/edge)\n", float64(uncompressedBytes)/1e6)
+	fmt.Printf("compressed:   %.1f MB (%.2f B/edge)\n",
+		float64(cg.SizeBytes())/1e6, cg.BytesPerEdge())
+
+	run := func(name string, f func(gbbs.Graph) int) {
+		t0 := time.Now()
+		a := f(g)
+		tu := time.Since(t0)
+		t0 = time.Now()
+		b := f(cg)
+		tc := time.Since(t0)
+		status := "OK"
+		if a != b {
+			status = fmt.Sprintf("MISMATCH (%d vs %d)", a, b)
+		}
+		fmt.Printf("%-14s uncompressed %-10v compressed %-10v agree: %s\n",
+			name, tu.Round(time.Millisecond), tc.Round(time.Millisecond), status)
+	}
+	run("BFS", func(gr gbbs.Graph) int {
+		dist := gbbs.BFS(gr, 0)
+		reached := 0
+		for _, d := range dist {
+			if d != gbbs.Inf {
+				reached++
+			}
+		}
+		return reached
+	})
+	run("Connectivity", func(gr gbbs.Graph) int {
+		num, _ := gbbs.ComponentCount(gbbs.Connectivity(gr, 1))
+		return num
+	})
+	run("k-core", func(gr gbbs.Graph) int {
+		coreness, _ := gbbs.KCore(gr)
+		return gbbs.Degeneracy(coreness)
+	})
+	run("Triangles", func(gr gbbs.Graph) int {
+		return int(gbbs.TriangleCount(gr))
+	})
+}

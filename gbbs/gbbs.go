@@ -1,0 +1,239 @@
+// Package gbbs is the public API of this Go reproduction of "Theoretically
+// Efficient Parallel Graph Algorithms Can Be Fast and Scalable" (Dhulipala,
+// Blelloch, Shun; SPAA 2018) — the GBBS benchmark.
+//
+// It exposes:
+//
+//   - graph construction: edge lists, generators (RMAT, 3D torus,
+//     Erdős–Rényi, ...), adjacency-graph file I/O, and Ligra+ parallel-byte
+//     compression;
+//   - the benchmark's 15 theoretically-efficient parallel algorithms with
+//     the work/depth bounds of the paper's Table 1;
+//   - the statistics suite behind the paper's Tables 3 and 8–13.
+//
+// All algorithms accept any Graph (uncompressed CSR or compressed), run in
+// parallel on SetThreads(p) goroutine workers, and are deterministic for a
+// fixed seed.
+//
+// Quick start:
+//
+//	g := gbbs.RMATGraph(18, 16, true /*symmetric*/, false /*weighted*/, 1)
+//	dist := gbbs.BFS(g, 0)
+//	labels := gbbs.Connectivity(g, 1)
+package gbbs
+
+import (
+	"io"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// Graph is the access interface shared by compressed and uncompressed
+// graphs; see CSR and Compressed.
+type Graph = graph.Graph
+
+// CSR is the uncompressed compressed-sparse-row representation.
+type CSR = graph.CSR
+
+// Compressed is the Ligra+ parallel-byte compressed representation.
+type Compressed = compress.Graph
+
+// EdgeList is a struct-of-arrays list of (possibly weighted) edges.
+type EdgeList = graph.EdgeList
+
+// BuildOptions controls FromEdgeList; the zero value deduplicates, removes
+// self-loops and builds the transpose of directed graphs.
+type BuildOptions = graph.BuildOptions
+
+// WEdge is a weighted undirected edge in MSF / matching outputs.
+type WEdge = core.WEdge
+
+// Bicc is the biconnectivity query structure (per-vertex labels + forest).
+type Bicc = core.Bicc
+
+// SCCOpts tunes the SCC algorithm (batch growth rate, trimming).
+type SCCOpts = core.SCCOpts
+
+// GraphStats bundles the per-graph statistics of the paper's Tables 8-13.
+type GraphStats = stats.Graph
+
+// StatsOptions tunes statistics computation.
+type StatsOptions = stats.Options
+
+// Inf marks unreachable distances and unassigned labels.
+const Inf = core.Inf
+
+// InfDist and NegInfDist are Bellman-Ford's unreachable / negative-cycle
+// distance sentinels.
+const (
+	InfDist    = core.InfDist
+	NegInfDist = core.NegInfDist
+)
+
+// SetThreads sets the number of worker goroutines used by all parallel
+// operations, returning the previous value. SetThreads(1) runs everything
+// sequentially (how the paper's single-thread columns are measured).
+func SetThreads(p int) int { return parallel.SetWorkers(p) }
+
+// Threads reports the current worker count.
+func Threads() int { return parallel.Workers() }
+
+// FromEdgeList builds a CSR graph over n vertices.
+func FromEdgeList(n int, el *EdgeList, opt BuildOptions) *CSR {
+	return graph.FromEdgeList(n, el, opt)
+}
+
+// Compress converts a CSR graph to the parallel-byte format. blockSize <= 0
+// selects the default (64 neighbors per block).
+func Compress(g *CSR, blockSize int) *Compressed { return compress.FromCSR(g, blockSize) }
+
+// RMATGraph generates an RMAT power-law graph with n = 2^scale vertices and
+// ~n*edgeFactor edges (the stand-in for the paper's social/web graphs).
+func RMATGraph(scale, edgeFactor int, symmetric, weighted bool, seed uint64) *CSR {
+	return gen.BuildRMAT(scale, edgeFactor, symmetric, weighted, seed)
+}
+
+// TorusGraph generates the paper's 3D-Torus on side³ vertices (6-regular,
+// high diameter).
+func TorusGraph(side int, weighted bool, seed uint64) *CSR {
+	return gen.BuildTorus3D(side, weighted, seed)
+}
+
+// RandomGraph generates an Erdős–Rényi-style graph with m uniformly random
+// edges.
+func RandomGraph(n, m int, symmetric, weighted bool, seed uint64) *CSR {
+	return gen.BuildErdosRenyi(n, m, symmetric, weighted, seed)
+}
+
+// PreferentialGraph generates a Barabási–Albert preferential-attachment
+// graph (power-law, single component).
+func PreferentialGraph(n, k int, weighted bool, seed uint64) *CSR {
+	return gen.BuildBarabasiAlbert(n, k, weighted, seed)
+}
+
+// SmallWorldGraph generates a Watts–Strogatz small-world graph: ring
+// lattice with k clockwise neighbors, rewired with probability p.
+func SmallWorldGraph(n, k int, p float64, weighted bool, seed uint64) *CSR {
+	return gen.BuildWattsStrogatz(n, k, p, weighted, seed)
+}
+
+// ReadAdjacency parses the (Weighted)AdjacencyGraph text format.
+func ReadAdjacency(r io.Reader, symmetric bool) (*CSR, error) {
+	return graph.ReadAdjacency(r, symmetric)
+}
+
+// WriteAdjacency writes the (Weighted)AdjacencyGraph text format.
+func WriteAdjacency(w io.Writer, g *CSR) error { return graph.WriteAdjacency(w, g) }
+
+// ReadBinary parses the compact binary graph format.
+func ReadBinary(r io.Reader) (*CSR, error) { return graph.ReadBinary(r) }
+
+// WriteBinary writes the compact binary graph format (loads far faster than
+// the text format; use it for large inputs).
+func WriteBinary(w io.Writer, g *CSR) error { return graph.WriteBinary(w, g) }
+
+// BFS returns hop distances from src; O(m) work, O(diam·log n) depth.
+func BFS(g Graph, src uint32) []uint32 { return core.BFS(g, src) }
+
+// WeightedBFS solves integral-weight SSSP (wBFS / Julienne); O(m) expected
+// work. Weights must be >= 1.
+func WeightedBFS(g Graph, src uint32) []uint32 { return core.WeightedBFS(g, src) }
+
+// DeltaStepping solves positive-integer-weight SSSP with Meyer-Sanders
+// Δ-stepping, the GAP-benchmark comparator the paper measures wBFS against.
+// delta <= 0 selects the average edge weight.
+func DeltaStepping(g Graph, src uint32, delta int32) []uint32 {
+	return core.DeltaStepping(g, src, delta)
+}
+
+// BellmanFord solves general-weight SSSP; reports reachable negative cycles
+// with NegInfDist distances.
+func BellmanFord(g Graph, src uint32) ([]int64, bool) { return core.BellmanFord(g, src) }
+
+// BC returns single-source betweenness-centrality dependencies from src.
+func BC(g Graph, src uint32) []float64 { return core.BC(g, src) }
+
+// LDD computes a (2β, O(log n/β)) low-diameter decomposition.
+func LDD(g Graph, beta float64, seed uint64) []uint32 { return core.LDD(g, beta, seed) }
+
+// Connectivity labels connected components of a symmetric graph; O(m)
+// expected work, O(log³ n) depth w.h.p.
+func Connectivity(g Graph, seed uint64) []uint32 { return core.Connectivity(g, 0.2, seed) }
+
+// SpanningForest returns a rooted spanning forest (parents, levels, roots).
+func SpanningForest(g Graph, seed uint64) (parent, level, roots []uint32) {
+	return core.SpanningForest(g, 0.2, seed)
+}
+
+// Biconnectivity computes the Tarjan-Vishkin biconnectivity query structure.
+func Biconnectivity(g Graph, seed uint64) *Bicc { return core.Biconnectivity(g, 0.2, seed) }
+
+// SCC labels strongly connected components of a directed graph.
+func SCC(g Graph, seed uint64, opt SCCOpts) []uint32 { return core.SCC(g, seed, opt) }
+
+// MSF computes a minimum spanning forest of a weighted symmetric graph,
+// returning the forest edges and total weight.
+func MSF(g Graph) ([]WEdge, int64) { return core.MSF(g) }
+
+// MIS computes a maximal independent set (the greedy set over a random
+// permutation) with the rootset-based algorithm.
+func MIS(g Graph, seed uint64) []bool { return core.MIS(g, seed) }
+
+// MISPrefix computes the same maximal independent set with the prefix-based
+// baseline algorithm the paper compares against.
+func MISPrefix(g Graph, seed uint64) []bool { return core.MISPrefix(g, seed) }
+
+// MaximalMatching computes a maximal matching (the greedy matching over a
+// random edge permutation).
+func MaximalMatching(g Graph, seed uint64) []WEdge { return core.MaximalMatching(g, seed) }
+
+// Coloring computes a (Δ+1)-coloring with Jones-Plassmann LLF.
+func Coloring(g Graph, seed uint64) []uint32 { return core.Coloring(g, seed) }
+
+// ColoringLF is Jones-Plassmann under the largest-degree-first heuristic
+// (the other ordering the paper's statistics tables report).
+func ColoringLF(g Graph, seed uint64) []uint32 { return core.ColoringLF(g, seed) }
+
+// KCore returns the coreness of every vertex and the peeling complexity ρ.
+func KCore(g Graph) (coreness []uint32, rho int) { return core.KCore(g, 0) }
+
+// ApproxKCore returns corenesses rounded up to powers of two, the
+// approximate variant of Slota et al. that the paper's Table 7 compares
+// exact k-core against.
+func ApproxKCore(g Graph) []uint32 { return core.ApproxKCore(g) }
+
+// ApproxSetCover computes an O(log n)-approximate cover of the instance
+// where the set for vertex v covers N(v).
+func ApproxSetCover(g Graph, eps float64, seed uint64) []uint32 {
+	return core.ApproxSetCover(g, eps, seed)
+}
+
+// TriangleCount returns the number of triangles of a symmetric graph.
+func TriangleCount(g Graph) int64 { return core.TriangleCount(g) }
+
+// Degeneracy returns k_max from a coreness array.
+func Degeneracy(coreness []uint32) int { return core.Degeneracy(coreness) }
+
+// NumColors returns the number of colors a coloring uses.
+func NumColors(colors []uint32) int { return core.NumColors(colors) }
+
+// ComponentCount returns the number of distinct labels and largest class.
+func ComponentCount(labels []uint32) (int, int) { return core.ComponentCount(labels) }
+
+// StatsSym computes undirected-graph statistics (Tables 3, 8-13).
+func StatsSym(name string, g Graph, opt StatsOptions) GraphStats {
+	return stats.ComputeSym(name, g, opt)
+}
+
+// StatsDir computes directed-graph statistics (SCCs, directed diameter).
+func StatsDir(name string, g Graph, opt StatsOptions) GraphStats {
+	return stats.ComputeDir(name, g, opt)
+}
+
+// WriteStats prints a statistics table in the paper's Tables 8-13 layout.
+func WriteStats(w io.Writer, s GraphStats, directed bool) { stats.WriteTable(w, s, directed) }

@@ -1,0 +1,142 @@
+package gbbs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/gbbs"
+)
+
+// The facade test exercises every public entry point end-to-end on small
+// graphs; deep correctness is covered by the internal packages' oracle
+// tests.
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g := gbbs.RMATGraph(10, 8, true, true, 1)
+	if g.N() != 1024 || g.M() == 0 || !g.Weighted() || !g.Symmetric() {
+		t.Fatalf("generator: n=%d m=%d", g.N(), g.M())
+	}
+	cg := gbbs.Compress(g, 0)
+	if cg.M() != g.M() {
+		t.Fatal("compression changed edge count")
+	}
+
+	if d := gbbs.BFS(g, 0); len(d) != g.N() || d[0] != 0 {
+		t.Fatal("BFS")
+	}
+	if d := gbbs.WeightedBFS(cg, 0); len(d) != g.N() || d[0] != 0 {
+		t.Fatal("WeightedBFS on compressed")
+	}
+	if d, neg := gbbs.BellmanFord(g, 0); neg || d[0] != 0 {
+		t.Fatal("BellmanFord")
+	}
+	if dep := gbbs.BC(g, 0); len(dep) != g.N() || dep[0] != 0 {
+		t.Fatal("BC")
+	}
+	if l := gbbs.LDD(g, 0.2, 1); len(l) != g.N() {
+		t.Fatal("LDD")
+	}
+	labels := gbbs.Connectivity(g, 1)
+	num, largest := gbbs.ComponentCount(labels)
+	if num == 0 || largest == 0 {
+		t.Fatal("Connectivity")
+	}
+	parent, level, roots := gbbs.SpanningForest(g, 1)
+	if len(parent) != g.N() || len(level) != g.N() || len(roots) != num {
+		t.Fatal("SpanningForest")
+	}
+	if b := gbbs.Biconnectivity(g, 1); b == nil || len(b.Labels) != g.N() {
+		t.Fatal("Biconnectivity")
+	}
+	dg := gbbs.RMATGraph(9, 8, false, false, 2)
+	if l := gbbs.SCC(dg, 1, gbbs.SCCOpts{}); len(l) != dg.N() {
+		t.Fatal("SCC")
+	}
+	forest, w := gbbs.MSF(g)
+	if len(forest) == 0 || w <= 0 {
+		t.Fatal("MSF")
+	}
+	if in := gbbs.MIS(g, 1); len(in) != g.N() {
+		t.Fatal("MIS")
+	}
+	if mm := gbbs.MaximalMatching(g, 1); len(mm) == 0 {
+		t.Fatal("MaximalMatching")
+	}
+	colors := gbbs.Coloring(g, 1)
+	if gbbs.NumColors(colors) < 2 {
+		t.Fatal("Coloring")
+	}
+	coreness, rho := gbbs.KCore(g)
+	if gbbs.Degeneracy(coreness) == 0 || rho == 0 {
+		t.Fatal("KCore")
+	}
+	if cover := gbbs.ApproxSetCover(g, 0.01, 1); len(cover) == 0 {
+		t.Fatal("ApproxSetCover")
+	}
+	if tc := gbbs.TriangleCount(g); tc < 0 {
+		t.Fatal("TriangleCount")
+	}
+}
+
+func TestFacadeThreadsControl(t *testing.T) {
+	old := gbbs.SetThreads(1)
+	defer gbbs.SetThreads(old)
+	if gbbs.Threads() != 1 {
+		t.Fatal("SetThreads(1) not applied")
+	}
+	g := gbbs.TorusGraph(5, false, 1)
+	d := gbbs.BFS(g, 0)
+	gbbs.SetThreads(old)
+	d2 := gbbs.BFS(g, 0)
+	for v := range d {
+		if d[v] != d2[v] {
+			t.Fatal("results differ across thread counts")
+		}
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	g := gbbs.RandomGraph(100, 400, true, true, 3)
+	var buf bytes.Buffer
+	if err := gbbs.WriteAdjacency(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := gbbs.ReadAdjacency(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatal("I/O round trip mismatch")
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	g := gbbs.TorusGraph(5, false, 1)
+	s := gbbs.StatsSym("torus", g, gbbs.StatsOptions{Seed: 1})
+	if s.KMax != 6 || s.NumCC != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	var buf bytes.Buffer
+	gbbs.WriteStats(&buf, s, false)
+	if !strings.Contains(buf.String(), "kmax") {
+		t.Fatal("stats table missing rows")
+	}
+	dg := gbbs.RMATGraph(8, 8, false, false, 4)
+	sd := gbbs.StatsDir("dir", dg, gbbs.StatsOptions{Seed: 1})
+	if sd.NumSCC == 0 {
+		t.Fatal("directed stats missing SCCs")
+	}
+}
+
+func TestFacadeEdgeListPath(t *testing.T) {
+	el := &gbbs.EdgeList{N: 4, U: []uint32{0, 1, 2}, V: []uint32{1, 2, 3}}
+	g := gbbs.FromEdgeList(4, el, gbbs.BuildOptions{Symmetrize: true})
+	if g.M() != 6 {
+		t.Fatalf("M = %d", g.M())
+	}
+	d := gbbs.BFS(g, 0)
+	if d[3] != 3 {
+		t.Fatalf("path distance = %d", d[3])
+	}
+}

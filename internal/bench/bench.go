@@ -1,0 +1,175 @@
+// Package bench is the harness that regenerates every table and figure of
+// the paper's evaluation (§6) at a configurable scale: the 15-problem
+// suites of Tables 2/4/5, the optimization ablations of Table 6, the
+// cross-system comparison layout of Table 7, the graph statistics of
+// Tables 3 and 8-13, and the throughput-vs-size sweep of Figure 1. Both
+// cmd/gbbs-bench and the root testing.B benchmarks drive it.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Algo is one benchmark problem: a name matching the paper's table rows and
+// a runner. Directed algorithms receive the directed variant of the input.
+type Algo struct {
+	Name     string
+	Directed bool // run on the directed version (the paper's SCC rows)
+	Weighted bool // requires edge weights
+	Run      func(g graph.Graph)
+}
+
+// Suite returns the paper's 15 problems in Table 2/4/5 row order, with the
+// parameters the paper uses (β=0.2 for LDD-based algorithms, ε=0.01 for set
+// cover, source 0 for the SSSP problems).
+func Suite(seed uint64) []Algo {
+	return []Algo{
+		{Name: "Breadth-First Search (BFS)", Run: func(g graph.Graph) { core.BFS(g, 0) }},
+		{Name: "Integral-Weight SSSP (weighted BFS)", Weighted: true, Run: func(g graph.Graph) { core.WeightedBFS(g, 0) }},
+		{Name: "General-Weight SSSP (Bellman-Ford)", Weighted: true, Run: func(g graph.Graph) { core.BellmanFord(g, 0) }},
+		{Name: "Single-Source Betweenness Centrality (BC)", Run: func(g graph.Graph) { core.BC(g, 0) }},
+		{Name: "Low-Diameter Decomposition (LDD)", Run: func(g graph.Graph) { core.LDD(g, 0.2, seed) }},
+		{Name: "Connectivity", Run: func(g graph.Graph) { core.Connectivity(g, 0.2, seed) }},
+		{Name: "Biconnectivity", Run: func(g graph.Graph) { core.Biconnectivity(g, 0.2, seed) }},
+		{Name: "Strongly Connected Components (SCC)", Directed: true, Run: func(g graph.Graph) { core.SCC(g, seed, core.SCCOpts{}) }},
+		{Name: "Minimum Spanning Forest (MSF)", Weighted: true, Run: func(g graph.Graph) { core.MSF(g) }},
+		{Name: "Maximal Independent Set (MIS)", Run: func(g graph.Graph) { core.MIS(g, seed) }},
+		{Name: "Maximal Matching (MM)", Run: func(g graph.Graph) { core.MaximalMatching(g, seed) }},
+		{Name: "Graph Coloring", Run: func(g graph.Graph) { core.Coloring(g, seed) }},
+		{Name: "k-core", Run: func(g graph.Graph) { core.KCore(g, seed) }},
+		{Name: "Approximate Set Cover", Run: func(g graph.Graph) { core.ApproxSetCover(g, 0.01, seed) }},
+		{Name: "Triangle Counting (TC)", Run: func(g graph.Graph) { core.TriangleCount(g) }},
+	}
+}
+
+// Input bundles the variants of one benchmark graph: the symmetric
+// (optionally weighted) version the undirected problems run on, and the
+// directed version for SCC. Compressed selects parallel-byte storage, as in
+// Table 5.
+type Input struct {
+	Name     string
+	Sym      graph.Graph // symmetric, weighted when available
+	Dir      graph.Graph // directed variant (nil to skip directed problems)
+	Weighted bool
+}
+
+// MakeRMATInput builds an RMAT-based input at the given scale, in the
+// requested representation.
+func MakeRMATInput(name string, scale, edgeFactor int, compressed bool, seed uint64) Input {
+	sym := gen.BuildRMAT(scale, edgeFactor, true, true, seed)
+	dir := gen.BuildRMAT(scale, edgeFactor, false, false, seed)
+	in := Input{Name: name, Weighted: true}
+	if compressed {
+		in.Sym = compress.FromCSR(sym, 0)
+		in.Dir = compress.FromCSR(dir, 0)
+	} else {
+		in.Sym = sym
+		in.Dir = dir
+	}
+	return in
+}
+
+// MakeTorusInput builds the 3D-Torus input (symmetric only; the paper marks
+// SCC "~" on it).
+func MakeTorusInput(side int, seed uint64) Input {
+	return Input{
+		Name:     fmt.Sprintf("3D-Torus (side=%d)", side),
+		Sym:      gen.BuildTorus3D(side, true, seed),
+		Weighted: true,
+	}
+}
+
+// Measure times one run of a on the appropriate variant of in with the given
+// worker count, restoring the previous worker count afterwards.
+func Measure(in Input, a Algo, threads int) time.Duration {
+	g := in.Sym
+	if a.Directed {
+		if in.Dir == nil {
+			return 0
+		}
+		g = in.Dir
+	}
+	if a.Weighted && !in.Weighted {
+		return 0
+	}
+	old := parallel.SetWorkers(threads)
+	defer parallel.SetWorkers(old)
+	start := time.Now()
+	a.Run(g)
+	return time.Since(start)
+}
+
+// Row is one line of a Table 2/4/5-style report.
+type Row struct {
+	Algo    string
+	T1      time.Duration // single-thread time, the paper's (1)
+	TP      time.Duration // all-thread time, the paper's (72h)
+	Speedup float64       // the paper's (SU)
+	Skipped bool
+}
+
+// RunSuite measures every problem on one input at 1 thread and P threads.
+// skipSingle skips the single-thread pass (useful at large scales).
+func RunSuite(in Input, seed uint64, threads int, skipSingle bool) []Row {
+	if threads <= 0 {
+		threads = runtime.NumCPU()
+	}
+	var rows []Row
+	for _, a := range Suite(seed) {
+		r := Row{Algo: a.Name}
+		if (a.Directed && in.Dir == nil) || (a.Weighted && !in.Weighted) {
+			r.Skipped = true
+			rows = append(rows, r)
+			continue
+		}
+		r.TP = Measure(in, a, threads)
+		if !skipSingle {
+			r.T1 = Measure(in, a, 1)
+			if r.TP > 0 {
+				r.Speedup = float64(r.T1) / float64(r.TP)
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// WriteRows prints rows in the paper's (1) / (72h) / (SU) column layout.
+func WriteRows(w io.Writer, title string, rows []Row, threads int) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-45s %12s %12s %8s\n", "Problem", "(1)", fmt.Sprintf("(%dt)", threads), "(SU)")
+	for _, r := range rows {
+		if r.Skipped {
+			fmt.Fprintf(w, "%-45s %12s %12s %8s\n", r.Algo, "~", "~", "~")
+			continue
+		}
+		t1 := "—"
+		su := "—"
+		if r.T1 > 0 {
+			t1 = fmtDur(r.T1)
+			su = fmt.Sprintf("%.1f", r.Speedup)
+		}
+		fmt.Fprintf(w, "%-45s %12s %12s %8s\n", r.Algo, t1, fmtDur(r.TP), su)
+	}
+	fmt.Fprintln(w)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

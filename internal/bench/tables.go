@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ligra"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// Config scales the harness. Scale is the log2 vertex count of the largest
+// simulated web graph; the paper's inputs are reproduced at proportional
+// sizes below it (see DESIGN.md for the substitution table).
+type Config struct {
+	Scale      int // base log2 size; 0 selects 16
+	Threads    int // 0 selects all CPUs
+	Seed       uint64
+	SkipSingle bool // skip single-thread columns
+}
+
+func (c Config) norm() Config {
+	if c.Scale == 0 {
+		c.Scale = 16
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.NumCPU()
+	}
+	return c
+}
+
+// Table2 reproduces Table 2: all 15 problems on the Hyperlink2012
+// simulation (compressed, the paper's headline table).
+func Table2(w io.Writer, c Config) {
+	c = c.norm()
+	in := MakeRMATInput("Hyperlink2012-sim", c.Scale, 16, true, c.Seed+2012)
+	rows := RunSuite(in, c.Seed, c.Threads, c.SkipSingle)
+	WriteRows(w, fmt.Sprintf("Table 2: %s (compressed), n=%d m=%d",
+		in.Name, in.Sym.N(), in.Sym.M()), rows, c.Threads)
+}
+
+// Table4 reproduces Table 4: the 15 problems on the four uncompressed
+// inputs (LiveJournal, com-Orkut, Twitter stand-ins plus 3D-Torus).
+func Table4(w io.Writer, c Config) {
+	c = c.norm()
+	inputs := []Input{
+		MakeRMATInput("LiveJournal-sim", c.Scale-2, 14, false, c.Seed+1),
+		MakeRMATInput("com-Orkut-sim", c.Scale-3, 60, false, c.Seed+2), // denser, like Orkut
+		MakeRMATInput("Twitter-sim", c.Scale-1, 28, false, c.Seed+3),   // larger and skewed
+		MakeTorusInput(1<<uint((c.Scale-1)/3), c.Seed+4),
+	}
+	for _, in := range inputs {
+		rows := RunSuite(in, c.Seed, c.Threads, c.SkipSingle)
+		WriteRows(w, fmt.Sprintf("Table 4: %s (uncompressed), n=%d m=%d",
+			in.Name, in.Sym.N(), in.Sym.M()), rows, c.Threads)
+	}
+}
+
+// Table5 reproduces Table 5: the 15 problems on the three compressed
+// web-crawl stand-ins.
+func Table5(w io.Writer, c Config) {
+	c = c.norm()
+	inputs := []Input{
+		MakeRMATInput("ClueWeb-sim", c.Scale-2, 24, true, c.Seed+5),
+		MakeRMATInput("Hyperlink2014-sim", c.Scale-1, 20, true, c.Seed+6),
+		MakeRMATInput("Hyperlink2012-sim", c.Scale, 16, true, c.Seed+7),
+	}
+	for _, in := range inputs {
+		rows := RunSuite(in, c.Seed, c.Threads, c.SkipSingle)
+		WriteRows(w, fmt.Sprintf("Table 5: %s (compressed), n=%d m=%d",
+			in.Name, in.Sym.N(), in.Sym.M()), rows, c.Threads)
+	}
+}
+
+// Table6 reproduces Table 6's ablations: k-core with the work-efficient
+// histogram vs. fetch-and-add, and wBFS with edgeMapBlocked vs. the flat
+// sparse edgeMap. The paper's hardware counters (cycles stalled, LLC
+// misses, DRAM bandwidth) are replaced by Go-observable proxies: wall-clock
+// time, allocated bytes, and the words written by the sparse traversals
+// (see DESIGN.md).
+func Table6(w io.Writer, c Config) {
+	c = c.norm()
+	g := gen.BuildRMAT(c.Scale, 16, true, true, c.Seed+66)
+	old := parallel.SetWorkers(c.Threads)
+	defer parallel.SetWorkers(old)
+
+	fmt.Fprintf(w, "Table 6: optimization ablations on RMAT scale %d (n=%d m=%d), %d threads\n",
+		c.Scale, g.N(), g.M(), c.Threads)
+	fmt.Fprintf(w, "%-28s %12s %16s %18s\n", "Variant", "Time", "Alloc (MB)", "Words written")
+
+	measure := func(name string, f func()) {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		ligra.Traffic.Store(0)
+		start := time.Now()
+		f()
+		dur := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		fmt.Fprintf(w, "%-28s %12s %16.1f %18d\n", name, fmtDur(dur),
+			float64(m1.TotalAlloc-m0.TotalAlloc)/1e6, ligra.Traffic.Load())
+	}
+	measure("k-core (histogram)", func() { core.KCore(g, c.Seed) })
+	measure("k-core (fetch-and-add)", func() { core.KCoreFetchAndAdd(g) })
+	measure("weighted BFS (blocked)", func() { core.WeightedBFS(g, 0) })
+	measure("weighted BFS (unblocked)", func() { core.WeightedBFSUnblocked(g, 0) })
+	fmt.Fprintln(w)
+}
+
+// table7Literature holds the running times (seconds) the paper's Table 7
+// reprints from the literature; they are fixed constants for context, not
+// measurements of this machine.
+var table7Literature = []struct {
+	Paper, Problem, Graph string
+	MemTB                 float64
+	Hyperthreads, Nodes   int
+	Seconds               float64
+}{
+	{"Mosaic", "BFS*", "2014", 0.768, 1000, 1, 6.55},
+	{"Mosaic", "Connectivity*", "2014", 0.768, 1000, 1, 708},
+	{"Mosaic", "SSSP*", "2014", 0.768, 1000, 1, 8.6},
+	{"FlashGraph", "BFS*", "2012", 0.512, 64, 1, 208},
+	{"FlashGraph", "BC*", "2012", 0.512, 64, 1, 595},
+	{"FlashGraph", "Connectivity*", "2012", 0.512, 64, 1, 461},
+	{"FlashGraph", "TC*", "2012", 0.512, 64, 1, 7818},
+	{"BigSparse", "BFS*", "2012", 0.064, 32, 1, 2500},
+	{"BigSparse", "BC*", "2012", 0.064, 32, 1, 3100},
+	{"Slota et al.", "Largest-CC*", "2012", 16.3, 8192, 256, 63},
+	{"Slota et al.", "Largest-SCC*", "2012", 16.3, 8192, 256, 108},
+	{"Slota et al.", "Approx k-core*", "2012", 16.3, 8192, 256, 363},
+	{"Stergiou et al.", "Connectivity", "2012", 128, 24000, 1000, 341},
+	{"GBBS (paper)", "BFS*", "2012", 1, 144, 1, 16.7},
+	{"GBBS (paper)", "BC*", "2012", 1, 144, 1, 35.2},
+	{"GBBS (paper)", "Connectivity", "2012", 1, 144, 1, 38.3},
+	{"GBBS (paper)", "SCC*", "2012", 1, 144, 1, 185},
+	{"GBBS (paper)", "k-core", "2012", 1, 144, 1, 184},
+	{"GBBS (paper)", "TC", "2012", 1, 144, 1, 1470},
+}
+
+// Table7 reproduces Table 7's layout: the literature rows as reported by
+// the paper, followed by this implementation's measurements on the
+// simulated Hyperlink graphs.
+func Table7(w io.Writer, c Config) {
+	c = c.norm()
+	fmt.Fprintln(w, "Table 7: cross-system comparison (literature rows are the paper's reported numbers)")
+	fmt.Fprintf(w, "%-18s %-18s %-6s %8s %8s %6s %10s\n",
+		"Paper", "Problem", "Graph", "Mem(TB)", "Threads", "Nodes", "Time(s)")
+	for _, r := range table7Literature {
+		fmt.Fprintf(w, "%-18s %-18s %-6s %8.3f %8d %6d %10.1f\n",
+			r.Paper, r.Problem, r.Graph, r.MemTB, r.Hyperthreads, r.Nodes, r.Seconds)
+	}
+	// Our rows, at simulation scale.
+	in := MakeRMATInput("2012-sim", c.Scale, 16, true, c.Seed+2012)
+	old := parallel.SetWorkers(c.Threads)
+	defer parallel.SetWorkers(old)
+	ours := []struct {
+		name string
+		f    func()
+	}{
+		{"BFS*", func() { core.BFS(in.Dir, 0) }},
+		{"SSSP*", func() { core.WeightedBFS(in.Sym, 0) }},
+		{"BC*", func() { core.BC(in.Dir, 0) }},
+		{"Connectivity", func() { core.Connectivity(in.Sym, 0.2, c.Seed) }},
+		{"SCC*", func() { core.SCC(in.Dir, c.Seed, core.SCCOpts{}) }},
+		{"k-core", func() { core.KCore(in.Sym, c.Seed) }},
+		{"TC", func() { core.TriangleCount(in.Sym) }},
+	}
+	for _, o := range ours {
+		start := time.Now()
+		o.f()
+		fmt.Fprintf(w, "%-18s %-18s %-6s %8.3f %8d %6d %10.3f\n",
+			"This repro", o.name, "sim", 0.0, c.Threads, 1, time.Since(start).Seconds())
+	}
+	fmt.Fprintf(w, "(sim graph: n=%d m=%d; absolute times are not comparable to the 128B-edge originals — shape is: one machine, all problems)\n\n",
+		in.Sym.N(), in.Sym.M())
+}
+
+// Table3 reproduces Table 3 / Tables 8-13: the statistics of every input in
+// the simulated corpus.
+func Table3(w io.Writer, c Config) {
+	c = c.norm()
+	old := parallel.SetWorkers(c.Threads)
+	defer parallel.SetWorkers(old)
+	type entry struct {
+		name string
+		sym  graph.Graph
+		dir  graph.Graph
+	}
+	entries := []entry{
+		{"LiveJournal-sim", gen.BuildRMAT(c.Scale-2, 14, true, false, c.Seed+1), gen.BuildRMAT(c.Scale-2, 14, false, false, c.Seed+1)},
+		{"com-Orkut-sim", gen.BuildRMAT(c.Scale-3, 60, true, false, c.Seed+2), nil},
+		{"Twitter-sim", gen.BuildRMAT(c.Scale-1, 28, true, false, c.Seed+3), gen.BuildRMAT(c.Scale-1, 28, false, false, c.Seed+3)},
+		{"3D-Torus", gen.BuildTorus3D(1<<uint((c.Scale-1)/3), false, c.Seed+4), nil},
+		{"Hyperlink2012-sim", gen.BuildRMAT(c.Scale, 16, true, false, c.Seed+7), gen.BuildRMAT(c.Scale, 16, false, false, c.Seed+7)},
+	}
+	fmt.Fprintln(w, "Table 3 / Tables 8-13: graph inventory and statistics")
+	for _, e := range entries {
+		s := stats.ComputeSym(e.name, e.sym, stats.Options{Seed: c.Seed})
+		stats.WriteTable(w, s, false)
+		if e.dir != nil {
+			d := stats.ComputeDir(e.name+" (directed)", e.dir, stats.Options{Seed: c.Seed})
+			stats.WriteTable(w, d, true)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Figure1 reproduces Figure 1: normalized throughput (edges/second) of MIS,
+// BFS, BC and coloring over a family of 3D tori of growing size. Output is
+// one CSV-like row per (algorithm, size).
+func Figure1(w io.Writer, c Config) {
+	c = c.norm()
+	old := parallel.SetWorkers(c.Threads)
+	defer parallel.SetWorkers(old)
+	maxSide := 1 << uint(c.Scale/3)
+	fmt.Fprintln(w, "Figure 1: normalized throughput vs vertices on the 3D-Torus family")
+	fmt.Fprintf(w, "%-16s %12s %12s %14s %14s\n", "algorithm", "vertices", "edges", "time", "edges/sec")
+	algos := []struct {
+		name string
+		f    func(g graph.Graph)
+	}{
+		{"MIS", func(g graph.Graph) { core.MIS(g, c.Seed) }},
+		{"BFS", func(g graph.Graph) { core.BFS(g, 0) }},
+		{"BC", func(g graph.Graph) { core.BC(g, 0) }},
+		{"Graph Coloring", func(g graph.Graph) { core.Coloring(g, c.Seed) }},
+	}
+	for side := 8; side <= maxSide; side *= 2 {
+		g := gen.BuildTorus3D(side, false, c.Seed)
+		for _, a := range algos {
+			start := time.Now()
+			a.f(g)
+			dur := time.Since(start)
+			tput := float64(g.M()) / dur.Seconds()
+			fmt.Fprintf(w, "%-16s %12d %12d %14s %14.3e\n",
+				a.name, g.N(), g.M(), fmtDur(dur), tput)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// CompressionReport prints the bytes-per-edge the parallel-byte format
+// achieves on the corpus (the paper's 1.5 bytes/edge engineering headline).
+func CompressionReport(w io.Writer, c Config) {
+	c = c.norm()
+	fmt.Fprintln(w, "Compression: parallel-byte format (paper: Hyperlink2012-Sym at <1.5 bytes/edge)")
+	fmt.Fprintf(w, "%-22s %12s %12s %14s %12s\n", "graph", "vertices", "edges", "bytes/edge", "vs 4B raw")
+	for _, e := range []struct {
+		name string
+		g    *graph.CSR
+	}{
+		{"Hyperlink2012-sim", gen.BuildRMAT(c.Scale, 16, true, false, c.Seed+7)},
+		{"3D-Torus", gen.BuildTorus3D(1<<uint((c.Scale-1)/3), false, c.Seed)},
+		{"ER-random", gen.BuildErdosRenyi(1<<uint(c.Scale-1), 1<<uint(c.Scale+2), true, false, c.Seed)},
+	} {
+		cg := compress.FromCSR(e.g, 0)
+		fmt.Fprintf(w, "%-22s %12d %12d %14.2f %11.1fx\n",
+			e.name, e.g.N(), e.g.M(), cg.BytesPerEdge(), 4/cg.BytesPerEdge())
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,214 @@
+// Package bucket implements Julienne's bucketing structure (Dhulipala,
+// Blelloch, Shun, SPAA 2017), the substrate under the paper's wBFS, k-core
+// and approximate set cover implementations. It maintains a dynamic mapping
+// from identifiers to buckets, supports extracting the next non-empty bucket
+// in priority order, and moves identifiers between buckets in bulk.
+//
+// The structure is lazy: bucket arrays may hold stale entries (an identifier
+// that has since moved); staleness is detected on extraction by comparing
+// against the identifier's current bucket. A bounded window of "open"
+// buckets is materialized; identifiers destined further away wait in an
+// overflow bucket that is re-bucketed when the window advances past it.
+package bucket
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/prims"
+)
+
+// Nil marks "no bucket": identifiers mapped to Nil by the bucket function
+// are not tracked (e.g. unreached vertices in wBFS, peeled vertices in
+// k-core).
+const Nil = ^uint32(0)
+
+// Order selects processing order.
+type Order int
+
+const (
+	// Increasing processes bucket 0, 1, 2, ... (wBFS, k-core).
+	Increasing Order = iota
+	// Decreasing processes the largest bucket first (set cover).
+	Decreasing
+)
+
+// Buckets is the bucketing structure over identifiers [0, n).
+type Buckets struct {
+	n        int
+	order    Order
+	maxBkt   uint32 // inclusive bound on bucket IDs (used for Decreasing)
+	numOpen  int
+	fn       func(uint32) uint32 // current desired bucket of an identifier
+	cur      []uint32            // tick of the bucket each id was last filed under (Nil = removed)
+	open     [][]uint32          // open[j] holds ids filed at tick base+j
+	overflow []uint32
+	base     uint32 // tick of open[0]
+	iter     int    // next open slot to inspect
+}
+
+// New builds the structure over n identifiers with the given processing
+// order and bucket function fn (fn(i) == Nil files identifier i nowhere).
+// maxBkt is an inclusive upper bound on bucket IDs fn can return; it is
+// required for Decreasing order and advisory otherwise. numOpen <= 0 selects
+// the default window of 128 open buckets.
+func New(n int, numOpen int, order Order, maxBkt uint32, fn func(uint32) uint32) *Buckets {
+	if numOpen <= 0 {
+		numOpen = 128
+	}
+	b := &Buckets{
+		n:       n,
+		order:   order,
+		maxBkt:  maxBkt,
+		numOpen: numOpen,
+		fn:      fn,
+		cur:     make([]uint32, n),
+		open:    make([][]uint32, numOpen),
+	}
+	for i := range b.cur {
+		b.cur[i] = Nil
+	}
+	ids := prims.PackIndex(n, func(i int) bool { return fn(uint32(i)) != Nil })
+	b.file(ids)
+	return b
+}
+
+// tick maps a bucket ID to the monotone processing order: identity for
+// Increasing, reversed against maxBkt for Decreasing.
+func (b *Buckets) tick(bkt uint32) uint32 {
+	if b.order == Increasing {
+		return bkt
+	}
+	if bkt > b.maxBkt {
+		bkt = b.maxBkt
+	}
+	return b.maxBkt - bkt
+}
+
+// bucketOf converts a tick back to the caller's bucket ID.
+func (b *Buckets) bucketOf(tick uint32) uint32 {
+	if b.order == Increasing {
+		return tick
+	}
+	return b.maxBkt - tick
+}
+
+// file inserts ids (whose fn is not Nil) into open buckets or overflow,
+// recording their tick in cur. Ticks before the current window are clamped
+// into the first open bucket, preserving the monotone processing contract.
+// An id whose live filed copy already sits at the destination tick is
+// skipped, so repeated updates do not accumulate duplicate copies.
+func (b *Buckets) file(ids []uint32) {
+	if len(ids) == 0 {
+		return
+	}
+	// Grouping by destination via a sort keeps insertion deterministic and
+	// contention-free: each destination bucket receives one contiguous run.
+	keys := make([]uint64, 0, len(ids))
+	for _, id := range ids {
+		t := b.tick(b.fn(id))
+		if t < b.base+uint32(b.iter) {
+			t = b.base + uint32(b.iter)
+		}
+		if b.cur[id] == t {
+			continue // already filed at this tick
+		}
+		b.cur[id] = t
+		slot := uint64(t - b.base)
+		if slot >= uint64(b.numOpen) {
+			slot = uint64(b.numOpen) // overflow pseudo-slot
+		}
+		keys = append(keys, slot<<32|uint64(id))
+	}
+	prims.RadixSortU64(keys, 64)
+	// Split runs by slot.
+	starts := prims.PackIndex(len(keys), func(i int) bool {
+		return i == 0 || keys[i]>>32 != keys[i-1]>>32
+	})
+	for si, s := range starts {
+		end := len(keys)
+		if si+1 < len(starts) {
+			end = int(starts[si+1])
+		}
+		slot := int(keys[s] >> 32)
+		run := make([]uint32, 0, end-int(s))
+		for i := int(s); i < end; i++ {
+			run = append(run, uint32(keys[i]))
+		}
+		if slot >= b.numOpen {
+			b.overflow = append(b.overflow, run...)
+		} else {
+			b.open[slot] = append(b.open[slot], run...)
+		}
+	}
+}
+
+// NextBucket extracts the next non-empty bucket in processing order,
+// returning its bucket ID and member identifiers; extracted identifiers are
+// removed from the structure. It returns (Nil, nil) when no identifiers
+// remain.
+//
+// The processing pointer does not advance past a bucket until the bucket is
+// verified empty: identifiers refiled into the bucket being processed (e.g.
+// k-core vertices whose degree is clamped to the current core number) are
+// extracted by subsequent NextBucket calls at the same bucket ID, matching
+// Julienne's semantics.
+func (b *Buckets) NextBucket() (uint32, []uint32) {
+	for {
+		for b.iter < b.numOpen {
+			slot := b.iter
+			entries := b.open[slot]
+			b.open[slot] = nil
+			if len(entries) == 0 {
+				b.iter++
+				continue
+			}
+			tick := b.base + uint32(slot)
+			live := prims.Filter(entries, func(id uint32) bool { return b.cur[id] == tick })
+			if len(live) == 0 {
+				continue // slot drained of live entries; recheck before advancing
+			}
+			parallel.ForRange(len(live), 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					b.cur[live[i]] = Nil
+				}
+			})
+			return b.bucketOf(tick), live
+		}
+		// Window exhausted: advance it over the overflow bucket.
+		if len(b.overflow) == 0 {
+			return Nil, nil
+		}
+		b.base += uint32(b.numOpen)
+		b.iter = 0
+		pending := b.overflow
+		b.overflow = nil
+		// Re-file only identifiers still claiming an overflow tick; mark
+		// them unfiled first so file() does not skip them (their only live
+		// copy was just pulled out of the overflow array). Duplicate copies
+		// of one id in the overflow collapse here via the Nil marking: the
+		// first copy refiles it, the second sees cur already set by file.
+		pending = prims.Filter(pending, func(id uint32) bool { return b.cur[id] != Nil && b.cur[id] >= b.base })
+		for _, id := range pending {
+			b.cur[id] = Nil
+		}
+		b.file(pending)
+	}
+}
+
+// Update re-files the given identifiers according to the current bucket
+// function (the paper's UpdateBuckets). Identifiers whose function now
+// returns Nil are removed; identifiers extracted earlier stay removed unless
+// the function maps them to a bucket again.
+func (b *Buckets) Update(ids []uint32) {
+	if len(ids) == 0 {
+		return
+	}
+	live := make([]uint32, 0, len(ids))
+	for _, id := range ids {
+		if b.fn(id) == Nil {
+			b.cur[id] = Nil // invalidate any filed copy
+			continue
+		}
+		live = append(live, id)
+	}
+	b.file(live)
+}

@@ -1,0 +1,51 @@
+// Package compress implements the Ligra+ parallel-byte compressed graph
+// representation the paper extends (§5, §B): adjacency lists are
+// difference-encoded with byte codes, split into fixed-size blocks so that a
+// high-degree vertex's neighbors can be processed in parallel, with
+// per-block offsets stored ahead of the blocks. The paper's symmetrized
+// Hyperlink2012 graph fits in under 1.5 bytes per edge in this format; the
+// compressed graphs here implement the same graph.Graph interface as CSR, so
+// every algorithm runs on both (Tables 4 vs 5).
+package compress
+
+// putUvarint appends the LEB128 encoding of x to buf and returns buf.
+func putUvarint(buf []byte, x uint64) []byte {
+	for x >= 0x80 {
+		buf = append(buf, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(buf, byte(x))
+}
+
+// uvarint decodes a LEB128 value from data starting at i, returning the
+// value and the index after it. No bounds diagnostics: callers guarantee
+// well-formed streams (the encoder in this package).
+func uvarint(data []byte, i int) (uint64, int) {
+	var x uint64
+	var s uint
+	for {
+		b := data[i]
+		i++
+		if b < 0x80 {
+			return x | uint64(b)<<s, i
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// uvarintLen returns the encoded length of x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// zigzag maps a signed value to an unsigned one with small magnitudes small.
+func zigzag(x int64) uint64 { return uint64((x << 1) ^ (x >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/prims"
+	"repro/internal/xrand"
+)
+
+// Connectivity computes connected components (Algorithm 6, Shun et al.):
+// it runs LDD with parameter β, contracts each cluster to a single vertex,
+// and recurses on the contracted graph until no edges remain, composing the
+// labellings on the way back up. Runs in O(m) expected work and O(log³ n)
+// depth w.h.p. on the TS-MT-RAM. The result maps each vertex to a component
+// label in [0, n); two vertices get equal labels iff they are connected.
+//
+// g must be symmetric. beta in (0, 1); the paper fixes β = 0.2.
+func Connectivity(g graph.Graph, beta float64, seed uint64) []uint32 {
+	n := g.N()
+	labels := LDD(g, beta, seed)
+	k, renumber := NumClusters(labels)
+	// Relabel every vertex into the contracted ID space.
+	parallel.ForRange(n, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			labels[v] = renumber[labels[v]]
+		}
+	})
+	// Contract: one edge (cluster(u), cluster(v)) per cut edge; builder
+	// dedups. Keep one direction and symmetrize to halve the sort.
+	el := contractEdges(g, labels, k)
+	if el.Len() == 0 {
+		return labels
+	}
+	gc := graph.FromEdgeList(k, el, graph.BuildOptions{Symmetrize: true})
+	sub := Connectivity(gc, beta, xrand.SplitMix64(seed))
+	parallel.ForRange(n, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			labels[v] = sub[labels[v]]
+		}
+	})
+	return labels
+}
+
+// contractEdges collects the distinct-enough (deduplication happens in the
+// builder) inter-cluster edges of g under the given dense labelling.
+func contractEdges(g graph.Graph, labels []uint32, k int) *graph.EdgeList {
+	n := g.N()
+	// Count cut edges (u < v representative direction) per vertex, scan,
+	// then fill.
+	counts := make([]int64, n)
+	parallel.ForRange(n, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			lv := labels[v]
+			c := int64(0)
+			g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
+				if labels[u] > lv {
+					c++
+				}
+				return true
+			})
+			counts[v] = c
+		}
+	})
+	offsets := make([]int64, n)
+	total := prims.Scan(counts, offsets)
+	el := &graph.EdgeList{N: k}
+	el.U = make([]uint32, total)
+	el.V = make([]uint32, total)
+	parallel.For(n, 64, func(v int) {
+		lv := labels[v]
+		i := offsets[v]
+		g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
+			if labels[u] > lv {
+				el.U[i] = lv
+				el.V[i] = labels[u]
+				i++
+			}
+			return true
+		})
+	})
+	return el
+}
+
+// ComponentCount returns the number of distinct labels and the size of the
+// largest label class; used by the statistics suite (Tables 3, 8-13).
+func ComponentCount(labels []uint32) (num int, largest int) {
+	n := len(labels)
+	if n == 0 {
+		return 0, 0
+	}
+	ids, counts := prims.Histogram(labels, prims.BitsFor(uint64(n)))
+	max := uint32(0)
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return len(ids), int(max)
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/seqref"
+)
+
+// The paper stresses that its randomized algorithms are internally
+// deterministic: for a fixed seed the outputs must not depend on the
+// schedule. These tests re-run each algorithm under 1, 2 and all workers
+// and require identical (or partition-identical) outputs.
+
+func withWorkers(t *testing.T, p int, f func()) {
+	t.Helper()
+	old := parallel.SetWorkers(p)
+	defer parallel.SetWorkers(old)
+	f()
+}
+
+func workerCounts() []int { return []int{1, 2, 0} } // 0 = leave default
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	g := symGraphs()["rmat"]
+	wg := symWeightedGraphs()["rmat-w"]
+	dg := dirGraphs()["rmat-dir"]
+
+	type result struct {
+		bfs      []uint32
+		wbfs     []uint32
+		coreness []uint32
+		colors   []uint32
+		mis      []bool
+		msfW     int64
+		mmLen    int
+		ccPart   []uint32
+		sccPart  []uint32
+		tc       int64
+		coverLen int
+	}
+	collect := func() result {
+		var r result
+		r.bfs = BFS(g, 0)
+		r.wbfs = WeightedBFS(wg, 0)
+		r.coreness, _ = KCore(g, 0)
+		r.colors = Coloring(g, 3)
+		r.mis = MIS(g, 3)
+		_, r.msfW = MSF(wg)
+		r.mmLen = len(MaximalMatching(g, 3))
+		r.ccPart = Connectivity(g, 0.2, 3)
+		r.sccPart = SCC(dg, 3, SCCOpts{})
+		r.tc = TriangleCount(g)
+		r.coverLen = len(ApproxSetCover(g, 0.01, 3))
+		return r
+	}
+	var base result
+	withWorkers(t, 1, func() { base = collect() })
+	for _, p := range workerCounts()[1:] {
+		var got result
+		if p == 0 {
+			got = collect()
+		} else {
+			withWorkers(t, p, func() { got = collect() })
+		}
+		for v := range base.bfs {
+			if got.bfs[v] != base.bfs[v] {
+				t.Fatalf("p=%d: BFS differs at %d", p, v)
+			}
+			if got.wbfs[v] != base.wbfs[v] {
+				t.Fatalf("p=%d: wBFS differs at %d", p, v)
+			}
+			if got.coreness[v] != base.coreness[v] {
+				t.Fatalf("p=%d: coreness differs at %d", p, v)
+			}
+			if got.colors[v] != base.colors[v] {
+				t.Fatalf("p=%d: coloring differs at %d", p, v)
+			}
+			if got.mis[v] != base.mis[v] {
+				t.Fatalf("p=%d: MIS differs at %d", p, v)
+			}
+		}
+		if got.msfW != base.msfW {
+			t.Fatalf("p=%d: MSF weight %d vs %d", p, got.msfW, base.msfW)
+		}
+		if got.mmLen != base.mmLen {
+			t.Fatalf("p=%d: matching size %d vs %d", p, got.mmLen, base.mmLen)
+		}
+		if !seqref.SamePartition(got.ccPart, base.ccPart) {
+			t.Fatalf("p=%d: CC partition differs", p)
+		}
+		if !seqref.SamePartition(got.sccPart, base.sccPart) {
+			t.Fatalf("p=%d: SCC partition differs", p)
+		}
+		if got.tc != base.tc {
+			t.Fatalf("p=%d: TC %d vs %d", p, got.tc, base.tc)
+		}
+		if got.coverLen != base.coverLen {
+			t.Fatalf("p=%d: cover size %d vs %d", p, got.coverLen, base.coverLen)
+		}
+	}
+}
+
+func TestBiconnectivityDeterministicAcrossWorkers(t *testing.T) {
+	g := symGraphs()["er"]
+	var base map[uint64]uint32
+	withWorkers(t, 1, func() { base = biccEdgePartition(g, Biconnectivity(g, 0.2, 5)) })
+	var par map[uint64]uint32
+	withWorkers(t, 0, func() { par = biccEdgePartition(g, Biconnectivity(g, 0.2, 5)) })
+	if !samePartitionMaps(base, par) {
+		t.Fatal("biconnectivity partition depends on worker count")
+	}
+}

@@ -1,0 +1,18 @@
+// Package core implements the paper's primary contribution: the 15
+// theoretically-efficient parallel graph algorithms of the GBBS benchmark
+// (Table 1), written against the substrates in internal/ligra (edgeMap /
+// vertexSubset), internal/bucket (Julienne bucketing), internal/prims
+// (parallel primitives and the work-efficient histogram) and
+// internal/hashtable (multi-search reachability tables).
+//
+// Every algorithm states its work/depth bounds and the MT-RAM variant
+// (test-and-set, fetch-and-add or priority-write) it relies on, mirroring
+// Table 1 of the paper. Randomized algorithms take explicit seeds and are
+// deterministic for a fixed seed and worker count is irrelevant to their
+// outputs except where noted (SCC/MSF outputs are deterministic; LDD cluster
+// assignment may break ties by schedule, which the paper permits).
+package core
+
+// Inf marks an unreachable distance / unassigned label throughout the
+// benchmark (the paper's ∞).
+const Inf = ^uint32(0)

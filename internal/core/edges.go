@@ -1,0 +1,59 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/prims"
+)
+
+// WEdge is an undirected weighted edge in algorithm outputs (MSF, maximal
+// matching).
+type WEdge struct {
+	U, V uint32
+	W    int32
+}
+
+// extractEdges lists each undirected edge of a symmetric graph exactly once
+// (u < v), as parallel arrays. MSF and maximal matching run their edgelist
+// phases over this representation; extracting only one direction per edge is
+// the memory optimization the paper applies to make edgelist algorithms fit
+// ("we can pack out the edges so that each undirected edge is only inspected
+// once").
+func extractEdges(g graph.Graph, weighted bool) (eu, ev []uint32, ew []int32) {
+	n := g.N()
+	counts := make([]int64, n)
+	parallel.ForRange(n, 64, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			c := int64(0)
+			g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
+				if u > uint32(v) {
+					c++
+				}
+				return true
+			})
+			counts[v] = c
+		}
+	})
+	offsets := make([]int64, n)
+	total := prims.Scan(counts, offsets)
+	eu = make([]uint32, total)
+	ev = make([]uint32, total)
+	if weighted {
+		ew = make([]int32, total)
+	}
+	parallel.For(n, 64, func(v int) {
+		i := offsets[v]
+		g.OutNgh(uint32(v), func(u uint32, w int32) bool {
+			if u > uint32(v) {
+				eu[i] = uint32(v)
+				ev[i] = u
+				if ew != nil {
+					ew[i] = w
+				}
+				i++
+			}
+			return true
+		})
+	})
+	return eu, ev, ew
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"repro/internal/atomics"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/prims"
+)
+
+// SpanningForest computes a rooted spanning forest of a symmetric graph:
+// connectivity labels pick one root per component (the minimum vertex ID),
+// and a multi-source BFS from the roots builds the forest. Returns the
+// parent of each vertex (roots point to themselves), the BFS level of each
+// vertex, and the roots. Biconnectivity (Algorithm 7) consumes this; the
+// paper computes the same forest with a breadth-first search over each
+// component in O(m) work and O(diam(G) log n) depth.
+func SpanningForest(g graph.Graph, beta float64, seed uint64) (parent, level, roots []uint32) {
+	labels := Connectivity(g, beta, seed)
+	roots = componentRoots(labels)
+	level, parent = MultiBFS(g, roots)
+	return parent, level, roots
+}
+
+// componentRoots returns, for each distinct label, the minimum vertex ID
+// carrying it.
+func componentRoots(labels []uint32) []uint32 {
+	n := len(labels)
+	minOf := make([]uint32, n)
+	parallel.ForRange(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			minOf[i] = Inf
+		}
+	})
+	parallel.ForRange(n, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			atomics.WriteMin32(&minOf[labels[v]], uint32(v))
+		}
+	})
+	return prims.MapFilter(n,
+		func(i int) bool { return minOf[i] != Inf },
+		func(i int) uint32 { return minOf[i] })
+}
+
+// ForestEdgeCount returns the number of tree edges in a parent array
+// (vertices with parent != self and != Inf).
+func ForestEdgeCount(parent []uint32) int {
+	return prims.Count(len(parent), func(i int) bool {
+		return parent[i] != Inf && parent[i] != uint32(i)
+	})
+}

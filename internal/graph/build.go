@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/prims"
+)
+
+// BuildOptions controls FromEdgeList. The zero value gives the paper's input
+// contract: no self-loops, no duplicate edges, sorted adjacency lists, and
+// the transpose built for directed graphs.
+type BuildOptions struct {
+	// Symmetrize adds the reverse of every input edge, producing a
+	// symmetric (undirected) graph. Duplicates created by symmetrizing an
+	// already-bidirectional list are removed by deduplication.
+	Symmetrize bool
+	// KeepSelfLoops retains u->u edges instead of dropping them.
+	KeepSelfLoops bool
+	// KeepDuplicates retains parallel edges instead of deduplicating. For
+	// weighted graphs deduplication keeps the minimum weight per edge.
+	KeepDuplicates bool
+	// SkipInEdges skips building the transpose of a directed graph.
+	// Algorithms needing in-edges (dense edgeMap, SCC, BC) require it.
+	SkipInEdges bool
+}
+
+// FromEdgeList builds a CSR graph over n vertices from el. It runs in
+// O(m log n) work (radix sort dominated) and polylogarithmic depth, and is
+// how all generator and I/O paths construct graphs.
+func FromEdgeList(n int, el *EdgeList, opt BuildOptions) *CSR {
+	m0 := el.Len()
+	m := m0
+	if opt.Symmetrize {
+		m = 2 * m0
+	}
+	keys := make([]uint64, m)
+	var wts []uint32
+	if el.Weighted() {
+		wts = make([]uint32, m)
+	}
+	parallel.ForRange(m0, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i] = uint64(el.U[i])<<32 | uint64(el.V[i])
+			if wts != nil {
+				wts[i] = uint32(el.W[i])
+			}
+			if opt.Symmetrize {
+				keys[m0+i] = uint64(el.V[i])<<32 | uint64(el.U[i])
+				if wts != nil {
+					wts[m0+i] = uint32(el.W[i])
+				}
+			}
+		}
+	})
+	sortBits := 32 + prims.BitsFor(uint64(maxInt(n-1, 0)))
+	offsets, edges, weights := buildAdj(n, keys, wts, sortBits, opt)
+	g := &CSR{
+		n:         n,
+		offsets:   offsets,
+		edges:     edges,
+		weights:   weights,
+		symmetric: opt.Symmetrize,
+	}
+	if !g.symmetric && !opt.SkipInEdges {
+		// Transpose the kept edges: swap endpoint halves and rebuild.
+		mk := len(edges)
+		tkeys := make([]uint64, mk)
+		var twts []uint32
+		if weights != nil {
+			twts = make([]uint32, mk)
+		}
+		parallel.For(n, 256, func(v int) {
+			lo, hi := offsets[v], offsets[v+1]
+			for i := lo; i < hi; i++ {
+				tkeys[i] = uint64(edges[i])<<32 | uint64(uint32(v))
+				if twts != nil {
+					twts[i] = uint32(weights[i])
+				}
+			}
+		})
+		// The forward pass already deduplicated, so keep everything here.
+		topt := opt
+		topt.KeepDuplicates = true
+		topt.KeepSelfLoops = true
+		g.inOffsets, g.inEdges, g.inWeights = buildAdj(n, tkeys, twts, sortBits, topt)
+	}
+	return g
+}
+
+// buildAdj sorts packed (u<<32|v) keys, applies self-loop/duplicate
+// filtering, and lays out CSR offsets and neighbor arrays.
+func buildAdj(n int, keys []uint64, wts []uint32, sortBits int, opt BuildOptions) ([]int64, []uint32, []int32) {
+	if wts != nil {
+		prims.RadixSortPairs(keys, wts, sortBits)
+	} else {
+		prims.RadixSortU64(keys, sortBits)
+	}
+	m := len(keys)
+	keep := func(i int) bool {
+		k := keys[i]
+		if !opt.KeepSelfLoops && uint32(k>>32) == uint32(k) {
+			return false
+		}
+		if !opt.KeepDuplicates && i > 0 && keys[i-1] == k {
+			return false
+		}
+		return true
+	}
+	kept := prims.PackIndex(m, keep)
+	mk := len(kept)
+	edges := make([]uint32, mk)
+	srcs := make([]uint32, mk)
+	var weights []int32
+	if wts != nil {
+		weights = make([]int32, mk)
+	}
+	parallel.ForRange(mk, 0, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			i := int(kept[j])
+			k := keys[i]
+			srcs[j] = uint32(k >> 32)
+			edges[j] = uint32(k)
+			if weights != nil {
+				w := wts[i]
+				if !opt.KeepDuplicates {
+					// Keep the minimum weight across a duplicate run, so a
+					// weighted multigraph collapses to its lightest edges
+					// (what MSF needs).
+					for q := i + 1; q < m && keys[q] == k; q++ {
+						if wts[q] < w {
+							w = wts[q]
+						}
+					}
+				}
+				weights[j] = int32(w)
+			}
+		}
+	})
+	offsets := fillOffsets(n, srcs, mk)
+	return offsets, edges, weights
+}
+
+// fillOffsets computes CSR offsets from the sorted source array: offsets[u]
+// is the first adjacency index whose source is >= u.
+func fillOffsets(n int, srcs []uint32, m int) []int64 {
+	offsets := make([]int64, n+1)
+	if m == 0 {
+		return offsets
+	}
+	parallel.ForRange(m, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := srcs[i]
+			if i == 0 {
+				for w := uint32(0); w <= u; w++ {
+					offsets[w] = 0
+				}
+				continue
+			}
+			if prev := srcs[i-1]; prev != u {
+				for w := prev + 1; w <= u; w++ {
+					offsets[w] = int64(i)
+				}
+			}
+		}
+	})
+	for w := int(srcs[m-1]) + 1; w <= n; w++ {
+		offsets[w] = int64(m)
+	}
+	return offsets
+}
+
+// FromAdjacency builds a CSR graph directly from per-vertex neighbor
+// functions, used by code that transforms one graph into another (e.g.
+// triangle counting's degree-ordered direction step). deg must match the
+// number of neighbors emit produces for each vertex; neighbors must be
+// emitted in sorted order for algorithms relying on sorted adjacency.
+func FromAdjacency(n int, symmetric bool, deg func(v uint32) int, emit func(v uint32, add func(u uint32, w int32))) *CSR {
+	degs := make([]int64, n)
+	parallel.ForRange(n, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			degs[v] = int64(deg(uint32(v)))
+		}
+	})
+	offsets := make([]int64, n+1)
+	total := prims.Scan(degs, offsets[:n])
+	offsets[n] = total
+	edges := make([]uint32, total)
+	parallel.For(n, 64, func(v int) {
+		i := offsets[v]
+		emit(uint32(v), func(u uint32, _ int32) {
+			edges[i] = u
+			i++
+		})
+	})
+	return &CSR{n: n, offsets: offsets, edges: edges, symmetric: symmetric}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,48 @@
+package graph
+
+// EdgeList is the edgelist format of the paper: parallel arrays of edge
+// endpoints and optional weights (struct-of-arrays keeps memory compact and
+// lets primitives operate on the columns directly).
+type EdgeList struct {
+	N int      // number of vertices
+	U []uint32 // source endpoints
+	V []uint32 // destination endpoints
+	W []int32  // weights; nil for unweighted lists
+}
+
+// Len returns the number of edges.
+func (e *EdgeList) Len() int { return len(e.U) }
+
+// Weighted reports whether the list carries weights.
+func (e *EdgeList) Weighted() bool { return e.W != nil }
+
+// Add appends the edge (u, v) with weight w (ignored for unweighted lists).
+func (e *EdgeList) Add(u, v uint32, w int32) {
+	e.U = append(e.U, u)
+	e.V = append(e.V, v)
+	if e.W != nil {
+		e.W = append(e.W, w)
+	}
+}
+
+// NewEdgeList returns an empty edge list over n vertices with capacity for m
+// edges; weighted selects whether it carries weights.
+func NewEdgeList(n, m int, weighted bool) *EdgeList {
+	e := &EdgeList{
+		N: n,
+		U: make([]uint32, 0, m),
+		V: make([]uint32, 0, m),
+	}
+	if weighted {
+		e.W = make([]int32, 0, m)
+	}
+	return e
+}
+
+// Weight returns the weight of edge i (1 for unweighted lists).
+func (e *EdgeList) Weight(i int) int32 {
+	if e.W == nil {
+		return 1
+	}
+	return e.W[i]
+}

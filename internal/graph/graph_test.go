@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func smallDirected() *CSR {
+	// 0->1, 0->2, 1->2, 2->0, 3 isolated
+	el := &EdgeList{N: 4, U: []uint32{0, 0, 1, 2}, V: []uint32{1, 2, 2, 0}}
+	return FromEdgeList(4, el, BuildOptions{})
+}
+
+func TestFromEdgeListDirected(t *testing.T) {
+	g := smallDirected()
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Symmetric() {
+		t.Fatal("directed graph marked symmetric")
+	}
+	if !slices.Equal(g.OutNghSlice(0), []uint32{1, 2}) {
+		t.Fatalf("out(0) = %v", g.OutNghSlice(0))
+	}
+	if !slices.Equal(g.InNghSlice(2), []uint32{0, 1}) {
+		t.Fatalf("in(2) = %v", g.InNghSlice(2))
+	}
+	if g.OutDeg(3) != 0 || g.InDeg(3) != 0 {
+		t.Fatal("isolated vertex has edges")
+	}
+	if g.InDeg(0) != 1 || g.OutDeg(2) != 1 {
+		t.Fatalf("degree mismatch in(0)=%d out(2)=%d", g.InDeg(0), g.OutDeg(2))
+	}
+}
+
+func TestFromEdgeListSymmetrize(t *testing.T) {
+	el := &EdgeList{N: 3, U: []uint32{0, 1}, V: []uint32{1, 2}}
+	g := FromEdgeList(3, el, BuildOptions{Symmetrize: true})
+	if !g.Symmetric() || g.M() != 4 {
+		t.Fatalf("symmetric=%v M=%d", g.Symmetric(), g.M())
+	}
+	if !slices.Equal(g.OutNghSlice(1), []uint32{0, 2}) {
+		t.Fatalf("out(1) = %v", g.OutNghSlice(1))
+	}
+	if !slices.Equal(g.InNghSlice(1), []uint32{0, 2}) {
+		t.Fatalf("in(1) = %v", g.InNghSlice(1))
+	}
+}
+
+func TestFromEdgeListDedupAndSelfLoops(t *testing.T) {
+	el := &EdgeList{
+		N: 3,
+		U: []uint32{0, 0, 0, 1, 1},
+		V: []uint32{1, 1, 0, 2, 2},
+	}
+	g := FromEdgeList(3, el, BuildOptions{})
+	if g.M() != 2 {
+		t.Fatalf("M=%d want 2 (dedup + self-loop removal)", g.M())
+	}
+	g2 := FromEdgeList(3, el, BuildOptions{KeepDuplicates: true, KeepSelfLoops: true})
+	if g2.M() != 5 {
+		t.Fatalf("M=%d want 5 with keeps", g2.M())
+	}
+}
+
+func TestWeightedDedupKeepsMinWeight(t *testing.T) {
+	el := &EdgeList{
+		N: 2,
+		U: []uint32{0, 0, 0},
+		V: []uint32{1, 1, 1},
+		W: []int32{7, 3, 5},
+	}
+	g := FromEdgeList(2, el, BuildOptions{})
+	if g.M() != 1 {
+		t.Fatalf("M=%d", g.M())
+	}
+	var got int32
+	g.OutNgh(0, func(u uint32, w int32) bool { got = w; return true })
+	if got != 3 {
+		t.Fatalf("weight = %d want min 3", got)
+	}
+}
+
+func TestOutNghEarlyExit(t *testing.T) {
+	g := smallDirected()
+	count := 0
+	g.OutNgh(0, func(u uint32, w int32) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early exit visited %d", count)
+	}
+}
+
+func TestOutRange(t *testing.T) {
+	el := &EdgeList{N: 5, U: []uint32{0, 0, 0, 0}, V: []uint32{1, 2, 3, 4}}
+	g := FromEdgeList(5, el, BuildOptions{})
+	var got []uint32
+	g.OutRange(0, 1, 3, func(u uint32, w int32) bool {
+		got = append(got, u)
+		return true
+	})
+	if !slices.Equal(got, []uint32{2, 3}) {
+		t.Fatalf("OutRange = %v", got)
+	}
+}
+
+func TestTransposed(t *testing.T) {
+	g := smallDirected()
+	tr := g.Transposed()
+	if !slices.Equal(tr.OutNghSlice(2), g.InNghSlice(2)) {
+		t.Fatal("transpose out != original in")
+	}
+	if !slices.Equal(tr.InNghSlice(0), g.OutNghSlice(0)) {
+		t.Fatal("transpose in != original out")
+	}
+	// Symmetric graphs transpose to themselves.
+	el := &EdgeList{N: 2, U: []uint32{0}, V: []uint32{1}}
+	sg := FromEdgeList(2, el, BuildOptions{Symmetrize: true})
+	if sg.Transposed() != sg {
+		t.Fatal("symmetric transpose should be identity")
+	}
+}
+
+func TestWeightsRideAlong(t *testing.T) {
+	el := &EdgeList{
+		N: 3,
+		U: []uint32{0, 0, 1},
+		V: []uint32{2, 1, 2},
+		W: []int32{20, 10, 30},
+	}
+	g := FromEdgeList(3, el, BuildOptions{})
+	if !g.Weighted() {
+		t.Fatal("not weighted")
+	}
+	// Adjacency is sorted by target, so out(0) = [1(10), 2(20)].
+	ws := g.OutWeightSlice(0)
+	if !slices.Equal(g.OutNghSlice(0), []uint32{1, 2}) || !slices.Equal(ws, []int32{10, 20}) {
+		t.Fatalf("out(0) = %v weights %v", g.OutNghSlice(0), ws)
+	}
+	// In-weights must match: in(2) = {0(20), 1(30)}.
+	var inW []int32
+	g.InNgh(2, func(u uint32, w int32) bool { inW = append(inW, w); return true })
+	if !slices.Equal(g.InNghSlice(2), []uint32{0, 1}) || !slices.Equal(inW, []int32{20, 30}) {
+		t.Fatalf("in(2) = %v weights %v", g.InNghSlice(2), inW)
+	}
+}
+
+func TestMaxDegreeAndDegrees(t *testing.T) {
+	el := &EdgeList{N: 4, U: []uint32{0, 0, 0, 1}, V: []uint32{1, 2, 3, 2}}
+	g := FromEdgeList(4, el, BuildOptions{})
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+	d := g.Degrees()
+	if !slices.Equal(d, []int64{3, 1, 0, 0}) {
+		t.Fatalf("Degrees = %v", d)
+	}
+}
+
+func TestFromAdjacency(t *testing.T) {
+	// Rebuild the small directed graph through FromAdjacency.
+	g := smallDirected()
+	h := FromAdjacency(g.N(), false, func(v uint32) int { return g.OutDeg(v) },
+		func(v uint32, add func(u uint32, w int32)) {
+			g.OutNgh(v, func(u uint32, w int32) bool { add(u, w); return true })
+		})
+	if h.M() != g.M() {
+		t.Fatalf("M mismatch %d vs %d", h.M(), g.M())
+	}
+	for v := uint32(0); int(v) < g.N(); v++ {
+		if !slices.Equal(h.OutNghSlice(v), g.OutNghSlice(v)) {
+			t.Fatalf("adjacency mismatch at %d", v)
+		}
+	}
+}
+
+// Property: for any random edge list, in-degree sum equals out-degree sum
+// equals M, and every stored edge's reverse is findable via InNgh.
+func TestBuildDegreesProperty(t *testing.T) {
+	err := quick.Check(func(raw []uint16) bool {
+		n := 64
+		el := &EdgeList{N: n}
+		for i := 0; i+1 < len(raw); i += 2 {
+			el.U = append(el.U, uint32(raw[i])%uint32(n))
+			el.V = append(el.V, uint32(raw[i+1])%uint32(n))
+		}
+		g := FromEdgeList(n, el, BuildOptions{})
+		outSum, inSum := 0, 0
+		for v := uint32(0); int(v) < n; v++ {
+			outSum += g.OutDeg(v)
+			inSum += g.InDeg(v)
+		}
+		if outSum != g.M() || inSum != g.M() {
+			return false
+		}
+		// Every out-edge (v,u) appears as in-edge (u,v).
+		ok := true
+		for v := uint32(0); int(v) < n; v++ {
+			for _, u := range g.OutNghSlice(v) {
+				found := false
+				g.InNgh(u, func(x uint32, _ int32) bool {
+					if x == v {
+						found = true
+						return false
+					}
+					return true
+				})
+				if !found {
+					ok = false
+				}
+			}
+		}
+		return ok
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	el := &EdgeList{N: 8, U: []uint32{3, 3, 3, 3}, V: []uint32{7, 1, 5, 0}}
+	g := FromEdgeList(8, el, BuildOptions{})
+	if !slices.IsSorted(g.OutNghSlice(3)) {
+		t.Fatalf("adjacency not sorted: %v", g.OutNghSlice(3))
+	}
+}
+
+func TestEdgeListHelpers(t *testing.T) {
+	el := NewEdgeList(10, 4, true)
+	el.Add(0, 1, 5)
+	el.Add(1, 2, 6)
+	if el.Len() != 2 || !el.Weighted() || el.Weight(1) != 6 {
+		t.Fatalf("edge list helpers broken: %+v", el)
+	}
+	un := NewEdgeList(10, 1, false)
+	un.Add(0, 1, 99)
+	if un.Weight(0) != 1 {
+		t.Fatal("unweighted Weight should be 1")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := FromEdgeList(5, &EdgeList{N: 5}, BuildOptions{})
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("empty graph N=%d M=%d", g.N(), g.M())
+	}
+	for v := uint32(0); v < 5; v++ {
+		if g.OutDeg(v) != 0 {
+			t.Fatal("phantom edges")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter errors after accepting limit bytes, injecting mid-stream write
+// failures.
+type failWriter struct {
+	limit int
+	n     int
+}
+
+var errDisk = errors.New("disk full")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n+len(p) > f.limit {
+		can := f.limit - f.n
+		if can < 0 {
+			can = 0
+		}
+		f.n += can
+		return can, errDisk
+	}
+	f.n += len(p)
+	return len(p), nil
+}
+
+func testGraphForIO() *CSR {
+	el := &EdgeList{N: 100, U: make([]uint32, 0, 200), V: make([]uint32, 0, 200), W: make([]int32, 0, 200)}
+	for i := 0; i < 99; i++ {
+		el.Add(uint32(i), uint32(i+1), int32(i%7+1))
+	}
+	return FromEdgeList(100, el, BuildOptions{Symmetrize: true})
+}
+
+func TestWriteAdjacencyPropagatesWriteErrors(t *testing.T) {
+	g := testGraphForIO()
+	for _, limit := range []int{0, 5, 50, 500} {
+		if err := WriteAdjacency(&failWriter{limit: limit}, g); !errors.Is(err, errDisk) {
+			t.Fatalf("limit %d: error %v, want disk error", limit, err)
+		}
+	}
+}
+
+func TestWriteBinaryPropagatesWriteErrors(t *testing.T) {
+	g := testGraphForIO()
+	for _, limit := range []int{0, 7, 100, 1000} {
+		if err := WriteBinary(&failWriter{limit: limit}, g); !errors.Is(err, errDisk) {
+			t.Fatalf("limit %d: error %v, want disk error", limit, err)
+		}
+	}
+}
+
+func TestWriteSucceedsWithExactBudget(t *testing.T) {
+	g := testGraphForIO()
+	// Find the exact size, then verify a writer with exactly that budget
+	// succeeds (no off-by-one in the error paths).
+	probe := &failWriter{limit: 1 << 30}
+	if err := WriteBinary(probe, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&failWriter{limit: probe.n}, g); err != nil {
+		t.Fatalf("exact-budget write failed: %v", err)
+	}
+	if err := WriteBinary(&failWriter{limit: probe.n - 1}, g); !errors.Is(err, errDisk) {
+		t.Fatal("one-byte-short write did not error")
+	}
+}

@@ -1,0 +1,210 @@
+package ligra
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/atomics"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestVertexSubsetBasics(t *testing.T) {
+	s := Empty(10)
+	if s.Size() != 0 || !s.IsEmpty() {
+		t.Fatal("Empty not empty")
+	}
+	s = Single(10, 3)
+	if s.Size() != 1 || !s.Contains(3) || s.Contains(4) {
+		t.Fatal("Single broken")
+	}
+	s = FromSparse(10, []uint32{1, 5, 9})
+	d := s.Dense()
+	if !d[1] || !d[5] || !d[9] || d[0] {
+		t.Fatal("Dense conversion broken")
+	}
+	flags := make([]bool, 10)
+	flags[2], flags[7] = true, true
+	s = FromDense(flags, -1)
+	if s.Size() != 2 {
+		t.Fatalf("FromDense recount = %d", s.Size())
+	}
+	sp := s.Sparse()
+	slices.Sort(sp)
+	if !slices.Equal(sp, []uint32{2, 7}) {
+		t.Fatalf("Sparse conversion = %v", sp)
+	}
+	all := All(5)
+	if all.Size() != 5 || !all.Contains(4) {
+		t.Fatal("All broken")
+	}
+}
+
+func TestVertexMapAndFilter(t *testing.T) {
+	s := All(100)
+	var count [100]uint32
+	VertexMap(s, func(v uint32) { atomics.FetchAndAdd32(&count[v], 1) })
+	for v, c := range count {
+		if c != 1 {
+			t.Fatalf("vertex %d mapped %d times", v, c)
+		}
+	}
+	f := VertexFilter(s, func(v uint32) bool { return v%10 == 0 })
+	if f.Size() != 10 {
+		t.Fatalf("filter size = %d", f.Size())
+	}
+}
+
+// bfsLevels runs a BFS using EdgeMap under the given options and returns the
+// level of each vertex (^0 if unreachable). Used to cross-check all edgeMap
+// modes against each other.
+func bfsLevels(g graph.Graph, src uint32, opt Opts) []uint32 {
+	n := g.N()
+	const inf = ^uint32(0)
+	level := make([]uint32, n)
+	visited := make([]uint32, n)
+	for i := range level {
+		level[i] = inf
+	}
+	level[src] = 0
+	visited[src] = 1
+	frontier := Single(n, src)
+	round := uint32(0)
+	for frontier.Size() > 0 {
+		round++
+		r := round
+		frontier = EdgeMap(g, frontier,
+			func(s, d uint32, w int32) bool {
+				if atomics.TestAndSet(&visited[d]) {
+					level[d] = r
+					return true
+				}
+				return false
+			},
+			func(d uint32) bool { return atomics.Load32(&visited[d]) == 0 },
+			opt)
+	}
+	return level
+}
+
+func TestEdgeMapModesAgree(t *testing.T) {
+	graphs := map[string]graph.Graph{
+		"rmat":  gen.BuildRMAT(10, 8, true, false, 5),
+		"torus": gen.BuildTorus3D(7, false, 5),
+		"er":    gen.BuildErdosRenyi(2000, 8000, true, false, 5),
+	}
+	for name, g := range graphs {
+		base := bfsLevels(g, 0, Opts{NoDense: true, NoBlocked: true}) // flat sparse only
+		blocked := bfsLevels(g, 0, Opts{NoDense: true})               // blocked sparse only
+		auto := bfsLevels(g, 0, Opts{})                               // direction-optimized
+		denseish := bfsLevels(g, 0, Opts{DenseThreshold: 1000000})    // dense-eager
+		for v := range base {
+			if blocked[v] != base[v] {
+				t.Fatalf("%s: blocked level[%d] = %d want %d", name, v, blocked[v], base[v])
+			}
+			if auto[v] != base[v] {
+				t.Fatalf("%s: auto level[%d] = %d want %d", name, v, auto[v], base[v])
+			}
+			if denseish[v] != base[v] {
+				t.Fatalf("%s: dense level[%d] = %d want %d", name, v, denseish[v], base[v])
+			}
+		}
+	}
+}
+
+func TestEdgeMapDirectedUsesInEdgesForDense(t *testing.T) {
+	// Directed path 0->1->2->3; dense pull must still follow out-direction
+	// semantics via in-edges.
+	el := &graph.EdgeList{N: 4, U: []uint32{0, 1, 2}, V: []uint32{1, 2, 3}}
+	g := graph.FromEdgeList(4, el, graph.BuildOptions{})
+	lv := bfsLevels(g, 0, Opts{DenseThreshold: 1 << 30})
+	want := []uint32{0, 1, 2, 3}
+	if !slices.Equal(lv, want) {
+		t.Fatalf("levels = %v", lv)
+	}
+}
+
+func TestEdgeMapEmptyFrontier(t *testing.T) {
+	g := gen.BuildTorus3D(3, false, 1)
+	out := EdgeMap(g, Empty(g.N()),
+		func(s, d uint32, w int32) bool { return true },
+		func(d uint32) bool { return true }, Opts{})
+	if out.Size() != 0 {
+		t.Fatal("empty frontier produced output")
+	}
+}
+
+func TestEdgeMapNoOutput(t *testing.T) {
+	g := gen.BuildTorus3D(3, false, 1)
+	touched := make([]uint32, g.N())
+	out := EdgeMap(g, Single(g.N(), 0),
+		func(s, d uint32, w int32) bool {
+			atomics.FetchAndAdd32(&touched[d], 1)
+			return true
+		},
+		func(d uint32) bool { return true },
+		Opts{NoOutput: true, NoDense: true})
+	if out.Size() != 0 {
+		t.Fatal("NoOutput returned a subset")
+	}
+	sum := uint32(0)
+	for _, c := range touched {
+		sum += c
+	}
+	if sum != 6 {
+		t.Fatalf("update applied %d times, want 6", sum)
+	}
+}
+
+func TestEdgeMapWeightsArriveAtUpdate(t *testing.T) {
+	el := &graph.EdgeList{N: 3, U: []uint32{0, 0}, V: []uint32{1, 2}, W: []int32{7, 9}}
+	g := graph.FromEdgeList(3, el, graph.BuildOptions{})
+	var w1, w2 int32
+	EdgeMap(g, Single(3, 0),
+		func(s, d uint32, w int32) bool {
+			if d == 1 {
+				w1 = w
+			} else {
+				w2 = w
+			}
+			return false
+		},
+		func(d uint32) bool { return true }, Opts{NoDense: true})
+	if w1 != 7 || w2 != 9 {
+		t.Fatalf("weights %d %d", w1, w2)
+	}
+}
+
+func TestEdgeMapCondSkips(t *testing.T) {
+	g := gen.BuildTorus3D(4, false, 1)
+	out := EdgeMap(g, Single(g.N(), 0),
+		func(s, d uint32, w int32) bool { return true },
+		func(d uint32) bool { return false }, Opts{})
+	if out.Size() != 0 {
+		t.Fatal("cond=false still produced output")
+	}
+}
+
+func TestEdgeMapBlockedHighDegreeSplit(t *testing.T) {
+	// A star with degree far above the block size exercises the multi-block
+	// single-vertex path of edgeMapBlocked.
+	n := 3 * emBlockSize
+	el := gen.Star(n)
+	g := graph.FromEdgeList(n, el, graph.BuildOptions{Symmetrize: true})
+	visited := make([]uint32, n)
+	visited[0] = 1
+	out := EdgeMap(g, Single(n, 0),
+		func(s, d uint32, w int32) bool { return atomics.TestAndSet(&visited[d]) },
+		func(d uint32) bool { return atomics.Load32(&visited[d]) == 0 },
+		Opts{NoDense: true})
+	if out.Size() != n-1 {
+		t.Fatalf("star edgeMap reached %d of %d", out.Size(), n-1)
+	}
+	got := slices.Clone(out.Sparse())
+	slices.Sort(got)
+	for i, v := range got {
+		if v != uint32(i+1) {
+			t.Fatalf("missing vertex %d", i+1)
+		}
+	}
+}

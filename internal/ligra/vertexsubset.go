@@ -1,0 +1,130 @@
+// Package ligra implements the Ligra abstractions the paper's algorithms are
+// written in (§3): vertexSubsets representing subsets of vertices with dual
+// sparse/dense representations, vertexMap/vertexFilter, and edgeMap with
+// Ligra's direction optimization plus the cache-friendly edgeMapBlocked
+// sparse traversal from the paper's §B (Algorithm 15).
+package ligra
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/prims"
+)
+
+// VertexSubset is a subset of the vertices [0, n). It is stored either
+// sparsely (an array of vertex IDs) or densely (a boolean per vertex);
+// conversions are performed lazily by the traversal routines.
+type VertexSubset struct {
+	n      int
+	sparse []uint32
+	dense  []bool
+	size   int
+}
+
+// Empty returns the empty subset over n vertices.
+func Empty(n int) VertexSubset {
+	return VertexSubset{n: n, sparse: []uint32{}}
+}
+
+// Single returns the subset {v} over n vertices.
+func Single(n int, v uint32) VertexSubset {
+	return VertexSubset{n: n, sparse: []uint32{v}, size: 1}
+}
+
+// FromSparse wraps a slice of distinct vertex IDs as a subset. The slice is
+// retained (not copied).
+func FromSparse(n int, ids []uint32) VertexSubset {
+	return VertexSubset{n: n, sparse: ids, size: len(ids)}
+}
+
+// FromDense wraps a dense boolean membership array as a subset. size < 0
+// recounts membership in parallel.
+func FromDense(flags []bool, size int) VertexSubset {
+	if size < 0 {
+		size = prims.Count(len(flags), func(i int) bool { return flags[i] })
+	}
+	return VertexSubset{n: len(flags), dense: flags, size: size}
+}
+
+// All returns the full subset over n vertices.
+func All(n int) VertexSubset {
+	ids := make([]uint32, n)
+	parallel.ForRange(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ids[i] = uint32(i)
+		}
+	})
+	return FromSparse(n, ids)
+}
+
+// N returns the size of the universe the subset draws from.
+func (s *VertexSubset) N() int { return s.n }
+
+// Size returns the number of member vertices.
+func (s *VertexSubset) Size() int { return s.size }
+
+// IsEmpty reports whether the subset has no members.
+func (s *VertexSubset) IsEmpty() bool { return s.size == 0 }
+
+// IsDense reports whether the subset currently holds a dense representation.
+func (s *VertexSubset) IsDense() bool { return s.dense != nil && s.sparse == nil }
+
+// Sparse returns the member IDs, converting from dense if needed (the result
+// is cached). The order is unspecified but deterministic.
+func (s *VertexSubset) Sparse() []uint32 {
+	if s.sparse == nil {
+		s.sparse = prims.PackIndex(s.n, func(i int) bool { return s.dense[i] })
+	}
+	return s.sparse
+}
+
+// Dense returns the membership flags, converting from sparse if needed (the
+// result is cached).
+func (s *VertexSubset) Dense() []bool {
+	if s.dense == nil {
+		s.dense = make([]bool, s.n)
+		ids := s.sparse
+		parallel.ForRange(len(ids), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s.dense[ids[i]] = true
+			}
+		})
+	}
+	return s.dense
+}
+
+// Contains reports membership of v.
+func (s *VertexSubset) Contains(v uint32) bool {
+	if s.dense != nil {
+		return s.dense[v]
+	}
+	for _, u := range s.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach applies f to every member in parallel.
+func (s *VertexSubset) ForEach(f func(v uint32)) {
+	ids := s.Sparse()
+	parallel.ForRange(len(ids), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(ids[i])
+		}
+	})
+}
+
+// VertexMap applies f to every member of s in parallel (the paper's
+// vertexMap).
+func VertexMap(s VertexSubset, f func(v uint32)) {
+	s.ForEach(f)
+}
+
+// VertexFilter returns the members of s satisfying pred (the paper's
+// vertexFilter).
+func VertexFilter(s VertexSubset, pred func(v uint32) bool) VertexSubset {
+	ids := s.Sparse()
+	out := prims.Filter(ids, pred)
+	return FromSparse(s.n, out)
+}

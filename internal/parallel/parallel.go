@@ -1,0 +1,178 @@
+// Package parallel provides the nested fork-join runtime used by every
+// parallel primitive and algorithm in this repository.
+//
+// The paper analyses algorithms in the MT-RAM (multi-threaded RAM) model and
+// implements them with Cilk Plus, whose work-stealing scheduler executes an
+// algorithm with W work and D depth in W/P + O(D) expected time on P
+// processors. Goroutines are too coarse to fork per element, so this package
+// schedules *blocks*: a parallel loop over n items is split into chunks of a
+// caller-controlled grain size, and a bounded set of worker goroutines claim
+// chunks with an atomic counter. This preserves the dynamic load balancing a
+// work-stealing scheduler provides for parallel loops while keeping
+// per-goroutine overhead off the critical path.
+//
+// Setting the worker count to 1 (SetWorkers(1)) makes every operation run
+// inline with zero scheduling overhead; this is how the single-thread columns
+// of the paper's Tables 2, 4 and 5 are measured.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers is the number of OS-thread-backed goroutines a parallel operation
+// may use. It defaults to runtime.NumCPU and is read atomically so benchmarks
+// can flip between 1-thread and P-thread configurations.
+var workers atomic.Int64
+
+func init() {
+	workers.Store(int64(runtime.NumCPU()))
+}
+
+// Workers reports the current worker count used by parallel operations.
+func Workers() int { return int(workers.Load()) }
+
+// SetWorkers sets the number of workers used by subsequent parallel
+// operations and returns the previous value. p < 1 is treated as 1.
+// It does not affect operations already in flight.
+func SetWorkers(p int) int {
+	if p < 1 {
+		p = 1
+	}
+	return int(workers.Swap(int64(p)))
+}
+
+// grainFor picks a default grain: enough blocks for dynamic load balancing
+// (8 per worker) without making blocks so small that scheduling dominates.
+// The floor matters for round-based algorithms (k-core peels ρ rounds, BFS
+// diam rounds): sub-512-element rounds run inline rather than paying
+// goroutine-spawn latency per round.
+func grainFor(n, p int) int {
+	g := n / (8 * p)
+	if g < 512 {
+		g = 512
+	}
+	return g
+}
+
+// ForRange runs body over the half-open range [0, n) split into chunks of at
+// most grain elements. body receives [lo, hi) sub-ranges and is called
+// concurrently from multiple goroutines; distinct calls never overlap.
+// grain <= 0 selects an automatic grain. ForRange returns when all chunks
+// have completed.
+func ForRange(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Workers()
+	if grain <= 0 {
+		grain = grainFor(n, p)
+	}
+	blocks := (n + grain - 1) / grain
+	if p == 1 || blocks == 1 {
+		body(0, n)
+		return
+	}
+	if p > blocks {
+		p = blocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				lo := b * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// For runs body(i) for each i in [0, n) in parallel. The per-element closure
+// call costs a few nanoseconds; hot loops should prefer ForRange and iterate
+// inside the block.
+func For(n, grain int, body func(i int)) {
+	ForRange(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Do runs f and g in parallel (binary fork-join) and returns when both have
+// completed. With one worker it runs them sequentially.
+func Do(f, g func()) {
+	if Workers() == 1 {
+		f()
+		g()
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g()
+	}()
+	f()
+	<-done
+}
+
+// DoN runs each of fs in parallel and returns when all have completed.
+func DoN(fs ...func()) {
+	if Workers() == 1 || len(fs) <= 1 {
+		for _, f := range fs {
+			f()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fs) - 1)
+	for _, f := range fs[1:] {
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	fs[0]()
+	wg.Wait()
+}
+
+// Blocks returns the block boundaries ForRange would use for n items with the
+// given grain: a slice of block start offsets plus the terminal n. It lets
+// two-pass algorithms (count then scatter) agree on the partition.
+func Blocks(n, grain int) []int {
+	if n <= 0 {
+		return []int{0}
+	}
+	if grain <= 0 {
+		grain = grainFor(n, Workers())
+	}
+	nb := (n + grain - 1) / grain
+	out := make([]int, nb+1)
+	for b := 0; b < nb; b++ {
+		out[b] = b * grain
+	}
+	out[nb] = n
+	return out
+}
+
+// ForBlocks runs body once per block of the partition returned by Blocks,
+// passing the block index and its [lo, hi) range.
+func ForBlocks(bounds []int, body func(b, lo, hi int)) {
+	nb := len(bounds) - 1
+	For(nb, 1, func(b int) {
+		body(b, bounds[b], bounds[b+1])
+	})
+}

@@ -1,0 +1,132 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRangeCoversAllIndicesOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1023, 1 << 16} {
+		for _, grain := range []int{0, 1, 3, 64, 100000} {
+			seen := make([]int32, n)
+			ForRange(n, grain, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("n=%d grain=%d: bad range [%d,%d)", n, grain, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d grain=%d: index %d covered %d times", n, grain, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	n := 10000
+	var sum atomic.Int64
+	For(n, 0, func(i int) { sum.Add(int64(i)) })
+	want := int64(n) * int64(n-1) / 2
+	if sum.Load() != want {
+		t.Fatalf("For sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForRangeSingleWorkerRunsInline(t *testing.T) {
+	old := SetWorkers(1)
+	defer SetWorkers(old)
+	// With one worker the body must run on the calling goroutine in order.
+	last := -1
+	ForRange(1000, 10, func(lo, hi int) {
+		if lo != last+1 {
+			t.Fatalf("out-of-order block start %d after %d", lo, last)
+		}
+		last = hi - 1
+	})
+	if last != 999 {
+		t.Fatalf("last = %d", last)
+	}
+}
+
+func TestSetWorkersClampsToOne(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	SetWorkers(-5)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(-5)", Workers())
+	}
+}
+
+func TestDoRunsBoth(t *testing.T) {
+	var a, b atomic.Bool
+	Do(func() { a.Store(true) }, func() { b.Store(true) })
+	if !a.Load() || !b.Load() {
+		t.Fatal("Do did not run both functions")
+	}
+}
+
+func TestDoNRunsAll(t *testing.T) {
+	var count atomic.Int32
+	fs := make([]func(), 17)
+	for i := range fs {
+		fs[i] = func() { count.Add(1) }
+	}
+	DoN(fs...)
+	if count.Load() != 17 {
+		t.Fatalf("DoN ran %d of 17", count.Load())
+	}
+	DoN() // no-op must not hang
+	DoN(func() { count.Add(1) })
+	if count.Load() != 18 {
+		t.Fatalf("DoN single = %d", count.Load())
+	}
+}
+
+func TestBlocksPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 4097} {
+		for _, grain := range []int{0, 1, 7, 4096} {
+			b := Blocks(n, grain)
+			if b[0] != 0 || b[len(b)-1] != n {
+				t.Fatalf("Blocks(%d,%d) endpoints: %v", n, grain, b)
+			}
+			for i := 1; i < len(b); i++ {
+				if b[i] <= b[i-1] && n > 0 {
+					t.Fatalf("Blocks(%d,%d) non-increasing: %v", n, grain, b)
+				}
+			}
+		}
+	}
+}
+
+func TestNestedParallelism(t *testing.T) {
+	// A parallel loop spawning parallel loops must not deadlock and must
+	// cover the full 2-D space.
+	n, m := 64, 64
+	seen := make([]int32, n*m)
+	For(n, 1, func(i int) {
+		For(m, 8, func(j int) {
+			atomic.AddInt32(&seen[i*m+j], 1)
+		})
+	})
+	for idx, c := range seen {
+		if c != 1 {
+			t.Fatalf("cell %d covered %d times", idx, c)
+		}
+	}
+}
+
+func BenchmarkForRangeOverhead(b *testing.B) {
+	x := make([]int64, 1<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForRange(len(x), 0, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				x[j]++
+			}
+		})
+	}
+}

@@ -1,0 +1,469 @@
+package prims
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parallel"
+)
+
+func TestScanMatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 1000, 1 << 15} {
+		a := make([]int64, n)
+		for i := range a {
+			a[i] = int64(i%7 - 3)
+		}
+		out := make([]int64, n)
+		total := Scan(a, out)
+		var s int64
+		for i := 0; i < n; i++ {
+			if out[i] != s {
+				t.Fatalf("n=%d: out[%d]=%d want %d", n, i, out[i], s)
+			}
+			s += a[i]
+		}
+		if total != s {
+			t.Fatalf("n=%d: total=%d want %d", n, total, s)
+		}
+	}
+}
+
+func TestScanInPlace(t *testing.T) {
+	a := []int{5, 3, 1, 2}
+	total := ScanInPlace(a)
+	want := []int{0, 5, 8, 9}
+	if total != 11 || !slices.Equal(a, want) {
+		t.Fatalf("got %v total %d", a, total)
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	a := []uint32{1, 2, 3, 4}
+	out := make([]uint32, 4)
+	total := ScanInclusive(a, out)
+	if total != 10 || !slices.Equal(out, []uint32{1, 3, 6, 10}) {
+		t.Fatalf("got %v total %d", out, total)
+	}
+}
+
+func TestScanQuickProperty(t *testing.T) {
+	err := quick.Check(func(a []int32) bool {
+		in := make([]int64, len(a))
+		for i, v := range a {
+			in[i] = int64(v)
+		}
+		out := make([]int64, len(in))
+		total := Scan(in, out)
+		var s int64
+		for i := range in {
+			if out[i] != s {
+				return false
+			}
+			s += in[i]
+		}
+		return total == s
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAndSum(t *testing.T) {
+	a := make([]int, 100000)
+	for i := range a {
+		a[i] = i
+	}
+	if got := Sum(a); got != 100000*99999/2 {
+		t.Fatalf("Sum = %d", got)
+	}
+	if got := Max(a); got != 99999 {
+		t.Fatalf("Max = %d", got)
+	}
+	if got := Min(a); got != 0 {
+		t.Fatalf("Min = %d", got)
+	}
+	if got := Reduce([]int{}, -1, func(x, y int) int { return x + y }); got != -1 {
+		t.Fatalf("Reduce empty = %d", got)
+	}
+}
+
+func TestMapReduceAndCount(t *testing.T) {
+	n := 12345
+	got := MapReduce(n, 0, func(i int) int { return i * 2 }, func(x, y int) int { return x + y })
+	if got != n*(n-1) {
+		t.Fatalf("MapReduce = %d want %d", got, n*(n-1))
+	}
+	c := Count(n, func(i int) bool { return i%3 == 0 })
+	want := (n + 2) / 3
+	if c != want {
+		t.Fatalf("Count = %d want %d", c, want)
+	}
+}
+
+func TestFilterMatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 13, 100000} {
+		a := make([]uint32, n)
+		for i := range a {
+			a[i] = uint32(i * 7 % 256)
+		}
+		pred := func(v uint32) bool { return v%2 == 0 }
+		got := Filter(a, pred)
+		var want []uint32
+		for _, v := range a {
+			if pred(v) {
+				want = append(want, v)
+			}
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d: Filter mismatch (%d vs %d elements)", n, len(got), len(want))
+		}
+	}
+}
+
+func TestFilterInto(t *testing.T) {
+	a := []int{1, 2, 3, 4, 5, 6}
+	out := make([]int, 6)
+	k := FilterInto(a, out, func(v int) bool { return v > 3 })
+	if k != 3 || !slices.Equal(out[:k], []int{4, 5, 6}) {
+		t.Fatalf("FilterInto got %v k=%d", out[:k], k)
+	}
+}
+
+func TestPackIndex(t *testing.T) {
+	got := PackIndex(10, func(i int) bool { return i%3 == 0 })
+	if !slices.Equal(got, []uint32{0, 3, 6, 9}) {
+		t.Fatalf("PackIndex = %v", got)
+	}
+	if PackIndex(0, func(int) bool { return true }) != nil {
+		t.Fatal("PackIndex(0) should be nil")
+	}
+}
+
+func TestMapFilter(t *testing.T) {
+	got := MapFilter(6, func(i int) bool { return i%2 == 1 }, func(i int) int { return i * i })
+	if !slices.Equal(got, []int{1, 9, 25}) {
+		t.Fatalf("MapFilter = %v", got)
+	}
+}
+
+func TestRadixSortU64FullWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 100, 5000, 100000} {
+		a := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		want := slices.Clone(a)
+		slices.Sort(want)
+		RadixSortU64(a, 64)
+		if !slices.Equal(a, want) {
+			t.Fatalf("n=%d: radix sort mismatch", n)
+		}
+	}
+}
+
+func TestRadixSortU64PartialBitsIsStable(t *testing.T) {
+	// Sorting by the low 8 bits must keep equal-low-byte elements in input
+	// order; encode original index in the high bits to verify.
+	n := 10000
+	a := make([]uint64, n)
+	rng := rand.New(rand.NewSource(2))
+	for i := range a {
+		a[i] = uint64(i)<<8 | uint64(rng.Intn(16))
+	}
+	RadixSortU64(a, 8)
+	for i := 1; i < n; i++ {
+		lo0, lo1 := a[i-1]&0xff, a[i]&0xff
+		if lo0 > lo1 {
+			t.Fatalf("not sorted by low bits at %d", i)
+		}
+		if lo0 == lo1 && a[i-1]>>8 > a[i]>>8 {
+			t.Fatalf("not stable at %d", i)
+		}
+	}
+}
+
+func TestRadixSortU32(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := make([]uint32, 30000)
+	for i := range a {
+		a[i] = rng.Uint32()
+	}
+	want := slices.Clone(a)
+	slices.Sort(want)
+	RadixSortU32(a, 32)
+	if !slices.Equal(a, want) {
+		t.Fatal("RadixSortU32 mismatch")
+	}
+}
+
+func TestRadixSortPairsCarriesPayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 50000
+	keys := make([]uint64, n)
+	vals := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(1000))
+		vals[i] = uint32(i)
+	}
+	orig := slices.Clone(keys)
+	RadixSortPairs(keys, vals, BitsFor(1000))
+	if !IsSortedU64(keys) {
+		t.Fatal("keys not sorted")
+	}
+	for i := range keys {
+		if orig[vals[i]] != keys[i] {
+			t.Fatalf("payload broken at %d", i)
+		}
+	}
+	// Stability: equal keys keep increasing payload order.
+	for i := 1; i < n; i++ {
+		if keys[i-1] == keys[i] && vals[i-1] >= vals[i] {
+			t.Fatalf("unstable at %d", i)
+		}
+	}
+}
+
+func TestRadixSortQuickProperty(t *testing.T) {
+	err := quick.Check(func(a []uint64) bool {
+		want := slices.Clone(a)
+		slices.Sort(want)
+		got := slices.Clone(a)
+		RadixSortU64(got, 64)
+		return slices.Equal(got, want)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPermutationIsPermutation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 1000, 1 << 16} {
+		p := RandomPermutation(n, 42)
+		if len(p) != n {
+			t.Fatalf("len = %d want %d", len(p), n)
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if int(v) >= n || seen[v] {
+				t.Fatalf("n=%d: not a permutation", n)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandomPermutationVariesWithSeed(t *testing.T) {
+	a := RandomPermutation(1000, 1)
+	b := RandomPermutation(1000, 2)
+	if slices.Equal(a, b) {
+		t.Fatal("different seeds gave identical permutations")
+	}
+	c := RandomPermutation(1000, 1)
+	if !slices.Equal(a, c) {
+		t.Fatal("same seed gave different permutations")
+	}
+}
+
+func TestInversePermutation(t *testing.T) {
+	p := RandomPermutation(5000, 7)
+	inv := InversePermutation(p)
+	for i, v := range p {
+		if inv[v] != uint32(i) {
+			t.Fatalf("inverse broken at %d", i)
+		}
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	cases := []struct {
+		a, b []uint32
+		want int
+	}{
+		{nil, nil, 0},
+		{[]uint32{1, 2, 3}, nil, 0},
+		{[]uint32{1, 2, 3}, []uint32{2, 3, 4}, 2},
+		{[]uint32{1, 5, 9}, []uint32{2, 6, 10}, 0},
+		{[]uint32{1, 2, 3}, []uint32{1, 2, 3}, 3},
+	}
+	for i, c := range cases {
+		if got := IntersectCount(c.a, c.b); got != c.want {
+			t.Fatalf("case %d: got %d want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestIntersectCountGalloping(t *testing.T) {
+	// Force the galloping path with very skewed sizes.
+	big := make([]uint32, 100000)
+	for i := range big {
+		big[i] = uint32(i * 2)
+	}
+	small := []uint32{0, 2, 5, 100, 99999, 199998}
+	want := 0
+	for _, v := range small {
+		if v%2 == 0 && int(v) <= 199998 {
+			want++
+		}
+	}
+	if got := IntersectCount(small, big); got != want {
+		t.Fatalf("gallop got %d want %d", got, want)
+	}
+}
+
+func TestIntersectQuickProperty(t *testing.T) {
+	err := quick.Check(func(xs, ys []uint16) bool {
+		a := dedupSorted(xs)
+		b := dedupSorted(ys)
+		want := 0
+		set := map[uint32]bool{}
+		for _, v := range a {
+			set[v] = true
+		}
+		for _, v := range b {
+			if set[v] {
+				want++
+			}
+		}
+		return IntersectCount(a, b) == want
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dedupSorted(xs []uint16) []uint32 {
+	out := make([]uint32, 0, len(xs))
+	for _, v := range xs {
+		out = append(out, uint32(v))
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+func TestSearchSorted(t *testing.T) {
+	a := []uint32{2, 4, 4, 8}
+	for _, c := range []struct{ v, want uint32 }{{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 3}, {9, 4}} {
+		if got := SearchSorted(a, c.v); got != int(c.want) {
+			t.Fatalf("SearchSorted(%d) = %d want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 100, 100000} {
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = uint32(rng.Intn(500))
+		}
+		ids, counts := Histogram(keys, BitsFor(500))
+		want := map[uint32]uint32{}
+		for _, k := range keys {
+			want[k]++
+		}
+		if len(ids) != len(want) {
+			t.Fatalf("n=%d: %d distinct keys, want %d", n, len(ids), len(want))
+		}
+		for i, id := range ids {
+			if counts[i] != want[id] {
+				t.Fatalf("n=%d: key %d count %d want %d", n, id, counts[i], want[id])
+			}
+			if i > 0 && ids[i-1] >= id {
+				t.Fatalf("ids not sorted at %d", i)
+			}
+		}
+	}
+}
+
+func TestHistogramAtomicMatchesHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	keys := make([]uint32, 50000)
+	for i := range keys {
+		keys[i] = uint32(rng.Intn(64)) // few bins: heavy contention path
+	}
+	dense := make([]uint32, 64)
+	HistogramAtomic(keys, dense)
+	ids, counts := Histogram(keys, 6)
+	for i, id := range ids {
+		if dense[id] != counts[i] {
+			t.Fatalf("bin %d: atomic %d vs sorted %d", id, dense[id], counts[i])
+		}
+	}
+}
+
+func TestHistogramApply(t *testing.T) {
+	keys := []uint32{3, 3, 3, 1, 2, 2}
+	got := map[uint32]uint32{}
+	HistogramApply(keys, 2, func(k, c uint32) { got[k] = c })
+	if got[3] != 3 || got[2] != 2 || got[1] != 1 || len(got) != 3 {
+		t.Fatalf("HistogramApply = %v", got)
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	keys := []uint32{5, 1, 5, 1, 5}
+	vals := []uint32{10, 1, 20, 2, 30}
+	ids, sums := HistogramSum(keys, vals, 3)
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 5 || sums[0] != 3 || sums[1] != 60 {
+		t.Fatalf("HistogramSum ids=%v sums=%v", ids, sums)
+	}
+}
+
+func TestApproxThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 100000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 1000000
+	}
+	sorted := slices.Clone(keys)
+	slices.Sort(sorted)
+	for _, k := range []int{1, 100, n / 2, n - 1, n, 2 * n} {
+		pivot := ApproxThreshold(keys, k, 11)
+		cnt := 0
+		for _, v := range keys {
+			if v <= pivot {
+				cnt++
+			}
+		}
+		wantAtLeast := k
+		if wantAtLeast > n {
+			wantAtLeast = n
+		}
+		if cnt < wantAtLeast {
+			t.Fatalf("k=%d: pivot selects %d < %d", k, cnt, wantAtLeast)
+		}
+		// Must not wildly overshoot: the sampling slack is ~s/64 of the
+		// input plus sampling noise, so allow 4k + n/32 + constant.
+		if k < n && cnt > 4*k+n/32+1000 {
+			t.Fatalf("k=%d: pivot selects %d, far more than requested", k, cnt)
+		}
+	}
+}
+
+func TestPrimsUnderSingleWorker(t *testing.T) {
+	old := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(old)
+	a := make([]int, 10000)
+	for i := range a {
+		a[i] = 1
+	}
+	if Sum(a) != 10000 {
+		t.Fatal("Sum wrong with 1 worker")
+	}
+	out := make([]int, len(a))
+	if Scan(a, out) != 10000 || out[9999] != 9999 {
+		t.Fatal("Scan wrong with 1 worker")
+	}
+	p := RandomPermutation(1000, 3)
+	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	for i, v := range p {
+		if v != uint32(i) {
+			t.Fatal("permutation wrong with 1 worker")
+		}
+	}
+}

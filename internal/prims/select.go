@@ -1,0 +1,49 @@
+package prims
+
+import (
+	"slices"
+
+	"repro/internal/xrand"
+)
+
+// ApproxThreshold solves the paper's "approximate k'th smallest" problem used
+// by the MSF and maximal-matching filtering steps: it returns a pivot value
+// such that at least min(k, n) keys are <= pivot, while keeping the number of
+// selected keys close to k in expectation. It samples, sorts the sample, and
+// verifies the count, nudging the quantile upward on undershoot — O(n) work
+// per verification pass and a constant number of passes with high
+// probability.
+func ApproxThreshold(keys []uint64, k int, seed uint64) uint64 {
+	n := len(keys)
+	if n == 0 {
+		return 0
+	}
+	if k >= n {
+		return Max(keys)
+	}
+	if k < 1 {
+		k = 1
+	}
+	s := 2048
+	if s > n {
+		s = n
+	}
+	sample := make([]uint64, s)
+	for i := 0; i < s; i++ {
+		sample[i] = keys[xrand.Uniform(seed, uint64(i), uint64(n))]
+	}
+	slices.Sort(sample)
+	// Target quantile with slack so the first guess usually overshoots k.
+	idx := int(float64(s)*float64(k)/float64(n)) + s/64 + 2
+	for {
+		if idx >= s {
+			return Max(keys)
+		}
+		pivot := sample[idx]
+		cnt := Count(n, func(i int) bool { return keys[i] <= pivot })
+		if cnt >= k {
+			return pivot
+		}
+		idx += s / 8
+	}
+}

@@ -1,0 +1,140 @@
+// Package stats computes the per-graph statistics the paper reports in
+// Table 3 (sizes, effective diameters, peeling complexity ρ, degeneracy
+// k_max) and Tables 8-13 (component counts and sizes, triangles, colors
+// used, MIS / maximal matching / set cover sizes). The statistics double as
+// end-to-end checks: they are produced by running the benchmark's own
+// algorithms.
+package stats
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Graph bundles the statistics of one input graph.
+type Graph struct {
+	Name              string
+	N                 int
+	M                 int // directed edge count, as the paper reports
+	EffectiveDiameter int // max BFS level observed from sampled sources (lower bound)
+	NumCC             int
+	LargestCC         int
+	NumBCC            int
+	NumSCC            int // directed graphs only (0 otherwise)
+	LargestSCC        int
+	Triangles         int64
+	ColorsLLF         int
+	ColorsLF          int
+	MISSize           int
+	MatchingSize      int
+	SetCoverSize      int
+	KMax              int
+	Rho               int
+}
+
+// Options tunes which statistics are computed.
+type Options struct {
+	// DiameterSamples is the number of BFS sources used to estimate the
+	// effective diameter; 0 selects 4.
+	DiameterSamples int
+	// SkipTriangles skips the O(m^{3/2}) triangle count.
+	SkipTriangles bool
+	// Seed feeds the randomized algorithms.
+	Seed uint64
+}
+
+// ComputeSym computes the undirected-graph statistics of a symmetric graph.
+func ComputeSym(name string, g graph.Graph, opt Options) Graph {
+	if opt.DiameterSamples == 0 {
+		opt.DiameterSamples = 4
+	}
+	s := Graph{Name: name, N: g.N(), M: g.M()}
+	s.EffectiveDiameter = EffectiveDiameter(g, opt.DiameterSamples, opt.Seed)
+	cc := core.Connectivity(g, 0.2, opt.Seed)
+	s.NumCC, s.LargestCC = core.ComponentCount(cc)
+	bicc := core.Biconnectivity(g, 0.2, opt.Seed)
+	s.NumBCC = core.NumBiccLabels(g, bicc)
+	if !opt.SkipTriangles {
+		s.Triangles = core.TriangleCount(g)
+	}
+	s.ColorsLLF = core.NumColors(core.Coloring(g, opt.Seed))
+	s.ColorsLF = core.NumColors(core.ColoringLF(g, opt.Seed))
+	mis := core.MIS(g, opt.Seed)
+	for _, in := range mis {
+		if in {
+			s.MISSize++
+		}
+	}
+	s.MatchingSize = len(core.MaximalMatching(g, opt.Seed))
+	s.SetCoverSize = len(core.ApproxSetCover(g, 0.01, opt.Seed))
+	coreness, rho := core.KCore(g, opt.Seed)
+	s.KMax = core.Degeneracy(coreness)
+	s.Rho = rho
+	return s
+}
+
+// ComputeDir computes the directed-graph statistics (SCCs, directed
+// effective diameter).
+func ComputeDir(name string, g graph.Graph, opt Options) Graph {
+	if opt.DiameterSamples == 0 {
+		opt.DiameterSamples = 4
+	}
+	s := Graph{Name: name, N: g.N(), M: g.M()}
+	s.EffectiveDiameter = EffectiveDiameter(g, opt.DiameterSamples, opt.Seed)
+	labels := core.SCC(g, opt.Seed, core.SCCOpts{})
+	s.NumSCC, s.LargestSCC = core.NumSCCs(labels)
+	return s
+}
+
+// EffectiveDiameter returns the maximum BFS level observed from `samples`
+// pseudo-random sources (plus vertex 0), the paper's lower-bound estimate
+// for graphs whose exact diameter is impractical to compute.
+func EffectiveDiameter(g graph.Graph, samples int, seed uint64) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	max := 0
+	for i := 0; i <= samples; i++ {
+		src := uint32(0)
+		if i > 0 {
+			src = uint32(xrand.Uniform(seed, uint64(i), uint64(n)))
+		}
+		dist := core.BFS(g, src)
+		for _, d := range dist {
+			if d != core.Inf && int(d) > max {
+				max = int(d)
+			}
+		}
+	}
+	return max
+}
+
+// WriteTable writes statistics rows in the layout of the paper's Tables
+// 8-13.
+func WriteTable(w io.Writer, s Graph, directed bool) {
+	fmt.Fprintf(w, "Statistics for the %s graph\n", s.Name)
+	fmt.Fprintf(w, "  Num. Vertices                     %d\n", s.N)
+	fmt.Fprintf(w, "  Num. Edges (directed count)       %d\n", s.M)
+	fmt.Fprintf(w, "  Effective Diameter (sampled)      %d\n", s.EffectiveDiameter)
+	if directed {
+		fmt.Fprintf(w, "  Num. Strongly Connected Comp.     %d\n", s.NumSCC)
+		fmt.Fprintf(w, "  Size of Largest SCC               %d\n", s.LargestSCC)
+		return
+	}
+	fmt.Fprintf(w, "  Num. Connected Components         %d\n", s.NumCC)
+	fmt.Fprintf(w, "  Size of Largest Component         %d\n", s.LargestCC)
+	fmt.Fprintf(w, "  Num. Biconnected Components       %d\n", s.NumBCC)
+	fmt.Fprintf(w, "  Num. Triangles                    %d\n", s.Triangles)
+	fmt.Fprintf(w, "  Num. Colors Used by LF            %d\n", s.ColorsLF)
+	fmt.Fprintf(w, "  Num. Colors Used by LLF           %d\n", s.ColorsLLF)
+	fmt.Fprintf(w, "  Maximal Independent Set Size      %d\n", s.MISSize)
+	fmt.Fprintf(w, "  Maximal Matching Size             %d\n", s.MatchingSize)
+	fmt.Fprintf(w, "  Set Cover Size                    %d\n", s.SetCoverSize)
+	fmt.Fprintf(w, "  kmax (Degeneracy)                 %d\n", s.KMax)
+	fmt.Fprintf(w, "  rho (Num. Peeling Rounds)         %d\n", s.Rho)
+}

@@ -1,0 +1,87 @@
+// Package xrand provides deterministic, splittable pseudo-randomness for the
+// randomized algorithms in the benchmark (LDD shifts, SCC center permutation,
+// MIS/matching/coloring priorities, set-cover round priorities, RMAT).
+//
+// All randomness is hash-based: Hash64(seed, i) yields the i'th draw of a
+// stream without any shared state, so parallel loops can draw independent
+// values with no synchronization and results are reproducible for a fixed
+// seed — the property the paper relies on for "internally deterministic"
+// behaviour of its randomized algorithms.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SplitMix64 advances the splitmix64 generator state and returns the next
+// output. It is the finalizer used by all hashing here.
+func SplitMix64(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash64 hashes (seed, i) to a uniform 64-bit value. Distinct (seed, i) pairs
+// give independent-looking outputs.
+func Hash64(seed, i uint64) uint64 {
+	return SplitMix64(seed*0x9e3779b97f4a7c15 + i + 0x632be59bd9b4e019)
+}
+
+// Hash32 hashes (seed, i) to a uniform 32-bit value.
+func Hash32(seed, i uint64) uint32 {
+	return uint32(Hash64(seed, i) >> 32)
+}
+
+// Uniform returns a uniform value in [0, n) for the i'th draw of the stream.
+// n must be positive. Lemire's multiply-shift mapping is used; the tiny bias
+// of mapping a 64-bit hash onto graph-scale n is irrelevant for the
+// algorithms' expected-work arguments.
+func Uniform(seed, i uint64, n uint64) uint64 {
+	hi, _ := bits.Mul64(Hash64(seed, i), n)
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1) for the i'th draw.
+func Float64(seed, i uint64) float64 {
+	return float64(Hash64(seed, i)>>11) / (1 << 53)
+}
+
+// Exp returns a draw from the exponential distribution with rate beta for the
+// i'th index of the stream. LDD uses these as start-time shifts.
+func Exp(seed, i uint64, beta float64) float64 {
+	u := Float64(seed, i)
+	// Guard against log(0); u in [0,1) so 1-u in (0,1].
+	return -math.Log(1-u) / beta
+}
+
+// State is a tiny sequential splitmix64 stream for places where a stateful
+// generator is more convenient (e.g. sequential reference implementations).
+type State struct{ s uint64 }
+
+// New returns a stateful stream seeded with seed.
+func New(seed uint64) *State { return &State{s: seed} }
+
+// Next returns the next 64-bit value of the stream.
+func (r *State) Next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *State) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *State) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}

@@ -1,0 +1,112 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 2) != Hash64(1, 2) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1, 2) == Hash64(1, 3) || Hash64(1, 2) == Hash64(2, 2) {
+		t.Fatal("Hash64 collides on trivially different inputs")
+	}
+}
+
+func TestUniformInRange(t *testing.T) {
+	err := quick.Check(func(seed, i uint64, n uint32) bool {
+		m := uint64(n%1000) + 1
+		v := Uniform(seed, i, m)
+		return v < m
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformCoversRange(t *testing.T) {
+	const n = 16
+	seen := make([]bool, n)
+	for i := uint64(0); i < 1000; i++ {
+		seen[Uniform(42, i, n)] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("value %d never drawn in 1000 draws over [0,%d)", v, n)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		f := Float64(7, i)
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestExpMeanApproximately1OverBeta(t *testing.T) {
+	const beta = 0.2
+	const n = 200000
+	var sum float64
+	for i := uint64(0); i < n; i++ {
+		v := Exp(99, i, beta)
+		if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("Exp produced %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/beta) > 0.1/beta {
+		t.Fatalf("Exp mean = %v, want about %v", mean, 1/beta)
+	}
+}
+
+func TestStateStreamMatchesSplitMix(t *testing.T) {
+	r := New(123)
+	s := uint64(123)
+	for i := 0; i < 100; i++ {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		if got := r.Next(); got != z {
+			t.Fatalf("stream diverged at step %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestHash32Distribution(t *testing.T) {
+	// Chi-squared-ish sanity check over 256 buckets.
+	var buckets [256]int
+	const n = 1 << 16
+	for i := uint64(0); i < n; i++ {
+		buckets[Hash32(3, i)>>24]++
+	}
+	want := n / 256
+	for b, c := range buckets {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("bucket %d has %d draws, want about %d", b, c, want)
+		}
+	}
+}
