@@ -1,0 +1,36 @@
+# Targets mirror .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt fmt-check bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Regenerate the paper's tables/figures at a small scale (cmd/gbbs-bench
+# -scale raises it) and run the Go benchmarks.
+bench:
+	$(GO) run ./cmd/gbbs-bench -all -scale 12
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

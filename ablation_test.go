@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/prims"
 	"repro/internal/xrand"
 )
@@ -23,7 +24,7 @@ func BenchmarkAblationLDDBeta(b *testing.B) {
 	for _, beta := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
 		b.Run(fmt.Sprintf("beta=%.2f", beta), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.LDD(g, beta, uint64(i))
+				core.LDD(parallel.Default, g, beta, uint64(i))
 			}
 		})
 	}
@@ -35,7 +36,7 @@ func BenchmarkAblationConnectivityBeta(b *testing.B) {
 	for _, beta := range []float64{0.1, 0.2, 0.5} {
 		b.Run(fmt.Sprintf("beta=%.2f", beta), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.Connectivity(g, beta, uint64(i))
+				core.Connectivity(parallel.Default, g, beta, uint64(i))
 			}
 		})
 	}
@@ -47,7 +48,7 @@ func BenchmarkAblationSCCBeta(b *testing.B) {
 	for _, beta := range []float64{1.1, 1.5, 2.0, 4.0} {
 		b.Run(fmt.Sprintf("beta=%.1f", beta), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.SCC(g, uint64(i), core.SCCOpts{Beta: beta})
+				core.SCC(parallel.Default, g, uint64(i), core.SCCOpts{Beta: beta})
 			}
 		})
 	}
@@ -62,7 +63,7 @@ func BenchmarkAblationSCCTrim(b *testing.B) {
 	for _, trim := range []int{-1, 1, 3} {
 		b.Run(fmt.Sprintf("trim=%d", trim), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.SCC(g, uint64(i), core.SCCOpts{TrimRounds: trim})
+				core.SCC(parallel.Default, g, uint64(i), core.SCCOpts{TrimRounds: trim})
 			}
 		})
 	}
@@ -75,7 +76,7 @@ func BenchmarkAblationCompressionBlockSize(b *testing.B) {
 		cg := compress.FromCSR(g, bs)
 		b.Run(fmt.Sprintf("bs=%d/BFS", bs), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.BFS(cg, 0)
+				core.BFS(parallel.Default, cg, 0)
 			}
 		})
 	}
@@ -113,7 +114,7 @@ func BenchmarkAblationHistogram(b *testing.B) {
 	bits := prims.BitsFor(uint64(numKeys))
 	b.Run("sorted-work-efficient", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			prims.Histogram(keys, bits)
+			prims.Histogram(parallel.Default, keys, bits)
 		}
 	})
 	b.Run("fetch-and-add", func(b *testing.B) {
@@ -122,7 +123,7 @@ func BenchmarkAblationHistogram(b *testing.B) {
 			for j := range counts {
 				counts[j] = 0
 			}
-			prims.HistogramAtomic(keys, counts)
+			prims.HistogramAtomic(parallel.Default, keys, counts)
 		}
 	})
 }
@@ -138,7 +139,7 @@ func BenchmarkAblationRadixSort(b *testing.B) {
 		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				copy(buf, src)
-				prims.RadixSortU64(buf, bits)
+				prims.RadixSortU64(parallel.Default, buf, bits)
 			}
 			b.SetBytes(int64(n * 8))
 		})
@@ -153,12 +154,12 @@ func BenchmarkBaselineMIS(b *testing.B) {
 	g := ablationG
 	b.Run("rootset", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.MIS(g, uint64(i))
+			core.MIS(parallel.Default, g, uint64(i))
 		}
 	})
 	b.Run("prefix", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.MISPrefix(g, uint64(i))
+			core.MISPrefix(parallel.Default, g, uint64(i))
 		}
 	})
 }
@@ -168,17 +169,17 @@ func BenchmarkBaselineSSSP(b *testing.B) {
 	g := ablationG
 	b.Run("wBFS", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.WeightedBFS(g, 0)
+			core.WeightedBFS(parallel.Default, g, 0)
 		}
 	})
 	b.Run("delta-stepping", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.DeltaStepping(g, 0, 0)
+			core.DeltaStepping(parallel.Default, g, 0, 0)
 		}
 	})
 	b.Run("bellman-ford", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.BellmanFord(g, 0)
+			core.BellmanFord(parallel.Default, g, 0)
 		}
 	})
 }
@@ -188,12 +189,12 @@ func BenchmarkBaselineKCore(b *testing.B) {
 	g := ablationG
 	b.Run("exact", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.KCore(g, 0)
+			core.KCore(parallel.Default, g, 0)
 		}
 	})
 	b.Run("approx-pow2", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.ApproxKCore(g)
+			core.ApproxKCore(parallel.Default, g)
 		}
 	})
 }
@@ -203,12 +204,12 @@ func BenchmarkBaselineColoring(b *testing.B) {
 	g := ablationG
 	b.Run("LLF", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.Coloring(g, uint64(i))
+			core.Coloring(parallel.Default, g, uint64(i))
 		}
 	})
 	b.Run("LF", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.ColoringLF(g, uint64(i))
+			core.ColoringLF(parallel.Default, g, uint64(i))
 		}
 	})
 }

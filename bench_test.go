@@ -17,10 +17,12 @@ import (
 	"sync"
 	"testing"
 
+	"repro/gbbs"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -57,8 +59,9 @@ func inputs() {
 }
 
 // runSuite registers one sub-benchmark per problem of the paper's suite on
-// the given input.
+// the given input, dispatching through the registry on one shared engine.
 func runSuite(b *testing.B, in bench.Input) {
+	eng := gbbs.New(gbbs.WithSeed(1))
 	for _, a := range bench.Suite(1) {
 		if (a.Directed && in.Dir == nil) || (a.Weighted && !in.Weighted) {
 			continue
@@ -70,7 +73,9 @@ func runSuite(b *testing.B, in bench.Input) {
 		b.Run(a.Name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				a.Run(g)
+				if err := a.Run(eng, g); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.SetBytes(int64(g.M()))
 		})
@@ -102,25 +107,25 @@ func BenchmarkTable6(b *testing.B) {
 	b.Run("k-core-histogram", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			core.KCore(g, 0)
+			core.KCore(parallel.Default, g, 0)
 		}
 	})
 	b.Run("k-core-fetch-and-add", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			core.KCoreFetchAndAdd(g)
+			core.KCoreFetchAndAdd(parallel.Default, g)
 		}
 	})
 	b.Run("wBFS-blocked", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			core.WeightedBFS(g, 0)
+			core.WeightedBFS(parallel.Default, g, 0)
 		}
 	})
 	b.Run("wBFS-unblocked", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			core.WeightedBFSUnblocked(g, 0)
+			core.WeightedBFSUnblocked(parallel.Default, g, 0)
 		}
 	})
 }
@@ -132,13 +137,13 @@ func BenchmarkTable7(b *testing.B) {
 		name string
 		f    func()
 	}{
-		{"BFS-directed", func() { core.BFS(in.Dir, 0) }},
-		{"SSSP", func() { core.WeightedBFS(in.Sym, 0) }},
-		{"BC-directed", func() { core.BC(in.Dir, 0) }},
-		{"Connectivity", func() { core.Connectivity(in.Sym, 0.2, 1) }},
-		{"SCC", func() { core.SCC(in.Dir, 1, core.SCCOpts{}) }},
-		{"k-core", func() { core.KCore(in.Sym, 1) }},
-		{"TC", func() { core.TriangleCount(in.Sym) }},
+		{"BFS-directed", func() { core.BFS(parallel.Default, in.Dir, 0) }},
+		{"SSSP", func() { core.WeightedBFS(parallel.Default, in.Sym, 0) }},
+		{"BC-directed", func() { core.BC(parallel.Default, in.Dir, 0) }},
+		{"Connectivity", func() { core.Connectivity(parallel.Default, in.Sym, 0.2, 1) }},
+		{"SCC", func() { core.SCC(parallel.Default, in.Dir, 1, core.SCCOpts{}) }},
+		{"k-core", func() { core.KCore(parallel.Default, in.Sym, 1) }},
+		{"TC", func() { core.TriangleCount(parallel.Default, in.Sym) }},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
@@ -155,10 +160,10 @@ func BenchmarkFigure1(b *testing.B) {
 		name string
 		f    func(g graph.Graph)
 	}{
-		{"MIS", func(g graph.Graph) { core.MIS(g, 1) }},
-		{"BFS", func(g graph.Graph) { core.BFS(g, 0) }},
-		{"BC", func(g graph.Graph) { core.BC(g, 0) }},
-		{"GraphColoring", func(g graph.Graph) { core.Coloring(g, 1) }},
+		{"MIS", func(g graph.Graph) { core.MIS(parallel.Default, g, 1) }},
+		{"BFS", func(g graph.Graph) { core.BFS(parallel.Default, g, 0) }},
+		{"BC", func(g graph.Graph) { core.BC(parallel.Default, g, 0) }},
+		{"GraphColoring", func(g graph.Graph) { core.Coloring(parallel.Default, g, 1) }},
 	}
 	for _, g := range torusFam {
 		for _, a := range algos {
@@ -177,12 +182,12 @@ func BenchmarkTable3Stats(b *testing.B) {
 	g := table4Ins[0].Sym
 	b.Run("stats-sym", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			stats.ComputeSym("bench", g, stats.Options{Seed: 1, SkipTriangles: true})
+			stats.ComputeSym(parallel.Default, "bench", g, stats.Options{Seed: 1, SkipTriangles: true})
 		}
 	})
 	b.Run("effective-diameter", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			stats.EffectiveDiameter(g, 2, 1)
+			stats.EffectiveDiameter(parallel.Default, g, 2, 1)
 		}
 	})
 }

@@ -1,5 +1,8 @@
 // gbbs-bench regenerates the tables and figures of the paper's evaluation
-// (§6) at a configurable scale.
+// (§6) at a configurable scale. The 15-problem suite behind Tables 2/4/5 is
+// derived from the gbbs algorithm registry (no per-algorithm dispatch lives
+// here), and every measurement runs on its own isolated gbbs.Engine rather
+// than mutating a process-global thread count.
 //
 // Usage:
 //

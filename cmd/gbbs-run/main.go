@@ -3,25 +3,35 @@
 // and timing — the per-problem driver matching the benchmark's I/O
 // specifications (§4).
 //
+// Algorithms are dispatched through the gbbs registry: there is no
+// per-algorithm switch here, and anything registered with gbbs.Register
+// (including by third-party packages linked into this binary) is runnable
+// by name and enumerable with -list.
+//
 // Usage:
 //
+//	gbbs-run -list
 //	gbbs-run -algo bfs -i graph.adj -sym -src 0
 //	gbbs-run -algo kcore -gen rmat -scale 18
 //	gbbs-run -algo scc -gen rmat -scale 16
+//	gbbs-run -algo cc -gen rmat -scale 18 -threads 4 -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"text/tabwriter"
 	"time"
 
 	"repro/gbbs"
 )
 
 func main() {
-	algo := flag.String("algo", "bfs", "bfs | wbfs | bellmanford | bc | ldd | cc | bicc | scc | msf | mis | mm | coloring | kcore | setcover | tc | stats")
+	algo := flag.String("algo", "bfs", "algorithm to run (see -list)")
+	list := flag.Bool("list", false, "list registered algorithms and exit")
 	input := flag.String("i", "", "input adjacency-graph file (empty = generate)")
 	genKind := flag.String("gen", "rmat", "generator when no input file: rmat | torus | er")
 	scale := flag.Int("scale", 16, "generator scale")
@@ -32,13 +42,28 @@ func main() {
 	src := flag.Uint("src", 0, "source vertex for SSSP/BC problems")
 	seed := flag.Uint64("seed", 1, "random seed")
 	threads := flag.Int("threads", 0, "worker threads (0 = all CPUs)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	compressed := flag.Bool("compressed", false, "run on the parallel-byte compressed representation")
 	flag.Parse()
 
+	if *list {
+		printAlgorithms(os.Stdout)
+		return
+	}
+	a, ok := gbbs.Lookup(*algo)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q; registered algorithms:\n\n", *algo)
+		printAlgorithms(os.Stderr)
+		os.Exit(2)
+	}
+
+	// Graph loading/building runs on the default scheduler (construction is
+	// not engine-scoped); bound it too so -threads 1 measures the paper's
+	// single-thread configuration end to end.
 	if *threads > 0 {
 		gbbs.SetThreads(*threads)
 	}
-	needWeights := *algo == "wbfs" || *algo == "bellmanford" || *algo == "msf"
+	needWeights := a.NeedsWeights
 	var csr *gbbs.CSR
 	if *input != "" {
 		f, err := os.Open(*input)
@@ -67,90 +92,49 @@ func main() {
 	if *compressed {
 		g = gbbs.Compress(csr, 0)
 	}
-	fmt.Fprintf(os.Stderr, "graph: n=%d m=%d weighted=%v symmetric=%v threads=%d\n",
-		g.N(), g.M(), g.Weighted(), g.Symmetric(), gbbs.Threads())
 
-	s := uint32(*src)
-	start := time.Now()
-	var summary string
-	switch *algo {
-	case "bfs":
-		dist := gbbs.BFS(g, s)
-		summary = fmt.Sprintf("reached %d vertices", countReached(dist))
-	case "wbfs":
-		dist := gbbs.WeightedBFS(g, s)
-		summary = fmt.Sprintf("reached %d vertices", countReached(dist))
-	case "bellmanford":
-		dist, neg := gbbs.BellmanFord(g, s)
-		reached := 0
-		for _, d := range dist {
-			if d != gbbs.InfDist {
-				reached++
-			}
-		}
-		summary = fmt.Sprintf("reached %d vertices, negative cycle: %v", reached, neg)
-	case "bc":
-		dep := gbbs.BC(g, s)
-		max := 0.0
-		for _, d := range dep {
-			if d > max {
-				max = d
-			}
-		}
-		summary = fmt.Sprintf("max dependency %.1f", max)
-	case "ldd":
-		labels := gbbs.LDD(g, 0.2, *seed)
-		num, largest := gbbs.ComponentCount(labels)
-		summary = fmt.Sprintf("%d clusters, largest %d", num, largest)
-	case "cc":
-		num, largest := gbbs.ComponentCount(gbbs.Connectivity(g, *seed))
-		summary = fmt.Sprintf("%d components, largest %d", num, largest)
-	case "bicc":
-		b := gbbs.Biconnectivity(g, *seed)
-		_ = b
-		summary = "biconnectivity labels computed"
-	case "scc":
-		num, largest := gbbs.ComponentCount(gbbs.SCC(g, *seed, gbbs.SCCOpts{}))
-		summary = fmt.Sprintf("%d SCCs, largest %d", num, largest)
-	case "msf":
-		forest, w := gbbs.MSF(g)
-		summary = fmt.Sprintf("%d edges, weight %d", len(forest), w)
-	case "mis":
-		in := gbbs.MIS(g, *seed)
-		c := 0
-		for _, ok := range in {
-			if ok {
-				c++
-			}
-		}
-		summary = fmt.Sprintf("%d vertices in MIS", c)
-	case "mm":
-		summary = fmt.Sprintf("%d matched edges", len(gbbs.MaximalMatching(g, *seed)))
-	case "coloring":
-		summary = fmt.Sprintf("%d colors", gbbs.NumColors(gbbs.Coloring(g, *seed)))
-	case "kcore":
-		coreness, rho := gbbs.KCore(g)
-		summary = fmt.Sprintf("kmax=%d rho=%d", gbbs.Degeneracy(coreness), rho)
-	case "setcover":
-		summary = fmt.Sprintf("%d sets in cover", len(gbbs.ApproxSetCover(g, 0.01, *seed)))
-	case "tc":
-		summary = fmt.Sprintf("%d triangles", gbbs.TriangleCount(g))
-	case "stats":
-		st := gbbs.StatsSym("input", g, gbbs.StatsOptions{Seed: *seed})
-		gbbs.WriteStats(os.Stdout, st, false)
-		summary = "statistics above"
-	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+	opts := []gbbs.Option{gbbs.WithSeed(*seed)}
+	if *threads > 0 {
+		opts = append(opts, gbbs.WithThreads(*threads))
 	}
-	fmt.Printf("%s: %s in %v\n", *algo, summary, time.Since(start).Round(time.Microsecond))
+	eng := gbbs.New(opts...)
+	fmt.Fprintf(os.Stderr, "graph: n=%d m=%d weighted=%v symmetric=%v threads=%d\n",
+		g.N(), g.M(), g.Weighted(), g.Symmetric(), eng.Threads())
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := eng.Run(ctx, a.Name, gbbs.Request{Graph: g, Source: uint32(*src), Seed: *seed})
+	if err != nil {
+		log.Fatalf("%s: %v", a.Name, err)
+	}
+	if detail, ok := res.Value.(fmt.Stringer); ok {
+		fmt.Println(detail)
+	}
+	fmt.Printf("%s: %s in %v\n", a.Name, res.Summary, res.Elapsed.Round(time.Microsecond))
 }
 
-func countReached(dist []uint32) int {
-	c := 0
-	for _, d := range dist {
-		if d != gbbs.Inf {
-			c++
+// printAlgorithms writes one line per registered algorithm: name,
+// description, and the input requirements the registry declares.
+func printAlgorithms(w *os.File) {
+	algos := gbbs.Algorithms() // already sorted by name
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tDESCRIPTION\tREQUIRES")
+	for _, a := range algos {
+		var req []byte
+		if a.NeedsSource {
+			req = append(req, "src "...)
 		}
+		if a.NeedsWeights {
+			req = append(req, "weights "...)
+		}
+		if a.Directed {
+			req = append(req, "directed "...)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", a.Name, a.Description, string(req))
 	}
-	return c
+	tw.Flush()
 }

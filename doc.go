@@ -2,10 +2,36 @@
 // Efficient Parallel Graph Algorithms Can Be Fast and Scalable" (Dhulipala,
 // Blelloch, Shun; SPAA 2018) — the GBBS benchmark.
 //
-// The public API lives in the gbbs subpackage; the benchmark harness in
-// cmd/gbbs-bench regenerates every table and figure of the paper's
-// evaluation, and the testing.B benchmarks in bench_test.go mirror it. See
-// README.md for the architecture overview, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results.
+// # Public API
+//
+// The public API lives in the gbbs subpackage and is organized around
+// engines: an Engine created with functional options owns an isolated
+// work-stealing-style scheduler, so any number of engines can run
+// concurrently in one process with different thread budgets — the
+// foundation for serving many tenants or requests at once. Every algorithm
+// is an Engine method taking a context.Context, checked between rounds, so
+// a caller can cancel or deadline any run:
+//
+//	g := gbbs.RMATGraph(18, 16, true, false, 1)
+//	eng := gbbs.New(gbbs.WithThreads(8), gbbs.WithSeed(1))
+//	dist, err := eng.BFS(ctx, g, 0)
+//
+// Algorithms are also dispatchable by name through a registry with uniform
+// Request/Result types (gbbs.Register, gbbs.Algorithms, gbbs.Lookup,
+// Engine.Run); both CLI drivers dispatch exclusively through it, so a
+// package that registers a new algorithm is immediately runnable from
+// cmd/gbbs-run and listed by `gbbs-run -list`.
+//
+// The older package-level free functions (gbbs.BFS, gbbs.SetThreads, ...)
+// remain working but deprecated; they delegate to a process-wide default
+// engine.
+//
+// # Harness
+//
+// The benchmark harness in cmd/gbbs-bench regenerates every table and
+// figure of the paper's evaluation (its 15-problem suite is derived from
+// the registry's paper-row metadata), and the testing.B benchmarks in
+// bench_test.go mirror it. See README.md for the architecture overview,
+// DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results.
 package repro

@@ -1,9 +1,12 @@
-// Quickstart: build a small power-law graph, run a few algorithms, print
-// results. This is the smallest end-to-end use of the public API.
+// Quickstart: build a small power-law graph, run a few algorithms through an
+// Engine, print results. This is the smallest end-to-end use of the public
+// API.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"repro/gbbs"
 )
@@ -14,8 +17,16 @@ func main() {
 	g := gbbs.RMATGraph(14, 16, true, false, 42)
 	fmt.Printf("graph: n=%d m=%d (directed edge count)\n", g.N(), g.M())
 
+	// An Engine owns its own scheduler: concurrent engines with different
+	// thread counts never interfere, and every method takes a context.
+	eng := gbbs.New(gbbs.WithSeed(1))
+	ctx := context.Background()
+
 	// Breadth-first search from vertex 0.
-	dist := gbbs.BFS(g, 0)
+	dist, err := eng.BFS(ctx, g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	reached, maxd := 0, uint32(0)
 	for _, d := range dist {
 		if d != gbbs.Inf {
@@ -27,16 +38,26 @@ func main() {
 	}
 	fmt.Printf("BFS:  reached %d vertices, eccentricity %d\n", reached, maxd)
 
-	// Connected components.
-	labels := gbbs.Connectivity(g, 1)
-	num, largest := gbbs.ComponentCount(labels)
-	fmt.Printf("CC:   %d components, largest has %d vertices\n", num, largest)
+	// Connected components, dispatched by name through the registry — the
+	// Result carries a ready-made summary and the raw labels.
+	res, err := eng.Run(ctx, "cc", gbbs.Request{Graph: g})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CC:   %s (in %v)\n", res.Summary, res.Elapsed)
 
 	// Triangle counting.
-	fmt.Printf("TC:   %d triangles\n", gbbs.TriangleCount(g))
+	tri, err := eng.TriangleCount(ctx, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TC:   %d triangles\n", tri)
 
 	// k-core decomposition.
-	coreness, rho := gbbs.KCore(g)
+	coreness, rho, err := eng.KCore(ctx, g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("core: degeneracy kmax=%d, peeled in rho=%d rounds\n",
 		gbbs.Degeneracy(coreness), rho)
 }

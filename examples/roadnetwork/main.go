@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"time"
@@ -18,14 +19,22 @@ func main() {
 	flag.Parse()
 
 	g := gbbs.TorusGraph(*side, true, 9)
+	eng := gbbs.New(gbbs.WithSeed(3))
+	ctx := context.Background()
 	fmt.Printf("torus: n=%d m=%d, weights in [1, log n)\n", g.N(), g.M())
 
 	t0 := time.Now()
-	dw := gbbs.WeightedBFS(g, 0)
+	dw, err := eng.WeightedBFS(ctx, g, 0)
+	if err != nil {
+		panic(err)
+	}
 	tw := time.Since(t0)
 
 	t0 = time.Now()
-	db, neg := gbbs.BellmanFord(g, 0)
+	db, neg, err := eng.BellmanFord(ctx, g, 0)
+	if err != nil {
+		panic(err)
+	}
 	tb := time.Since(t0)
 	if neg {
 		panic("positive-weight torus reported a negative cycle")
@@ -46,12 +55,18 @@ func main() {
 	fmt.Printf("wBFS speedup over Bellman-Ford: %.1fx\n", float64(tb)/float64(tw))
 
 	t0 = time.Now()
-	forest, weight := gbbs.MSF(g)
+	forest, weight, err := eng.MSF(ctx, g)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("MSF:          %-10v %d edges, total weight %d\n",
 		time.Since(t0).Round(time.Millisecond), len(forest), weight)
 
 	t0 = time.Now()
-	parent, level, roots := gbbs.SpanningForest(g, 3)
+	parent, level, roots, err := eng.SpanningForest(ctx, g)
+	if err != nil {
+		panic(err)
+	}
 	maxLevel := uint32(0)
 	for _, l := range level {
 		if l != gbbs.Inf && l > maxLevel {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"sort"
@@ -22,9 +23,15 @@ func main() {
 	g := gbbs.RMATGraph(*scale, *factor, true, false, 7)
 	fmt.Printf("network: n=%d m=%d (built in %v)\n", g.N(), g.M(), time.Since(start).Round(time.Millisecond))
 
+	eng := gbbs.New(gbbs.WithSeed(3))
+	ctx := context.Background()
+
 	// 1. Degeneracy ordering: the k-core decomposition finds the densest
 	// community cores.
-	coreness, rho := gbbs.KCore(g)
+	coreness, rho, err := eng.KCore(ctx, g)
+	if err != nil {
+		panic(err)
+	}
 	kmax := gbbs.Degeneracy(coreness)
 	inMax := 0
 	for _, c := range coreness {
@@ -41,7 +48,10 @@ func main() {
 			seed = uint32(v)
 		}
 	}
-	bc := gbbs.BC(g, seed)
+	bc, err := eng.BC(ctx, g, seed)
+	if err != nil {
+		panic(err)
+	}
 	type vc struct {
 		v uint32
 		c float64
@@ -59,7 +69,10 @@ func main() {
 
 	// 3. Cohesion: global clustering coefficient from triangle and wedge
 	// counts.
-	tri := gbbs.TriangleCount(g)
+	tri, err := eng.TriangleCount(ctx, g)
+	if err != nil {
+		panic(err)
+	}
 	var wedges int64
 	for v := 0; v < g.N(); v++ {
 		d := int64(g.OutDeg(uint32(v)))
@@ -73,12 +86,18 @@ func main() {
 
 	// 4. Scheduling: a proper coloring groups non-adjacent users for
 	// conflict-free batches.
-	colors := gbbs.Coloring(g, 3)
+	colors, err := eng.Coloring(ctx, g)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("coloring: %d conflict-free batches (Δ+1 bound: %d)\n",
 		gbbs.NumColors(colors), g.MaxDegree()+1)
 
 	// 5. An independent seed set for influence-maximization heuristics.
-	mis := gbbs.MIS(g, 5)
+	mis, err := eng.MIS(ctx, g)
+	if err != nil {
+		panic(err)
+	}
 	count := 0
 	for _, in := range mis {
 		if in {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"time"
@@ -18,11 +19,16 @@ func main() {
 	flag.Parse()
 
 	g := gbbs.RMATGraph(*scale, 16, false, false, 2014) // directed crawl
+	eng := gbbs.New(gbbs.WithSeed(1))
+	ctx := context.Background()
 	fmt.Printf("crawl: n=%d directed edges=%d\n", g.N(), g.M())
 
 	// 1. Bow-tie core: the giant SCC.
 	t0 := time.Now()
-	labels := gbbs.SCC(g, 1, gbbs.SCCOpts{})
+	labels, err := eng.SCC(ctx, g, gbbs.SCCOpts{})
+	if err != nil {
+		panic(err)
+	}
 	num, largest := gbbs.ComponentCount(labels)
 	fmt.Printf("SCC:  %d components, giant SCC has %d vertices (%.1f%%) [%v]\n",
 		num, largest, 100*float64(largest)/float64(g.N()), time.Since(t0).Round(time.Millisecond))
@@ -46,7 +52,10 @@ func main() {
 			break
 		}
 	}
-	fwd := gbbs.BFS(g, pivot)
+	fwd, err := eng.BFS(ctx, g, pivot)
+	if err != nil {
+		panic(err)
+	}
 	reachOut := 0
 	for _, d := range fwd {
 		if d != gbbs.Inf {
@@ -59,10 +68,16 @@ func main() {
 	// comparison against Slota et al.'s approximate k-core).
 	sg := gbbs.RMATGraph(*scale, 16, true, false, 2014)
 	t0 = time.Now()
-	exact, rho := gbbs.KCore(sg)
+	exact, rho, err := eng.KCore(ctx, sg)
+	if err != nil {
+		panic(err)
+	}
 	te := time.Since(t0)
 	t0 = time.Now()
-	approx := gbbs.ApproxKCore(sg)
+	approx, err := eng.ApproxKCore(ctx, sg)
+	if err != nil {
+		panic(err)
+	}
 	ta := time.Since(t0)
 	worst := 0.0
 	for v := range exact {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"time"
@@ -20,6 +21,8 @@ func main() {
 
 	g := gbbs.RMATGraph(*scale, 16, true, false, 2012)
 	cg := gbbs.Compress(g, 0)
+	eng := gbbs.New(gbbs.WithSeed(1))
+	ctx := context.Background()
 
 	uncompressedBytes := int64(g.M()) * 4 // 4-byte neighbor IDs
 	fmt.Printf("web-sim:      n=%d m=%d\n", g.N(), g.M())
@@ -42,7 +45,10 @@ func main() {
 			name, tu.Round(time.Millisecond), tc.Round(time.Millisecond), status)
 	}
 	run("BFS", func(gr gbbs.Graph) int {
-		dist := gbbs.BFS(gr, 0)
+		dist, err := eng.BFS(ctx, gr, 0)
+		if err != nil {
+			panic(err)
+		}
 		reached := 0
 		for _, d := range dist {
 			if d != gbbs.Inf {
@@ -52,14 +58,25 @@ func main() {
 		return reached
 	})
 	run("Connectivity", func(gr gbbs.Graph) int {
-		num, _ := gbbs.ComponentCount(gbbs.Connectivity(gr, 1))
+		labels, err := eng.Connectivity(ctx, gr)
+		if err != nil {
+			panic(err)
+		}
+		num, _ := gbbs.ComponentCount(labels)
 		return num
 	})
 	run("k-core", func(gr gbbs.Graph) int {
-		coreness, _ := gbbs.KCore(gr)
+		coreness, _, err := eng.KCore(ctx, gr)
+		if err != nil {
+			panic(err)
+		}
 		return gbbs.Degeneracy(coreness)
 	})
 	run("Triangles", func(gr gbbs.Graph) int {
-		return int(gbbs.TriangleCount(gr))
+		tri, err := eng.TriangleCount(ctx, gr)
+		if err != nil {
+			panic(err)
+		}
+		return int(tri)
 	})
 }

@@ -1,0 +1,280 @@
+package gbbs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testGraph builds a moderate RMAT graph shared by the engine tests.
+var testGraphOnce = sync.OnceValue(func() *CSR {
+	return RMATGraph(12, 16, true, false, 7)
+})
+
+// TestEngineIsolationConcurrent runs algorithms concurrently on engines with
+// different thread counts and checks every run agrees with the sequential
+// (1-thread) baseline. Under -race this also proves two engines share no
+// parallelism state.
+func TestEngineIsolationConcurrent(t *testing.T) {
+	g := testGraphOnce()
+	ctx := context.Background()
+
+	seq := New(WithThreads(1), WithSeed(3))
+	wantCC, err := seq.Connectivity(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMIS, err := seq.MIS(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBFS, err := seq.BFS(ctx, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engines := []*Engine{
+		New(WithThreads(1), WithSeed(3)),
+		New(WithThreads(2), WithSeed(3)),
+		New(WithThreads(4), WithSeed(3)),
+		New(WithThreads(8), WithSeed(3), WithGrain(256)),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(engines)*3)
+	for _, e := range engines {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			cc, err := e.Connectivity(ctx, g)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mis, err := e.MIS(ctx, g)
+			if err != nil {
+				errs <- err
+				return
+			}
+			bfs, err := e.BFS(ctx, g, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for v := range cc {
+				if cc[v] != wantCC[v] || mis[v] != wantMIS[v] || bfs[v] != wantBFS[v] {
+					errs <- errors.New("engine with p threads disagrees with sequential run")
+					return
+				}
+			}
+		}(e)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineThreadCountsStayIsolated checks one engine's worker count never
+// leaks into another engine or into the deprecated global.
+func TestEngineThreadCountsStayIsolated(t *testing.T) {
+	before := Threads()
+	a := New(WithThreads(2))
+	b := New(WithThreads(7))
+	if a.Threads() != 2 || b.Threads() != 7 {
+		t.Fatalf("engine thread counts: got %d and %d, want 2 and 7", a.Threads(), b.Threads())
+	}
+	if Threads() != before {
+		t.Fatalf("creating engines changed the default engine's thread count: %d -> %d", before, Threads())
+	}
+}
+
+// TestEngineCancellation checks a long run on a large RMAT graph returns
+// promptly with context.Canceled once its context is cancelled mid-flight.
+func TestEngineCancellation(t *testing.T) {
+	g := RMATGraph(16, 16, true, false, 11)
+	e := New(WithThreads(2), WithSeed(1))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := e.BC(ctx, g, 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestEngineCancelledBeforeStart checks an already-cancelled context returns
+// without running anything.
+func TestEngineCancelledBeforeStart(t *testing.T) {
+	g := testGraphOnce()
+	e := New(WithThreads(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Connectivity(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	res, err := e.Run(ctx, "cc", Request{Graph: g})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v (res %+v), want context.Canceled", err, res)
+	}
+}
+
+// TestEngineDeadline checks deadline expiry surfaces as DeadlineExceeded.
+func TestEngineDeadline(t *testing.T) {
+	g := RMATGraph(15, 16, true, false, 13)
+	e := New(WithThreads(2))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := e.SCC(ctx, RMATGraph(15, 16, false, false, 13), SCCOpts{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	_ = g
+}
+
+// TestEngineRunDispatch exercises registry dispatch end to end.
+func TestEngineRunDispatch(t *testing.T) {
+	g := testGraphOnce()
+	e := New(WithThreads(2), WithSeed(3))
+	ctx := context.Background()
+
+	res, err := e.Run(ctx, "cc", Request{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("Elapsed = %v, want > 0", res.Elapsed)
+	}
+	labels, ok := res.Value.([]uint32)
+	if !ok {
+		t.Fatalf("cc Value has type %T, want []uint32", res.Value)
+	}
+	want, err := e.Connectivity(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatal("registry cc result differs from Engine.Connectivity")
+		}
+	}
+	if !strings.Contains(res.Summary, "components") {
+		t.Fatalf("cc summary %q", res.Summary)
+	}
+
+	if _, err := e.Run(ctx, "no-such-algo", Request{Graph: g}); err == nil ||
+		!strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("unknown algorithm err = %v", err)
+	}
+	if _, err := e.Run(ctx, "msf", Request{Graph: g}); err == nil ||
+		!strings.Contains(err.Error(), "weighted") {
+		t.Fatalf("msf on unweighted graph err = %v", err)
+	}
+	if _, err := e.Run(ctx, "bfs", Request{Graph: g, Source: uint32(g.N())}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range source err = %v", err)
+	}
+	if _, err := e.Run(ctx, "bfs", Request{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+// TestRegistry checks registration invariants and the paper-suite metadata
+// the bench harness relies on.
+func TestRegistry(t *testing.T) {
+	algos := Algorithms()
+	if len(algos) < 15 {
+		t.Fatalf("only %d registered algorithms", len(algos))
+	}
+	seen := map[string]bool{}
+	for _, a := range algos {
+		if a.Name == "" || a.Description == "" {
+			t.Fatalf("algorithm %+v missing name or description", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"bfs", "wbfs", "bellmanford", "bc", "ldd", "cc",
+		"bicc", "scc", "msf", "mis", "mm", "coloring", "kcore", "setcover", "tc"} {
+		if _, ok := Lookup(name); !ok {
+			t.Fatalf("registry missing %q", name)
+		}
+	}
+
+	suite := PaperSuite()
+	if len(suite) != 15 {
+		t.Fatalf("paper suite has %d problems, want 15", len(suite))
+	}
+	for i, a := range suite {
+		if a.PaperOrder != i+1 {
+			t.Fatalf("suite[%d] = %q with order %d", i, a.Name, a.PaperOrder)
+		}
+	}
+	if suite[0].Name != "bfs" || suite[14].Name != "tc" {
+		t.Fatalf("suite order: first %q last %q", suite[0].Name, suite[14].Name)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(Algorithm{Name: "bfs", Run: suite[0].Run})
+}
+
+// TestRegisterCustomAlgorithm registers a user-defined algorithm and runs it
+// through the same dispatch path as the builtins.
+func TestRegisterCustomAlgorithm(t *testing.T) {
+	Register(Algorithm{
+		Name:        "test-degree-sum",
+		Description: "sum of out-degrees (test-only)",
+		Run: func(ctx context.Context, e *Engine, req Request) (Result, error) {
+			var sum int64
+			for v := 0; v < req.Graph.N(); v++ {
+				sum += int64(req.Graph.OutDeg(uint32(v)))
+			}
+			return Result{Summary: "degree sum", Value: sum}, nil
+		},
+	})
+	g := testGraphOnce()
+	res, err := New().Run(context.Background(), "test-degree-sum", Request{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value.(int64) != int64(g.M()) {
+		t.Fatalf("degree sum %d != m %d", res.Value, g.M())
+	}
+}
+
+// TestDeprecatedFreeFunctionsStillWork pins the legacy surface: free
+// functions and SetThreads keep working and agree with Engine results.
+func TestDeprecatedFreeFunctionsStillWork(t *testing.T) {
+	g := testGraphOnce()
+	old := SetThreads(2)
+	defer SetThreads(old)
+	if Threads() != 2 {
+		t.Fatalf("Threads() = %d after SetThreads(2)", Threads())
+	}
+	dist := BFS(g, 0)
+	want, err := New(WithThreads(3)).BFS(context.Background(), g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range dist {
+		if dist[v] != want[v] {
+			t.Fatal("free-function BFS disagrees with Engine BFS")
+		}
+	}
+}

@@ -8,18 +8,37 @@
 //     Erdős–Rényi, ...), adjacency-graph file I/O, and Ligra+ parallel-byte
 //     compression;
 //   - the benchmark's 15 theoretically-efficient parallel algorithms with
-//     the work/depth bounds of the paper's Table 1;
+//     the work/depth bounds of the paper's Table 1, as methods on Engine;
+//   - a registry (Register, Algorithms, Lookup) for dispatching algorithms
+//     by name with uniform Request/Result types;
 //   - the statistics suite behind the paper's Tables 3 and 8–13.
 //
-// All algorithms accept any Graph (uncompressed CSR or compressed), run in
-// parallel on SetThreads(p) goroutine workers, and are deterministic for a
-// fixed seed.
+// # Engines
 //
-// Quick start:
+// An Engine owns an isolated scheduler, so concurrent engines never share
+// parallelism state — one process can serve many requests, each with its own
+// thread budget, seed and context:
 //
 //	g := gbbs.RMATGraph(18, 16, true /*symmetric*/, false /*weighted*/, 1)
-//	dist := gbbs.BFS(g, 0)
-//	labels := gbbs.Connectivity(g, 1)
+//	eng := gbbs.New(gbbs.WithThreads(8), gbbs.WithSeed(1))
+//	dist, err := eng.BFS(ctx, g, 0)
+//	labels, err := eng.Connectivity(ctx, g)
+//
+// Engine methods take a context.Context, check it between algorithm rounds,
+// and return ctx.Err() promptly after cancellation or deadline expiry.
+// Name-based dispatch goes through the registry:
+//
+//	res, err := eng.Run(ctx, "bfs", gbbs.Request{Graph: g, Source: 0})
+//
+// All algorithms accept any Graph (uncompressed CSR or compressed) and are
+// deterministic for a fixed seed, independent of the thread count.
+//
+// # Legacy free functions
+//
+// The package-level algorithm functions (BFS, Connectivity, ...) and
+// SetThreads predate Engine. They remain fully functional, delegating to a
+// process-wide default engine, but are deprecated for new code: they cannot
+// be cancelled and share one global worker count.
 package gbbs
 
 import (
@@ -75,12 +94,18 @@ const (
 	NegInfDist = core.NegInfDist
 )
 
-// SetThreads sets the number of worker goroutines used by all parallel
-// operations, returning the previous value. SetThreads(1) runs everything
+// SetThreads sets the number of worker goroutines used by the default
+// engine's scheduler (and therefore by the package-level algorithm
+// functions), returning the previous value. SetThreads(1) runs everything
 // sequentially (how the paper's single-thread columns are measured).
+//
+// Deprecated: SetThreads mutates process-global state. Create an isolated
+// engine with New(WithThreads(p)) instead.
 func SetThreads(p int) int { return parallel.SetWorkers(p) }
 
-// Threads reports the current worker count.
+// Threads reports the default engine's current worker count.
+//
+// Deprecated: use Engine.Threads.
 func Threads() int { return parallel.Workers() }
 
 // FromEdgeList builds a CSR graph over n vertices.
@@ -138,101 +163,111 @@ func ReadBinary(r io.Reader) (*CSR, error) { return graph.ReadBinary(r) }
 func WriteBinary(w io.Writer, g *CSR) error { return graph.WriteBinary(w, g) }
 
 // BFS returns hop distances from src; O(m) work, O(diam·log n) depth.
-func BFS(g Graph, src uint32) []uint32 { return core.BFS(g, src) }
+func BFS(g Graph, src uint32) []uint32 { return core.BFS(parallel.Default, g, src) }
 
 // WeightedBFS solves integral-weight SSSP (wBFS / Julienne); O(m) expected
 // work. Weights must be >= 1.
-func WeightedBFS(g Graph, src uint32) []uint32 { return core.WeightedBFS(g, src) }
+func WeightedBFS(g Graph, src uint32) []uint32 { return core.WeightedBFS(parallel.Default, g, src) }
 
 // DeltaStepping solves positive-integer-weight SSSP with Meyer-Sanders
 // Δ-stepping, the GAP-benchmark comparator the paper measures wBFS against.
 // delta <= 0 selects the average edge weight.
 func DeltaStepping(g Graph, src uint32, delta int32) []uint32 {
-	return core.DeltaStepping(g, src, delta)
+	return core.DeltaStepping(parallel.Default, g, src, delta)
 }
 
 // BellmanFord solves general-weight SSSP; reports reachable negative cycles
 // with NegInfDist distances.
-func BellmanFord(g Graph, src uint32) ([]int64, bool) { return core.BellmanFord(g, src) }
+func BellmanFord(g Graph, src uint32) ([]int64, bool) {
+	return core.BellmanFord(parallel.Default, g, src)
+}
 
 // BC returns single-source betweenness-centrality dependencies from src.
-func BC(g Graph, src uint32) []float64 { return core.BC(g, src) }
+func BC(g Graph, src uint32) []float64 { return core.BC(parallel.Default, g, src) }
 
 // LDD computes a (2β, O(log n/β)) low-diameter decomposition.
-func LDD(g Graph, beta float64, seed uint64) []uint32 { return core.LDD(g, beta, seed) }
+func LDD(g Graph, beta float64, seed uint64) []uint32 {
+	return core.LDD(parallel.Default, g, beta, seed)
+}
 
 // Connectivity labels connected components of a symmetric graph; O(m)
 // expected work, O(log³ n) depth w.h.p.
-func Connectivity(g Graph, seed uint64) []uint32 { return core.Connectivity(g, 0.2, seed) }
+func Connectivity(g Graph, seed uint64) []uint32 {
+	return core.Connectivity(parallel.Default, g, 0.2, seed)
+}
 
 // SpanningForest returns a rooted spanning forest (parents, levels, roots).
 func SpanningForest(g Graph, seed uint64) (parent, level, roots []uint32) {
-	return core.SpanningForest(g, 0.2, seed)
+	return core.SpanningForest(parallel.Default, g, 0.2, seed)
 }
 
 // Biconnectivity computes the Tarjan-Vishkin biconnectivity query structure.
-func Biconnectivity(g Graph, seed uint64) *Bicc { return core.Biconnectivity(g, 0.2, seed) }
+func Biconnectivity(g Graph, seed uint64) *Bicc {
+	return core.Biconnectivity(parallel.Default, g, 0.2, seed)
+}
 
 // SCC labels strongly connected components of a directed graph.
-func SCC(g Graph, seed uint64, opt SCCOpts) []uint32 { return core.SCC(g, seed, opt) }
+func SCC(g Graph, seed uint64, opt SCCOpts) []uint32 { return core.SCC(parallel.Default, g, seed, opt) }
 
 // MSF computes a minimum spanning forest of a weighted symmetric graph,
 // returning the forest edges and total weight.
-func MSF(g Graph) ([]WEdge, int64) { return core.MSF(g) }
+func MSF(g Graph) ([]WEdge, int64) { return core.MSF(parallel.Default, g) }
 
 // MIS computes a maximal independent set (the greedy set over a random
 // permutation) with the rootset-based algorithm.
-func MIS(g Graph, seed uint64) []bool { return core.MIS(g, seed) }
+func MIS(g Graph, seed uint64) []bool { return core.MIS(parallel.Default, g, seed) }
 
 // MISPrefix computes the same maximal independent set with the prefix-based
 // baseline algorithm the paper compares against.
-func MISPrefix(g Graph, seed uint64) []bool { return core.MISPrefix(g, seed) }
+func MISPrefix(g Graph, seed uint64) []bool { return core.MISPrefix(parallel.Default, g, seed) }
 
 // MaximalMatching computes a maximal matching (the greedy matching over a
 // random edge permutation).
-func MaximalMatching(g Graph, seed uint64) []WEdge { return core.MaximalMatching(g, seed) }
+func MaximalMatching(g Graph, seed uint64) []WEdge {
+	return core.MaximalMatching(parallel.Default, g, seed)
+}
 
 // Coloring computes a (Δ+1)-coloring with Jones-Plassmann LLF.
-func Coloring(g Graph, seed uint64) []uint32 { return core.Coloring(g, seed) }
+func Coloring(g Graph, seed uint64) []uint32 { return core.Coloring(parallel.Default, g, seed) }
 
 // ColoringLF is Jones-Plassmann under the largest-degree-first heuristic
 // (the other ordering the paper's statistics tables report).
-func ColoringLF(g Graph, seed uint64) []uint32 { return core.ColoringLF(g, seed) }
+func ColoringLF(g Graph, seed uint64) []uint32 { return core.ColoringLF(parallel.Default, g, seed) }
 
 // KCore returns the coreness of every vertex and the peeling complexity ρ.
-func KCore(g Graph) (coreness []uint32, rho int) { return core.KCore(g, 0) }
+func KCore(g Graph) (coreness []uint32, rho int) { return core.KCore(parallel.Default, g, 0) }
 
 // ApproxKCore returns corenesses rounded up to powers of two, the
 // approximate variant of Slota et al. that the paper's Table 7 compares
 // exact k-core against.
-func ApproxKCore(g Graph) []uint32 { return core.ApproxKCore(g) }
+func ApproxKCore(g Graph) []uint32 { return core.ApproxKCore(parallel.Default, g) }
 
 // ApproxSetCover computes an O(log n)-approximate cover of the instance
 // where the set for vertex v covers N(v).
 func ApproxSetCover(g Graph, eps float64, seed uint64) []uint32 {
-	return core.ApproxSetCover(g, eps, seed)
+	return core.ApproxSetCover(parallel.Default, g, eps, seed)
 }
 
 // TriangleCount returns the number of triangles of a symmetric graph.
-func TriangleCount(g Graph) int64 { return core.TriangleCount(g) }
+func TriangleCount(g Graph) int64 { return core.TriangleCount(parallel.Default, g) }
 
 // Degeneracy returns k_max from a coreness array.
-func Degeneracy(coreness []uint32) int { return core.Degeneracy(coreness) }
+func Degeneracy(coreness []uint32) int { return core.Degeneracy(parallel.Default, coreness) }
 
 // NumColors returns the number of colors a coloring uses.
-func NumColors(colors []uint32) int { return core.NumColors(colors) }
+func NumColors(colors []uint32) int { return core.NumColors(parallel.Default, colors) }
 
 // ComponentCount returns the number of distinct labels and largest class.
-func ComponentCount(labels []uint32) (int, int) { return core.ComponentCount(labels) }
+func ComponentCount(labels []uint32) (int, int) { return core.ComponentCount(parallel.Default, labels) }
 
 // StatsSym computes undirected-graph statistics (Tables 3, 8-13).
 func StatsSym(name string, g Graph, opt StatsOptions) GraphStats {
-	return stats.ComputeSym(name, g, opt)
+	return stats.ComputeSym(parallel.Default, name, g, opt)
 }
 
 // StatsDir computes directed-graph statistics (SCCs, directed diameter).
 func StatsDir(name string, g Graph, opt StatsOptions) GraphStats {
-	return stats.ComputeDir(name, g, opt)
+	return stats.ComputeDir(parallel.Default, name, g, opt)
 }
 
 // WriteStats prints a statistics table in the paper's Tables 8-13 layout.

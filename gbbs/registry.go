@@ -1,0 +1,175 @@
+package gbbs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Request is the uniform input of a registry-dispatched algorithm run.
+type Request struct {
+	// Graph is the input graph (CSR or compressed). Required.
+	Graph Graph
+	// Source is the source vertex for SSSP/BC-style problems; ignored by
+	// algorithms with NeedsSource == false.
+	Source uint32
+	// Seed overrides the engine's seed for this run when non-zero.
+	Seed uint64
+	// Opts carries algorithm-specific parameters by name (e.g. "eps" for
+	// setcover, "beta" for ldd, "delta" for deltastepping). Unknown keys are
+	// ignored; missing keys select the paper's defaults.
+	Opts map[string]any
+}
+
+// seed resolves the effective seed for a run on engine e.
+func (r Request) seed(e *Engine) uint64 {
+	if r.Seed != 0 {
+		return r.Seed
+	}
+	return e.seed
+}
+
+// optFloat reads a float64 option with a default.
+func (r Request) optFloat(key string, def float64) float64 {
+	if v, ok := r.Opts[key]; ok {
+		if f, ok := v.(float64); ok {
+			return f
+		}
+	}
+	return def
+}
+
+// optInt reads an int option with a default.
+func (r Request) optInt(key string, def int) int {
+	if v, ok := r.Opts[key]; ok {
+		if i, ok := v.(int); ok {
+			return i
+		}
+	}
+	return def
+}
+
+// Result is the uniform output of a registry-dispatched algorithm run.
+type Result struct {
+	// Summary is a one-line human-readable account of the output (matching
+	// the figures the paper's driver prints).
+	Summary string
+	// Value is the algorithm's raw output (e.g. []uint32 distances for bfs,
+	// []WEdge for msf, GraphStats for stats). Its dynamic type is documented
+	// per algorithm.
+	Value any
+	// Elapsed is the wall-clock running time of the algorithm itself
+	// (excluding graph loading), filled in by Engine.Run.
+	Elapsed time.Duration
+}
+
+// Algorithm describes one registered algorithm: CLI-facing metadata plus the
+// runner the drivers dispatch through.
+type Algorithm struct {
+	// Name is the registry key ("bfs", "kcore", ...). Required, unique.
+	Name string
+	// Description is the one-line description -list prints.
+	Description string
+	// NeedsSource marks algorithms that read Request.Source.
+	NeedsSource bool
+	// NeedsWeights marks algorithms requiring edge weights.
+	NeedsWeights bool
+	// Directed marks algorithms that want the directed variant of an input
+	// (the paper runs SCC on directed graphs and everything else on
+	// symmetrized ones).
+	Directed bool
+	// PaperRow, when non-empty, is this algorithm's row label in the
+	// paper's Tables 2/4/5; PaperOrder is its row position. The bench
+	// harness derives its 15-problem suite from these.
+	PaperRow   string
+	PaperOrder int
+	// Run executes the algorithm on engine e. Implementations fill
+	// Result.Summary and Result.Value; Engine.Run fills Result.Elapsed.
+	Run func(ctx context.Context, e *Engine, req Request) (Result, error)
+}
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Algorithm
+}{m: make(map[string]Algorithm)}
+
+// Register adds an algorithm to the registry. It panics on an empty name, a
+// nil runner, or a duplicate registration — all programmer errors at init
+// time, matching the stdlib registry idiom (gob.Register, sql.Register).
+func Register(a Algorithm) {
+	if a.Name == "" {
+		panic("gbbs: Register with empty algorithm name")
+	}
+	if a.Run == nil {
+		panic("gbbs: Register " + a.Name + " with nil Run")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[a.Name]; dup {
+		panic("gbbs: Register called twice for algorithm " + a.Name)
+	}
+	registry.m[a.Name] = a
+}
+
+// Algorithms returns all registered algorithms sorted by name.
+func Algorithms() []Algorithm {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Algorithm, 0, len(registry.m))
+	for _, a := range registry.m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// PaperSuite returns the algorithms forming the paper's Tables 2/4/5 rows,
+// in row order.
+func PaperSuite() []Algorithm {
+	all := Algorithms()
+	out := all[:0]
+	for _, a := range all {
+		if a.PaperRow != "" {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PaperOrder < out[j].PaperOrder })
+	return out
+}
+
+// Lookup returns the algorithm registered under name.
+func Lookup(name string) (Algorithm, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	a, ok := registry.m[name]
+	return a, ok
+}
+
+// Run dispatches an algorithm by registry name: it validates the request
+// against the algorithm's requirements, executes it on this engine, and
+// returns the Result with Elapsed filled in. Unknown names, missing graphs
+// and unmet weight requirements return descriptive errors.
+func (e *Engine) Run(ctx context.Context, name string, req Request) (Result, error) {
+	a, ok := Lookup(name)
+	if !ok {
+		return Result{}, fmt.Errorf("gbbs: unknown algorithm %q", name)
+	}
+	if req.Graph == nil {
+		return Result{}, fmt.Errorf("gbbs: %s: Request.Graph is nil", name)
+	}
+	if a.NeedsWeights && !req.Graph.Weighted() {
+		return Result{}, fmt.Errorf("gbbs: %s requires a weighted graph", name)
+	}
+	if a.NeedsSource && int64(req.Source) >= int64(req.Graph.N()) {
+		return Result{}, fmt.Errorf("gbbs: %s: source %d out of range [0, %d)", name, req.Source, req.Graph.N())
+	}
+	start := time.Now()
+	res, err := a.Run(ctx, e, req)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

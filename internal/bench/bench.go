@@ -4,51 +4,59 @@
 // cross-system comparison layout of Table 7, the graph statistics of
 // Tables 3 and 8-13, and the throughput-vs-size sweep of Figure 1. Both
 // cmd/gbbs-bench and the root testing.B benchmarks drive it.
+//
+// The suite is derived from the gbbs algorithm registry (the entries with
+// PaperRow metadata), so newly registered algorithms with paper rows appear
+// here automatically, and each measurement runs on its own isolated
+// gbbs.Engine rather than mutating a process-global thread count.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"time"
 
+	"repro/gbbs"
 	"repro/internal/compress"
-	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/parallel"
 )
 
-// Algo is one benchmark problem: a name matching the paper's table rows and
-// a runner. Directed algorithms receive the directed variant of the input.
+// Algo is one benchmark problem of the paper's suite: the registry key it
+// dispatches through, its Table 2/4/5 row label, and the input variant it
+// needs. Directed problems receive the directed variant of the input.
 type Algo struct {
-	Name     string
-	Directed bool // run on the directed version (the paper's SCC rows)
-	Weighted bool // requires edge weights
-	Run      func(g graph.Graph)
+	Key      string // gbbs registry name ("bfs", "kcore", ...)
+	Name     string // the paper's table row label
+	Directed bool   // run on the directed version (the paper's SCC rows)
+	Weighted bool   // requires edge weights
+	Seed     uint64
 }
 
-// Suite returns the paper's 15 problems in Table 2/4/5 row order, with the
-// parameters the paper uses (β=0.2 for LDD-based algorithms, ε=0.01 for set
-// cover, source 0 for the SSSP problems).
+// Run executes the problem once on g using engine e.
+func (a Algo) Run(e *gbbs.Engine, g graph.Graph) error {
+	_, err := e.Run(context.Background(), a.Key, gbbs.Request{Graph: g, Seed: a.Seed})
+	return err
+}
+
+// Suite returns the paper's 15 problems in Table 2/4/5 row order, derived
+// from the registry entries carrying PaperRow metadata. The parameters the
+// paper uses (β=0.2 for LDD-based algorithms, ε=0.01 for set cover, source
+// 0 for the SSSP problems) are the registry defaults.
 func Suite(seed uint64) []Algo {
-	return []Algo{
-		{Name: "Breadth-First Search (BFS)", Run: func(g graph.Graph) { core.BFS(g, 0) }},
-		{Name: "Integral-Weight SSSP (weighted BFS)", Weighted: true, Run: func(g graph.Graph) { core.WeightedBFS(g, 0) }},
-		{Name: "General-Weight SSSP (Bellman-Ford)", Weighted: true, Run: func(g graph.Graph) { core.BellmanFord(g, 0) }},
-		{Name: "Single-Source Betweenness Centrality (BC)", Run: func(g graph.Graph) { core.BC(g, 0) }},
-		{Name: "Low-Diameter Decomposition (LDD)", Run: func(g graph.Graph) { core.LDD(g, 0.2, seed) }},
-		{Name: "Connectivity", Run: func(g graph.Graph) { core.Connectivity(g, 0.2, seed) }},
-		{Name: "Biconnectivity", Run: func(g graph.Graph) { core.Biconnectivity(g, 0.2, seed) }},
-		{Name: "Strongly Connected Components (SCC)", Directed: true, Run: func(g graph.Graph) { core.SCC(g, seed, core.SCCOpts{}) }},
-		{Name: "Minimum Spanning Forest (MSF)", Weighted: true, Run: func(g graph.Graph) { core.MSF(g) }},
-		{Name: "Maximal Independent Set (MIS)", Run: func(g graph.Graph) { core.MIS(g, seed) }},
-		{Name: "Maximal Matching (MM)", Run: func(g graph.Graph) { core.MaximalMatching(g, seed) }},
-		{Name: "Graph Coloring", Run: func(g graph.Graph) { core.Coloring(g, seed) }},
-		{Name: "k-core", Run: func(g graph.Graph) { core.KCore(g, seed) }},
-		{Name: "Approximate Set Cover", Run: func(g graph.Graph) { core.ApproxSetCover(g, 0.01, seed) }},
-		{Name: "Triangle Counting (TC)", Run: func(g graph.Graph) { core.TriangleCount(g) }},
+	var out []Algo
+	for _, a := range gbbs.PaperSuite() {
+		out = append(out, Algo{
+			Key:      a.Name,
+			Name:     a.PaperRow,
+			Directed: a.Directed,
+			Weighted: a.NeedsWeights,
+			Seed:     seed,
+		})
 	}
+	return out
 }
 
 // Input bundles the variants of one benchmark graph: the symmetric
@@ -88,8 +96,10 @@ func MakeTorusInput(side int, seed uint64) Input {
 	}
 }
 
-// Measure times one run of a on the appropriate variant of in with the given
-// worker count, restoring the previous worker count afterwards.
+// Measure times one run of a on the appropriate variant of in with the
+// given worker count. Each call runs on a fresh isolated engine, so
+// concurrent measurements (or a measurement alongside serving traffic)
+// never interfere through a shared thread count.
 func Measure(in Input, a Algo, threads int) time.Duration {
 	g := in.Sym
 	if a.Directed {
@@ -101,11 +111,12 @@ func Measure(in Input, a Algo, threads int) time.Duration {
 	if a.Weighted && !in.Weighted {
 		return 0
 	}
-	old := parallel.SetWorkers(threads)
-	defer parallel.SetWorkers(old)
-	start := time.Now()
-	a.Run(g)
-	return time.Since(start)
+	e := gbbs.New(gbbs.WithThreads(threads), gbbs.WithSeed(a.Seed))
+	res, err := e.Run(context.Background(), a.Key, gbbs.Request{Graph: g, Seed: a.Seed})
+	if err != nil {
+		return 0
+	}
+	return res.Elapsed
 }
 
 // Row is one line of a Table 2/4/5-style report.

@@ -87,8 +87,7 @@ func Table5(w io.Writer, c Config) {
 func Table6(w io.Writer, c Config) {
 	c = c.norm()
 	g := gen.BuildRMAT(c.Scale, 16, true, true, c.Seed+66)
-	old := parallel.SetWorkers(c.Threads)
-	defer parallel.SetWorkers(old)
+	sched := parallel.New(c.Threads)
 
 	fmt.Fprintf(w, "Table 6: optimization ablations on RMAT scale %d (n=%d m=%d), %d threads\n",
 		c.Scale, g.N(), g.M(), c.Threads)
@@ -106,10 +105,10 @@ func Table6(w io.Writer, c Config) {
 		fmt.Fprintf(w, "%-28s %12s %16.1f %18d\n", name, fmtDur(dur),
 			float64(m1.TotalAlloc-m0.TotalAlloc)/1e6, ligra.Traffic.Load())
 	}
-	measure("k-core (histogram)", func() { core.KCore(g, c.Seed) })
-	measure("k-core (fetch-and-add)", func() { core.KCoreFetchAndAdd(g) })
-	measure("weighted BFS (blocked)", func() { core.WeightedBFS(g, 0) })
-	measure("weighted BFS (unblocked)", func() { core.WeightedBFSUnblocked(g, 0) })
+	measure("k-core (histogram)", func() { core.KCore(sched, g, c.Seed) })
+	measure("k-core (fetch-and-add)", func() { core.KCoreFetchAndAdd(sched, g) })
+	measure("weighted BFS (blocked)", func() { core.WeightedBFS(sched, g, 0) })
+	measure("weighted BFS (unblocked)", func() { core.WeightedBFSUnblocked(sched, g, 0) })
 	fmt.Fprintln(w)
 }
 
@@ -157,19 +156,18 @@ func Table7(w io.Writer, c Config) {
 	}
 	// Our rows, at simulation scale.
 	in := MakeRMATInput("2012-sim", c.Scale, 16, true, c.Seed+2012)
-	old := parallel.SetWorkers(c.Threads)
-	defer parallel.SetWorkers(old)
+	sched := parallel.New(c.Threads)
 	ours := []struct {
 		name string
 		f    func()
 	}{
-		{"BFS*", func() { core.BFS(in.Dir, 0) }},
-		{"SSSP*", func() { core.WeightedBFS(in.Sym, 0) }},
-		{"BC*", func() { core.BC(in.Dir, 0) }},
-		{"Connectivity", func() { core.Connectivity(in.Sym, 0.2, c.Seed) }},
-		{"SCC*", func() { core.SCC(in.Dir, c.Seed, core.SCCOpts{}) }},
-		{"k-core", func() { core.KCore(in.Sym, c.Seed) }},
-		{"TC", func() { core.TriangleCount(in.Sym) }},
+		{"BFS*", func() { core.BFS(sched, in.Dir, 0) }},
+		{"SSSP*", func() { core.WeightedBFS(sched, in.Sym, 0) }},
+		{"BC*", func() { core.BC(sched, in.Dir, 0) }},
+		{"Connectivity", func() { core.Connectivity(sched, in.Sym, 0.2, c.Seed) }},
+		{"SCC*", func() { core.SCC(sched, in.Dir, c.Seed, core.SCCOpts{}) }},
+		{"k-core", func() { core.KCore(sched, in.Sym, c.Seed) }},
+		{"TC", func() { core.TriangleCount(sched, in.Sym) }},
 	}
 	for _, o := range ours {
 		start := time.Now()
@@ -185,8 +183,7 @@ func Table7(w io.Writer, c Config) {
 // the simulated corpus.
 func Table3(w io.Writer, c Config) {
 	c = c.norm()
-	old := parallel.SetWorkers(c.Threads)
-	defer parallel.SetWorkers(old)
+	sched := parallel.New(c.Threads)
 	type entry struct {
 		name string
 		sym  graph.Graph
@@ -201,10 +198,10 @@ func Table3(w io.Writer, c Config) {
 	}
 	fmt.Fprintln(w, "Table 3 / Tables 8-13: graph inventory and statistics")
 	for _, e := range entries {
-		s := stats.ComputeSym(e.name, e.sym, stats.Options{Seed: c.Seed})
+		s := stats.ComputeSym(sched, e.name, e.sym, stats.Options{Seed: c.Seed})
 		stats.WriteTable(w, s, false)
 		if e.dir != nil {
-			d := stats.ComputeDir(e.name+" (directed)", e.dir, stats.Options{Seed: c.Seed})
+			d := stats.ComputeDir(sched, e.name+" (directed)", e.dir, stats.Options{Seed: c.Seed})
 			stats.WriteTable(w, d, true)
 		}
 		fmt.Fprintln(w)
@@ -216,8 +213,7 @@ func Table3(w io.Writer, c Config) {
 // one CSV-like row per (algorithm, size).
 func Figure1(w io.Writer, c Config) {
 	c = c.norm()
-	old := parallel.SetWorkers(c.Threads)
-	defer parallel.SetWorkers(old)
+	sched := parallel.New(c.Threads)
 	maxSide := 1 << uint(c.Scale/3)
 	fmt.Fprintln(w, "Figure 1: normalized throughput vs vertices on the 3D-Torus family")
 	fmt.Fprintf(w, "%-16s %12s %12s %14s %14s\n", "algorithm", "vertices", "edges", "time", "edges/sec")
@@ -225,10 +221,10 @@ func Figure1(w io.Writer, c Config) {
 		name string
 		f    func(g graph.Graph)
 	}{
-		{"MIS", func(g graph.Graph) { core.MIS(g, c.Seed) }},
-		{"BFS", func(g graph.Graph) { core.BFS(g, 0) }},
-		{"BC", func(g graph.Graph) { core.BC(g, 0) }},
-		{"Graph Coloring", func(g graph.Graph) { core.Coloring(g, c.Seed) }},
+		{"MIS", func(g graph.Graph) { core.MIS(sched, g, c.Seed) }},
+		{"BFS", func(g graph.Graph) { core.BFS(sched, g, 0) }},
+		{"BC", func(g graph.Graph) { core.BC(sched, g, 0) }},
+		{"Graph Coloring", func(g graph.Graph) { core.Coloring(sched, g, c.Seed) }},
 	}
 	for side := 8; side <= maxSide; side *= 2 {
 		g := gen.BuildTorus3D(side, false, c.Seed)

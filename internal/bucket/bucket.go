@@ -33,6 +33,7 @@ const (
 
 // Buckets is the bucketing structure over identifiers [0, n).
 type Buckets struct {
+	sched    *parallel.Scheduler
 	n        int
 	order    Order
 	maxBkt   uint32 // inclusive bound on bucket IDs (used for Decreasing)
@@ -45,16 +46,17 @@ type Buckets struct {
 	iter     int    // next open slot to inspect
 }
 
-// New builds the structure over n identifiers with the given processing
-// order and bucket function fn (fn(i) == Nil files identifier i nowhere).
+// New builds the structure over n identifiers on scheduler s with the given
+// processing order and bucket function fn (fn(i) == Nil files identifier i nowhere).
 // maxBkt is an inclusive upper bound on bucket IDs fn can return; it is
 // required for Decreasing order and advisory otherwise. numOpen <= 0 selects
 // the default window of 128 open buckets.
-func New(n int, numOpen int, order Order, maxBkt uint32, fn func(uint32) uint32) *Buckets {
+func New(s *parallel.Scheduler, n int, numOpen int, order Order, maxBkt uint32, fn func(uint32) uint32) *Buckets {
 	if numOpen <= 0 {
 		numOpen = 128
 	}
 	b := &Buckets{
+		sched:   s,
 		n:       n,
 		order:   order,
 		maxBkt:  maxBkt,
@@ -66,7 +68,7 @@ func New(n int, numOpen int, order Order, maxBkt uint32, fn func(uint32) uint32)
 	for i := range b.cur {
 		b.cur[i] = Nil
 	}
-	ids := prims.PackIndex(n, func(i int) bool { return fn(uint32(i)) != Nil })
+	ids := prims.PackIndex(s, n, func(i int) bool { return fn(uint32(i)) != Nil })
 	b.file(ids)
 	return b
 }
@@ -118,9 +120,9 @@ func (b *Buckets) file(ids []uint32) {
 		}
 		keys = append(keys, slot<<32|uint64(id))
 	}
-	prims.RadixSortU64(keys, 64)
+	prims.RadixSortU64(b.sched, keys, 64)
 	// Split runs by slot.
-	starts := prims.PackIndex(len(keys), func(i int) bool {
+	starts := prims.PackIndex(b.sched, len(keys), func(i int) bool {
 		return i == 0 || keys[i]>>32 != keys[i-1]>>32
 	})
 	for si, s := range starts {
@@ -162,11 +164,11 @@ func (b *Buckets) NextBucket() (uint32, []uint32) {
 				continue
 			}
 			tick := b.base + uint32(slot)
-			live := prims.Filter(entries, func(id uint32) bool { return b.cur[id] == tick })
+			live := prims.Filter(b.sched, entries, func(id uint32) bool { return b.cur[id] == tick })
 			if len(live) == 0 {
 				continue // slot drained of live entries; recheck before advancing
 			}
-			parallel.ForRange(len(live), 0, func(lo, hi int) {
+			b.sched.ForRange(len(live), 0, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					b.cur[live[i]] = Nil
 				}
@@ -186,7 +188,7 @@ func (b *Buckets) NextBucket() (uint32, []uint32) {
 		// copy was just pulled out of the overflow array). Duplicate copies
 		// of one id in the overflow collapse here via the Nil marking: the
 		// first copy refiles it, the second sees cur already set by file.
-		pending = prims.Filter(pending, func(id uint32) bool { return b.cur[id] != Nil && b.cur[id] >= b.base })
+		pending = prims.Filter(b.sched, pending, func(id uint32) bool { return b.cur[id] != Nil && b.cur[id] >= b.base })
 		for _, id := range pending {
 			b.cur[id] = Nil
 		}

@@ -84,7 +84,7 @@ func FromFunc(n int, symmetric bool, blockSize int, deg func(v uint32) int, emit
 		}
 	})
 	g.offsets = make([]int64, n+1)
-	total := prims.Scan(sizes, g.offsets[:n])
+	total := prims.Scan(parallel.Default, sizes, g.offsets[:n])
 	g.offsets[n] = total
 	g.data = make([]byte, total)
 	m := 0
@@ -122,7 +122,7 @@ func encodeDirection(n, blockSize int, weighted bool, nghs func(uint32) []uint32
 		}
 	})
 	g.offsets = make([]int64, n+1)
-	total := prims.Scan(sizes, g.offsets[:n])
+	total := prims.Scan(parallel.Default, sizes, g.offsets[:n])
 	g.offsets[n] = total
 	g.data = make([]byte, total)
 	parallel.ForRange(n, 64, func(lo, hi int) {

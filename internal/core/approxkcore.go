@@ -15,13 +15,13 @@ import (
 // using 113x fewer cores). Thresholded peeling with doubling thresholds
 // assigns every vertex the smallest threshold in {0, 1, 2, 4, 8, ...} at or
 // above its exact coreness, in O(m log k_max) work.
-func ApproxKCore(g graph.Graph) []uint32 {
+func ApproxKCore(s *parallel.Scheduler, g graph.Graph) []uint32 {
 	n := g.N()
 	deg := make([]uint32, n)
 	core := make([]uint32, n)
 	removed := make([]bool, n)
 	remaining := n
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			deg[v] = uint32(g.OutDeg(uint32(v)))
 		}
@@ -29,20 +29,21 @@ func ApproxKCore(g graph.Graph) []uint32 {
 	t := uint32(0)
 	for remaining > 0 {
 		for {
-			peel := prims.PackIndex(n, func(v int) bool {
+			s.Poll()
+			peel := prims.PackIndex(s, n, func(v int) bool {
 				return !removed[v] && atomic.LoadUint32(&deg[v]) <= t
 			})
 			if len(peel) == 0 {
 				break
 			}
 			remaining -= len(peel)
-			parallel.ForRange(len(peel), 0, func(lo, hi int) {
+			s.ForRange(len(peel), 0, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					removed[peel[i]] = true
 					core[peel[i]] = t
 				}
 			})
-			parallel.For(len(peel), 32, func(i int) {
+			s.For(len(peel), 32, func(i int) {
 				g.OutNgh(peel[i], func(u uint32, _ int32) bool {
 					if !removed[u] {
 						atomic.AddUint32(&deg[u], ^uint32(0))

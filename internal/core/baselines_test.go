@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/seqref"
 )
 
@@ -12,7 +13,7 @@ func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
 	for name, g := range symWeightedGraphs() {
 		want := seqref.Dijkstra(g, 0)
 		for _, delta := range []int32{0, 1, 3, 1000} {
-			got := DeltaStepping(g, 0, delta)
+			got := DeltaStepping(parallel.Default, g, 0, delta)
 			for v := range want {
 				gv := int64(got[v])
 				if got[v] == Inf {
@@ -31,8 +32,8 @@ func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
 
 func TestDeltaSteppingAgreesWithWBFS(t *testing.T) {
 	g := symWeightedGraphs()["rmat-w"]
-	a := WeightedBFS(g, 5)
-	b := DeltaStepping(g, 5, 0)
+	a := WeightedBFS(parallel.Default, g, 5)
+	b := DeltaStepping(parallel.Default, g, 5, 0)
 	for v := range a {
 		if a[v] != b[v] {
 			t.Fatalf("wBFS and Δ-stepping disagree at %d: %d vs %d", v, a[v], b[v])
@@ -46,8 +47,8 @@ func TestMISPrefixEqualsRootset(t *testing.T) {
 	// each other).
 	for _, name := range []string{"rmat", "er", "torus", "star", "complete", "grid"} {
 		g := symGraphs()[name]
-		a := MIS(g, 11)
-		b := MISPrefix(g, 11)
+		a := MIS(parallel.Default, g, 11)
+		b := MISPrefix(parallel.Default, g, 11)
 		for v := range a {
 			if a[v] != b[v] {
 				t.Fatalf("%s: rootset and prefix MIS differ at %d", name, v)
@@ -58,7 +59,7 @@ func TestMISPrefixEqualsRootset(t *testing.T) {
 
 func TestMISPrefixIsMaximalIndependent(t *testing.T) {
 	g := gen.BuildErdosRenyi(1000, 5000, true, false, 31)
-	in := MISPrefix(g, 3)
+	in := MISPrefix(parallel.Default, g, 3)
 	for v := 0; v < g.N(); v++ {
 		hasSet := false
 		g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
@@ -79,11 +80,11 @@ func TestMISPrefixIsMaximalIndependent(t *testing.T) {
 func TestColoringLFProperAndCompact(t *testing.T) {
 	for _, name := range []string{"rmat", "er", "complete", "star"} {
 		g := symGraphs()[name]
-		colors := ColoringLF(g, 9)
-		if !ValidColoring(g, colors) {
+		colors := ColoringLF(parallel.Default, g, 9)
+		if !ValidColoring(parallel.Default, g, colors) {
 			t.Fatalf("%s: LF coloring improper", name)
 		}
-		if nc := NumColors(colors); nc > g.MaxDegree()+1 {
+		if nc := NumColors(parallel.Default, colors); nc > g.MaxDegree()+1 {
 			t.Fatalf("%s: LF used %d colors > Δ+1", name, nc)
 		}
 	}
@@ -91,8 +92,8 @@ func TestColoringLFProperAndCompact(t *testing.T) {
 
 func TestColoringLFvsLLFBothProper(t *testing.T) {
 	g := symGraphs()["rmat"]
-	lf := NumColors(ColoringLF(g, 4))
-	llf := NumColors(Coloring(g, 4))
+	lf := NumColors(parallel.Default, ColoringLF(parallel.Default, g, 4))
+	llf := NumColors(parallel.Default, Coloring(parallel.Default, g, 4))
 	// Both are greedy (Δ+1) heuristics; the counts should be in the same
 	// ballpark (the paper's tables show them within a few colors).
 	if lf <= 0 || llf <= 0 || lf > 3*llf || llf > 3*lf {
@@ -103,8 +104,8 @@ func TestColoringLFvsLLFBothProper(t *testing.T) {
 func TestApproxKCoreRoundsUpExact(t *testing.T) {
 	for _, name := range []string{"rmat", "er", "torus", "complete", "tree", "empty"} {
 		g := symGraphs()[name]
-		exact, _ := KCore(g, 0)
-		approx := ApproxKCore(g)
+		exact, _ := KCore(parallel.Default, g, 0)
+		approx := ApproxKCore(parallel.Default, g)
 		for v := range exact {
 			if want := NextPow2AtLeast(exact[v]); approx[v] != want {
 				t.Fatalf("%s: approx[%d] = %d want next-pow2(%d) = %d",
@@ -128,7 +129,7 @@ func TestDeltaSteppingPathGraph(t *testing.T) {
 	el := gen.WithRandomWeights(gen.Path(2000), 7, 5)
 	g := graph.FromEdgeList(2000, el, graph.BuildOptions{Symmetrize: true})
 	want := seqref.Dijkstra(g, 0)
-	got := DeltaStepping(g, 0, 2)
+	got := DeltaStepping(parallel.Default, g, 0, 2)
 	for v := range want {
 		if int64(got[v]) != want[v] {
 			t.Fatalf("path dist[%d] = %d want %d", v, got[v], want[v])

@@ -16,7 +16,7 @@ import (
 //
 // For directed graphs the backward phase traverses the transpose, so g must
 // have in-edges available.
-func BC(g graph.Graph, src uint32) []float64 {
+func BC(s *parallel.Scheduler, g graph.Graph, src uint32) []float64 {
 	n := g.N()
 	// numPaths and dependencies are float64 accumulated via CAS on bits.
 	numPaths := make([]uint64, n)
@@ -33,34 +33,36 @@ func BC(g graph.Graph, src uint32) []float64 {
 	var levels []ligra.VertexSubset
 	frontier := ligra.Single(n, src)
 	for frontier.Size() > 0 {
+		s.Poll()
 		levels = append(levels, frontier)
-		frontier = ligra.EdgeMap(g, frontier,
+		frontier = ligra.EdgeMap(s, g, frontier,
 			func(s, d uint32, _ int32) bool {
 				prev := atomics.AddFloat64Prev(&numPaths[d], atomics.LoadFloat64(&numPaths[s]))
 				return prev == 0
 			},
 			func(d uint32) bool { return atomics.Load32(&visited[d]) == 0 },
 			ligra.Opts{})
-		ligra.VertexMap(frontier, func(v uint32) { atomics.Store32(&visited[v], 1) })
+		ligra.VertexMap(s, frontier, func(v uint32) { atomics.Store32(&visited[v], 1) })
 	}
 
 	// Backward phase: process levels deepest-first, pushing dependency
 	// contributions to the previous level over reversed edges.
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			visited[i] = 0
 		}
 	})
 	gt := g.Transpose()
 	for round := len(levels) - 1; round >= 0; round-- {
+		s.Poll()
 		f := levels[round]
-		ligra.VertexMap(f, func(v uint32) { atomics.Store32(&visited[v], 1) })
+		ligra.VertexMap(s, f, func(v uint32) { atomics.Store32(&visited[v], 1) })
 		if round == 0 {
 			break
 		}
 		// Push from the deeper vertices s to their shallower predecessors d:
 		// edge (d, s) in G is edge (s, d) in the transpose.
-		ligra.EdgeMap(gt, f,
+		ligra.EdgeMap(s, gt, f,
 			func(s, d uint32, _ int32) bool {
 				if atomics.Load32(&visited[d]) == 0 {
 					contribution := (atomics.LoadFloat64(&numPaths[d]) / atomics.LoadFloat64(&numPaths[s])) *
@@ -73,7 +75,7 @@ func BC(g graph.Graph, src uint32) []float64 {
 			ligra.Opts{NoOutput: true})
 	}
 	out := make([]float64, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = atomics.LoadFloat64(&dep[i])
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/atomics"
 	"repro/internal/graph"
 	"repro/internal/ligra"
+	"repro/internal/parallel"
 )
 
 // Distance sentinels for general-weight SSSP.
@@ -25,7 +26,7 @@ const (
 // without negative cycles; if a negative-weight cycle is reachable from src,
 // every vertex reachable from the cycle gets distance NegInfDist and the
 // second result is true.
-func BellmanFord(g graph.Graph, src uint32) ([]int64, bool) {
+func BellmanFord(s *parallel.Scheduler, g graph.Graph, src uint32) ([]int64, bool) {
 	n := g.N()
 	dist := make([]int64, n)
 	flags := make([]uint32, n)
@@ -43,11 +44,12 @@ func BellmanFord(g graph.Graph, src uint32) ([]int64, bool) {
 	}
 	cond := func(uint32) bool { return true }
 	for round := 0; round < n; round++ {
+		s.Poll()
 		if frontier.Size() == 0 {
 			return dist, false
 		}
-		frontier = ligra.EdgeMap(g, frontier, update, cond, ligra.Opts{})
-		ligra.VertexMap(frontier, func(v uint32) { atomics.Store32(&flags[v], 0) })
+		frontier = ligra.EdgeMap(s, g, frontier, update, cond, ligra.Opts{})
+		ligra.VertexMap(s, frontier, func(v uint32) { atomics.Store32(&flags[v], 0) })
 	}
 	if frontier.Size() == 0 {
 		// The n'th relaxation round was the last one needed (a shortest
@@ -58,8 +60,9 @@ func BellmanFord(g graph.Graph, src uint32) ([]int64, bool) {
 	// vertex reachable from the current frontier has distance -∞.
 	reach := frontier
 	for reach.Size() > 0 {
-		ligra.VertexMap(reach, func(v uint32) { atomic.StoreInt64(&dist[v], NegInfDist) })
-		reach = ligra.EdgeMap(g, reach,
+		s.Poll()
+		ligra.VertexMap(s, reach, func(v uint32) { atomic.StoreInt64(&dist[v], NegInfDist) })
+		reach = ligra.EdgeMap(s, g, reach,
 			func(s, d uint32, _ int32) bool {
 				if atomic.LoadInt64(&dist[d]) != NegInfDist {
 					return atomics.TestAndSet(&flags[d])
@@ -68,7 +71,7 @@ func BellmanFord(g graph.Graph, src uint32) ([]int64, bool) {
 			},
 			func(d uint32) bool { return atomic.LoadInt64(&dist[d]) != NegInfDist },
 			ligra.Opts{})
-		ligra.VertexMap(reach, func(v uint32) { atomics.Store32(&flags[v], 0) })
+		ligra.VertexMap(s, reach, func(v uint32) { atomics.Store32(&flags[v], 0) })
 	}
 	return dist, true
 }

@@ -4,6 +4,7 @@ import (
 	"repro/internal/atomics"
 	"repro/internal/graph"
 	"repro/internal/ligra"
+	"repro/internal/parallel"
 )
 
 // BFS computes shortest-path hop distances from src (Algorithm 1): D[v] is
@@ -11,7 +12,7 @@ import (
 // unreachable. It runs in O(m) work and O(diam(G) log n) depth on the
 // TS-MT-RAM: each round applies edgeMap with a test-and-set acquiring
 // unvisited vertices.
-func BFS(g graph.Graph, src uint32) []uint32 {
+func BFS(s *parallel.Scheduler, g graph.Graph, src uint32) []uint32 {
 	n := g.N()
 	dist := make([]uint32, n)
 	visited := make([]uint32, n)
@@ -23,9 +24,10 @@ func BFS(g graph.Graph, src uint32) []uint32 {
 	frontier := ligra.Single(n, src)
 	round := uint32(0)
 	for frontier.Size() > 0 {
+		s.Poll()
 		round++
 		r := round
-		frontier = ligra.EdgeMap(g, frontier,
+		frontier = ligra.EdgeMap(s, g, frontier,
 			func(s, d uint32, _ int32) bool {
 				if atomics.TestAndSet(&visited[d]) {
 					dist[d] = r
@@ -42,19 +44,19 @@ func BFS(g graph.Graph, src uint32) []uint32 {
 // BFSTree is BFS additionally recording the search forest: parent[v] is the
 // frontier vertex that acquired v (parent[src] = src; Inf if unreached).
 // Biconnectivity's spanning forest uses the multi-source variant below.
-func BFSTree(g graph.Graph, src uint32) (dist, parent []uint32) {
-	dist, parent = multiBFS(g, []uint32{src})
+func BFSTree(s *parallel.Scheduler, g graph.Graph, src uint32) (dist, parent []uint32) {
+	dist, parent = multiBFS(s, g, []uint32{src})
 	return dist, parent
 }
 
 // MultiBFS runs a breadth-first search simultaneously from all roots,
 // returning hop distances and the BFS forest (parent[root] = root). The
 // frontier logic is identical to BFS; the roots simply seed round zero.
-func MultiBFS(g graph.Graph, roots []uint32) (dist, parent []uint32) {
-	return multiBFS(g, roots)
+func MultiBFS(s *parallel.Scheduler, g graph.Graph, roots []uint32) (dist, parent []uint32) {
+	return multiBFS(s, g, roots)
 }
 
-func multiBFS(g graph.Graph, roots []uint32) (dist, parent []uint32) {
+func multiBFS(s *parallel.Scheduler, g graph.Graph, roots []uint32) (dist, parent []uint32) {
 	n := g.N()
 	dist = make([]uint32, n)
 	parent = make([]uint32, n)
@@ -71,9 +73,10 @@ func multiBFS(g graph.Graph, roots []uint32) (dist, parent []uint32) {
 	frontier := ligra.FromSparse(n, roots)
 	round := uint32(0)
 	for frontier.Size() > 0 {
+		s.Poll()
 		round++
 		r := round
-		frontier = ligra.EdgeMap(g, frontier,
+		frontier = ligra.EdgeMap(s, g, frontier,
 			func(s, d uint32, _ int32) bool {
 				if atomics.TestAndSet(&visited[d]) {
 					dist[d] = r

@@ -49,38 +49,38 @@ func (b *Bicc) EdgeLabel(u, v uint32) uint32 {
 // produces the per-vertex labels of the query structure.
 //
 // g must be symmetric.
-func Biconnectivity(g graph.Graph, beta float64, seed uint64) *Bicc {
+func Biconnectivity(s *parallel.Scheduler, g graph.Graph, beta float64, seed uint64) *Bicc {
 	n := g.N()
-	parent, level, roots := SpanningForest(g, beta, seed)
+	parent, level, roots := SpanningForest(s, g, beta, seed)
 
 	// Children adjacency of the BFS forest, CSR-shaped, ordered by (parent,
 	// child) for deterministic preorder numbers.
-	treeEdges := prims.MapFilter(n,
+	treeEdges := prims.MapFilter(s, n,
 		func(v int) bool { return parent[v] != uint32(v) && parent[v] != Inf },
 		func(v int) uint32 { return uint32(v) })
 	childKeys := make([]uint64, len(treeEdges))
-	parallel.ForRange(len(treeEdges), 0, func(lo, hi int) {
+	s.ForRange(len(treeEdges), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			v := treeEdges[i]
 			childKeys[i] = uint64(parent[v])<<32 | uint64(v)
 		}
 	})
-	prims.RadixSortU64(childKeys, 64)
+	prims.RadixSortU64(s, childKeys, 64)
 	childArr := make([]uint32, len(childKeys))
 	childSrc := make([]uint32, len(childKeys))
-	parallel.ForRange(len(childKeys), 0, func(lo, hi int) {
+	s.ForRange(len(childKeys), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			childArr[i] = uint32(childKeys[i])
 			childSrc[i] = uint32(childKeys[i] >> 32)
 		}
 	})
-	childOff := csrOffsets(n, childSrc)
+	childOff := csrOffsets(s, n, childSrc)
 	children := func(v uint32) []uint32 { return childArr[childOff[v]:childOff[v+1]] }
 
 	// Group vertices by BFS level for the leaffix/rootfix sweeps.
 	levelKeys := make([]uint64, n)
 	maxLevel := uint32(0)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			levelKeys[v] = uint64(level[v])<<32 | uint64(uint32(v))
 		}
@@ -90,8 +90,8 @@ func Biconnectivity(g graph.Graph, beta float64, seed uint64) *Bicc {
 			maxLevel = level[v]
 		}
 	}
-	prims.RadixSortU64(levelKeys, 64)
-	levelStarts := prims.PackIndex(n, func(i int) bool {
+	prims.RadixSortU64(s, levelKeys, 64)
+	levelStarts := prims.PackIndex(s, n, func(i int) bool {
 		return i == 0 || levelKeys[i]>>32 != levelKeys[i-1]>>32
 	})
 	levelSlice := func(li int) []uint64 {
@@ -106,8 +106,9 @@ func Biconnectivity(g graph.Graph, beta float64, seed uint64) *Bicc {
 	// Leaffix: subtree sizes, deepest level first.
 	size := make([]uint32, n)
 	for li := numLevels - 1; li >= 0; li-- {
+		s.Poll()
 		ls := levelSlice(li)
-		parallel.ForRange(len(ls), 256, func(lo, hi int) {
+		s.ForRange(len(ls), 256, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := uint32(ls[i])
 				s := uint32(1)
@@ -128,8 +129,9 @@ func Biconnectivity(g graph.Graph, beta float64, seed uint64) *Bicc {
 		base += size[r]
 	}
 	for li := 0; li < numLevels; li++ {
+		s.Poll()
 		ls := levelSlice(li)
-		parallel.ForRange(len(ls), 256, func(lo, hi int) {
+		s.ForRange(len(ls), 256, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := uint32(ls[i])
 				running := pn[v] + 1
@@ -146,8 +148,9 @@ func Biconnectivity(g graph.Graph, beta float64, seed uint64) *Bicc {
 	low := make([]uint32, n)
 	high := make([]uint32, n)
 	for li := numLevels - 1; li >= 0; li-- {
+		s.Poll()
 		ls := levelSlice(li)
-		parallel.ForRange(len(ls), 64, func(lo, hi int) {
+		s.ForRange(len(ls), 64, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := uint32(ls[i])
 				lv, hv := pn[v], pn[v]
@@ -179,7 +182,7 @@ func Biconnectivity(g graph.Graph, beta float64, seed uint64) *Bicc {
 	// point for u's subtree when the subtree's non-tree reach stays inside
 	// the parent's subtree interval.
 	critical := make([]bool, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			p := parent[v]
 			if p == uint32(v) || p == Inf {
@@ -210,7 +213,7 @@ func Biconnectivity(g graph.Graph, beta float64, seed uint64) *Bicc {
 				return true
 			})
 		})
-	labels := Connectivity(filtered, beta, seed^0x5ca1ab1e)
+	labels := Connectivity(s, filtered, beta, seed^0x5ca1ab1e)
 	return &Bicc{Parent: parent, Level: level, Labels: labels}
 }
 
@@ -220,13 +223,13 @@ func isCritical(critical []bool, parent []uint32, v, u uint32) bool {
 }
 
 // csrOffsets computes offsets for a sorted source array over n vertices.
-func csrOffsets(n int, srcs []uint32) []int64 {
+func csrOffsets(s *parallel.Scheduler, n int, srcs []uint32) []int64 {
 	offsets := make([]int64, n+1)
 	m := len(srcs)
 	if m == 0 {
 		return offsets
 	}
-	parallel.ForRange(m, 0, func(lo, hi int) {
+	s.ForRange(m, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			u := srcs[i]
 			if i == 0 {
@@ -250,15 +253,15 @@ func csrOffsets(n int, srcs []uint32) []int64 {
 
 // NumBiccLabels counts distinct edge labels under the query structure — the
 // paper's "number of biconnected components" statistic.
-func NumBiccLabels(g graph.Graph, b *Bicc) int {
+func NumBiccLabels(s *parallel.Scheduler, g graph.Graph, b *Bicc) int {
 	n := g.N()
 	seen := make([]uint32, n) // labels are vertex labels in [0, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			seen[i] = 0
 		}
 	})
-	parallel.ForRange(n, 64, func(lo, hi int) {
+	s.ForRange(n, 64, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
 				if u > uint32(v) {
@@ -268,5 +271,5 @@ func NumBiccLabels(g graph.Graph, b *Bicc) int {
 			})
 		}
 	})
-	return prims.Count(n, func(i int) bool { return seen[i] == 1 })
+	return prims.Count(s, n, func(i int) bool { return seen[i] == 1 })
 }

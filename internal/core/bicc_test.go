@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/seqref"
 )
 
@@ -53,7 +54,7 @@ func TestBiconnectivityMatchesHopcroftTarjan(t *testing.T) {
 			continue
 		}
 		want := seqref.BCC(g)
-		got := biccEdgePartition(g, Biconnectivity(g, 0.2, 13))
+		got := biccEdgePartition(g, Biconnectivity(parallel.Default, g, 0.2, 13))
 		if !samePartitionMaps(want, got) {
 			t.Fatalf("%s: biconnectivity edge partition mismatch", name)
 		}
@@ -86,8 +87,8 @@ func TestBiconnectivityKnownShapes(t *testing.T) {
 	}
 	for _, c := range cases {
 		g := graph.FromEdgeList(c.el.N, c.el, graph.BuildOptions{Symmetrize: true})
-		b := Biconnectivity(g, 0.2, 3)
-		if got := NumBiccLabels(g, b); got != c.want {
+		b := Biconnectivity(parallel.Default, g, 0.2, 3)
+		if got := NumBiccLabels(parallel.Default, g, b); got != c.want {
 			t.Fatalf("%s: %d BCCs want %d", c.name, got, c.want)
 		}
 		want := seqref.BCC(g)
@@ -101,7 +102,7 @@ func TestBiconnectivityRandomGraphsProperty(t *testing.T) {
 	for seed := uint64(0); seed < 6; seed++ {
 		g := gen.BuildErdosRenyi(150, 300, true, false, 2000+seed)
 		want := seqref.BCC(g)
-		got := biccEdgePartition(g, Biconnectivity(g, 0.2, seed))
+		got := biccEdgePartition(g, Biconnectivity(parallel.Default, g, 0.2, seed))
 		if !samePartitionMaps(want, got) {
 			t.Fatalf("seed %d: biconnectivity mismatch", seed)
 		}
@@ -110,8 +111,8 @@ func TestBiconnectivityRandomGraphsProperty(t *testing.T) {
 
 func TestNumBiccLabelsCountsDistinct(t *testing.T) {
 	g := graph.FromEdgeList(4, gen.Path(4), graph.BuildOptions{Symmetrize: true})
-	b := Biconnectivity(g, 0.2, 1)
-	if got := NumBiccLabels(g, b); got != 3 {
+	b := Biconnectivity(parallel.Default, g, 0.2, 1)
+	if got := NumBiccLabels(parallel.Default, g, b); got != 3 {
 		t.Fatalf("path4 has %d BCCs want 3", got)
 	}
 }

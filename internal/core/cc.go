@@ -15,25 +15,25 @@ import (
 // label in [0, n); two vertices get equal labels iff they are connected.
 //
 // g must be symmetric. beta in (0, 1); the paper fixes β = 0.2.
-func Connectivity(g graph.Graph, beta float64, seed uint64) []uint32 {
+func Connectivity(s *parallel.Scheduler, g graph.Graph, beta float64, seed uint64) []uint32 {
 	n := g.N()
-	labels := LDD(g, beta, seed)
-	k, renumber := NumClusters(labels)
+	labels := LDD(s, g, beta, seed)
+	k, renumber := NumClusters(s, labels)
 	// Relabel every vertex into the contracted ID space.
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			labels[v] = renumber[labels[v]]
 		}
 	})
 	// Contract: one edge (cluster(u), cluster(v)) per cut edge; builder
 	// dedups. Keep one direction and symmetrize to halve the sort.
-	el := contractEdges(g, labels, k)
+	el := contractEdges(s, g, labels, k)
 	if el.Len() == 0 {
 		return labels
 	}
 	gc := graph.FromEdgeList(k, el, graph.BuildOptions{Symmetrize: true})
-	sub := Connectivity(gc, beta, xrand.SplitMix64(seed))
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	sub := Connectivity(s, gc, beta, xrand.SplitMix64(seed))
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			labels[v] = sub[labels[v]]
 		}
@@ -43,12 +43,12 @@ func Connectivity(g graph.Graph, beta float64, seed uint64) []uint32 {
 
 // contractEdges collects the distinct-enough (deduplication happens in the
 // builder) inter-cluster edges of g under the given dense labelling.
-func contractEdges(g graph.Graph, labels []uint32, k int) *graph.EdgeList {
+func contractEdges(s *parallel.Scheduler, g graph.Graph, labels []uint32, k int) *graph.EdgeList {
 	n := g.N()
 	// Count cut edges (u < v representative direction) per vertex, scan,
 	// then fill.
 	counts := make([]int64, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			lv := labels[v]
 			c := int64(0)
@@ -62,11 +62,11 @@ func contractEdges(g graph.Graph, labels []uint32, k int) *graph.EdgeList {
 		}
 	})
 	offsets := make([]int64, n)
-	total := prims.Scan(counts, offsets)
+	total := prims.Scan(s, counts, offsets)
 	el := &graph.EdgeList{N: k}
 	el.U = make([]uint32, total)
 	el.V = make([]uint32, total)
-	parallel.For(n, 64, func(v int) {
+	s.For(n, 64, func(v int) {
 		lv := labels[v]
 		i := offsets[v]
 		g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
@@ -83,12 +83,12 @@ func contractEdges(g graph.Graph, labels []uint32, k int) *graph.EdgeList {
 
 // ComponentCount returns the number of distinct labels and the size of the
 // largest label class; used by the statistics suite (Tables 3, 8-13).
-func ComponentCount(labels []uint32) (num int, largest int) {
+func ComponentCount(s *parallel.Scheduler, labels []uint32) (num int, largest int) {
 	n := len(labels)
 	if n == 0 {
 		return 0, 0
 	}
-	ids, counts := prims.Histogram(labels, prims.BitsFor(uint64(n)))
+	ids, counts := prims.Histogram(s, labels, prims.BitsFor(uint64(n)))
 	max := uint32(0)
 	for _, c := range counts {
 		if c > max {

@@ -3,12 +3,13 @@ package core
 import (
 	"testing"
 
+	"repro/internal/parallel"
 	"repro/internal/seqref"
 )
 
 func TestLDDClustersAreConnectedAndComplete(t *testing.T) {
 	for name, g := range symGraphs() {
-		labels := LDD(g, 0.2, 7)
+		labels := LDD(parallel.Default, g, 0.2, 7)
 		n := g.N()
 		for v := 0; v < n; v++ {
 			if labels[v] == Inf {
@@ -51,8 +52,8 @@ func TestLDDCutFraction(t *testing.T) {
 	for _, name := range []string{"rmat", "er", "torus"} {
 		g := symGraphs()[name]
 		beta := 0.2
-		labels := LDD(g, beta, 11)
-		cut := CutEdges(g, labels)
+		labels := LDD(parallel.Default, g, beta, 11)
+		cut := CutEdges(parallel.Default, g, labels)
 		if cut > g.M() { // cut counts each direction once; M counts directions
 			t.Fatalf("%s: impossible cut count %d > m=%d", name, cut, g.M())
 		}
@@ -65,7 +66,7 @@ func TestLDDCutFraction(t *testing.T) {
 func TestConnectivityMatchesUnionFind(t *testing.T) {
 	for name, g := range symGraphs() {
 		want := seqref.Components(g)
-		got := Connectivity(g, 0.2, 5)
+		got := Connectivity(parallel.Default, g, 0.2, 5)
 		if !seqref.SamePartition(want, got) {
 			t.Fatalf("%s: connectivity partition mismatch", name)
 		}
@@ -74,8 +75,8 @@ func TestConnectivityMatchesUnionFind(t *testing.T) {
 
 func TestConnectivityDifferentSeedsAgree(t *testing.T) {
 	g := symGraphs()["rmat"]
-	a := Connectivity(g, 0.2, 1)
-	b := Connectivity(g, 0.5, 99)
+	a := Connectivity(parallel.Default, g, 0.2, 1)
+	b := Connectivity(parallel.Default, g, 0.5, 99)
 	if !seqref.SamePartition(a, b) {
 		t.Fatal("different seeds/betas changed the partition")
 	}
@@ -83,8 +84,8 @@ func TestConnectivityDifferentSeedsAgree(t *testing.T) {
 
 func TestComponentCount(t *testing.T) {
 	g := symGraphs()["sparse-islands"]
-	labels := Connectivity(g, 0.2, 3)
-	num, largest := ComponentCount(labels)
+	labels := Connectivity(parallel.Default, g, 0.2, 3)
+	num, largest := ComponentCount(parallel.Default, labels)
 	// Islands: {0,1,2}, {10,11,12}, {50,51}, plus 92 singletons.
 	if num != 3+92 {
 		t.Fatalf("num components = %d want %d", num, 95)
@@ -96,7 +97,7 @@ func TestComponentCount(t *testing.T) {
 
 func TestSpanningForestProperties(t *testing.T) {
 	for name, g := range symGraphs() {
-		parent, level, roots := SpanningForest(g, 0.2, 9)
+		parent, level, roots := SpanningForest(parallel.Default, g, 0.2, 9)
 		cc := seqref.Components(g)
 		// One root per component.
 		comps := map[uint32]bool{}
@@ -107,13 +108,13 @@ func TestSpanningForestProperties(t *testing.T) {
 			}
 			comps[c] = true
 		}
-		nComp, _ := ComponentCount(cc)
+		nComp, _ := ComponentCount(parallel.Default, cc)
 		if len(roots) != nComp {
 			t.Fatalf("%s: %d roots for %d components", name, len(roots), nComp)
 		}
 		// Tree edge count: n - #components.
-		if ForestEdgeCount(parent) != g.N()-nComp {
-			t.Fatalf("%s: forest has %d edges want %d", name, ForestEdgeCount(parent), g.N()-nComp)
+		if ForestEdgeCount(parallel.Default, parent) != g.N()-nComp {
+			t.Fatalf("%s: forest has %d edges want %d", name, ForestEdgeCount(parallel.Default, parent), g.N()-nComp)
 		}
 		// Parents are real edges and one level up.
 		for v := 0; v < g.N(); v++ {

@@ -19,23 +19,23 @@ import (
 // O(L log Δ + log n) depth on the FA-MT-RAM.
 //
 // g must be symmetric. Returns the color of each vertex (0-based).
-func Coloring(g graph.Graph, seed uint64) []uint32 {
-	return coloring(g, seed, true)
+func Coloring(s *parallel.Scheduler, g graph.Graph, seed uint64) []uint32 {
+	return coloring(s, g, seed, true)
 }
 
 // ColoringLF is Jones-Plassmann under the LF (largest-degree-first)
 // heuristic; the paper's Tables 8-13 report the colors used by both LF and
 // LLF. LF tends to use slightly fewer colors but admits adversarially deep
 // priority DAGs, which is why LLF is the default.
-func ColoringLF(g graph.Graph, seed uint64) []uint32 {
-	return coloring(g, seed, false)
+func ColoringLF(s *parallel.Scheduler, g graph.Graph, seed uint64) []uint32 {
+	return coloring(s, g, seed, false)
 }
 
-func coloring(g graph.Graph, seed uint64, llf bool) []uint32 {
+func coloring(s *parallel.Scheduler, g graph.Graph, seed uint64, llf bool) []uint32 {
 	n := g.N()
-	rank := prims.InversePermutation(prims.RandomPermutation(n, seed))
+	rank := prims.InversePermutation(s, prims.RandomPermutation(s, n, seed))
 	key := make([]uint32, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			d := uint(g.OutDeg(uint32(v)))
 			if llf {
@@ -53,7 +53,7 @@ func coloring(g graph.Graph, seed uint64, llf bool) []uint32 {
 		return rank[u] < rank[v]
 	}
 	priority := make([]uint32, n)
-	parallel.ForRange(n, 64, func(lo, hi int) {
+	s.ForRange(n, 64, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			c := uint32(0)
 			g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
@@ -66,7 +66,7 @@ func coloring(g graph.Graph, seed uint64, llf bool) []uint32 {
 		}
 	})
 	colors := make([]uint32, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			colors[v] = Inf
 		}
@@ -74,7 +74,7 @@ func coloring(g graph.Graph, seed uint64, llf bool) []uint32 {
 	// assignAll colors a batch of roots; each worker block reuses one
 	// saturation scratch buffer instead of allocating per vertex.
 	assignAll := func(ids []uint32) {
-		parallel.ForRange(len(ids), 64, func(lo, hi int) {
+		s.ForRange(len(ids), 64, func(lo, hi int) {
 			var used []bool
 			for i := lo; i < hi; i++ {
 				v := ids[i]
@@ -104,12 +104,13 @@ func coloring(g graph.Graph, seed uint64, llf bool) []uint32 {
 			}
 		})
 	}
-	roots := ligra.FromSparse(n, prims.PackIndex(n, func(i int) bool { return priority[i] == 0 }))
+	roots := ligra.FromSparse(n, prims.PackIndex(s, n, func(i int) bool { return priority[i] == 0 }))
 	finished := 0
 	for finished < n {
-		assignAll(roots.Sparse())
+		s.Poll()
+		assignAll(roots.Sparse(s))
 		finished += roots.Size()
-		roots = ligra.EdgeMap(g, roots,
+		roots = ligra.EdgeMap(s, g, roots,
 			func(s, d uint32, _ int32) bool {
 				if precedes(s, d) {
 					return atomic.AddUint32(&priority[d], ^uint32(0)) == 0
@@ -124,16 +125,16 @@ func coloring(g graph.Graph, seed uint64, llf bool) []uint32 {
 
 // NumColors returns 1 + the maximum color in a coloring (the count the
 // paper reports in Tables 8-13).
-func NumColors(colors []uint32) int {
+func NumColors(s *parallel.Scheduler, colors []uint32) int {
 	if len(colors) == 0 {
 		return 0
 	}
-	return int(prims.Max(colors)) + 1
+	return int(prims.Max(s, colors)) + 1
 }
 
 // ValidColoring reports whether no edge of g is monochromatic.
-func ValidColoring(g graph.Graph, colors []uint32) bool {
-	bad := prims.Count(g.N(), func(v int) bool {
+func ValidColoring(s *parallel.Scheduler, g graph.Graph, colors []uint32) bool {
+	bad := prims.Count(s, g.N(), func(v int) bool {
 		conflict := false
 		g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
 			if colors[u] == colors[uint32(v)] {

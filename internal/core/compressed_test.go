@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/gen"
+	"repro/internal/parallel"
 	"repro/internal/seqref"
 )
 
@@ -17,54 +18,54 @@ func TestAlgorithmsAgreeOnCompressedSymmetric(t *testing.T) {
 	csr := gen.BuildRMAT(10, 8, true, false, 77)
 	cg := compress.FromCSR(csr, 0)
 
-	if a, b := BFS(csr, 0), BFS(cg, 0); !equalU32(a, b) {
+	if a, b := BFS(parallel.Default, csr, 0), BFS(parallel.Default, cg, 0); !equalU32(a, b) {
 		t.Fatal("BFS differs on compressed")
 	}
-	if a, b := Connectivity(csr, 0.2, 1), Connectivity(cg, 0.2, 1); !seqref.SamePartition(a, b) {
+	if a, b := Connectivity(parallel.Default, csr, 0.2, 1), Connectivity(parallel.Default, cg, 0.2, 1); !seqref.SamePartition(a, b) {
 		t.Fatal("connectivity differs on compressed")
 	}
-	ac, arho := KCore(csr, 0)
-	bc, brho := KCore(cg, 0)
+	ac, arho := KCore(parallel.Default, csr, 0)
+	bc, brho := KCore(parallel.Default, cg, 0)
 	if arho != brho || !equalU32(ac, bc) {
 		t.Fatal("k-core differs on compressed")
 	}
-	if a, b := TriangleCount(csr), TriangleCount(cg); a != b {
+	if a, b := TriangleCount(parallel.Default, csr), TriangleCount(parallel.Default, cg); a != b {
 		t.Fatalf("TC differs on compressed: %d vs %d", a, b)
 	}
-	am := MIS(csr, 5)
-	bm := MIS(cg, 5)
+	am := MIS(parallel.Default, csr, 5)
+	bm := MIS(parallel.Default, cg, 5)
 	for v := range am {
 		if am[v] != bm[v] {
 			t.Fatal("MIS differs on compressed")
 		}
 	}
-	acol := Coloring(csr, 5)
-	bcol := Coloring(cg, 5)
+	acol := Coloring(parallel.Default, csr, 5)
+	bcol := Coloring(parallel.Default, cg, 5)
 	if !equalU32(acol, bcol) {
 		t.Fatal("coloring differs on compressed")
 	}
-	aBC := BC(csr, 0)
-	bBC := BC(cg, 0)
+	aBC := BC(parallel.Default, csr, 0)
+	bBC := BC(parallel.Default, cg, 0)
 	for v := range aBC {
 		if math.Abs(aBC[v]-bBC[v]) > 1e-6*(1+math.Abs(aBC[v])) {
 			t.Fatal("BC differs on compressed")
 		}
 	}
-	amatch := MaximalMatching(csr, 9)
-	bmatch := MaximalMatching(cg, 9)
+	amatch := MaximalMatching(parallel.Default, csr, 9)
+	bmatch := MaximalMatching(parallel.Default, cg, 9)
 	if len(amatch) != len(bmatch) {
 		t.Fatal("matching differs on compressed")
 	}
-	if a, b := ApproxSetCover(csr, 0.01, 3), ApproxSetCover(cg, 0.01, 3); len(a) != len(b) {
+	if a, b := ApproxSetCover(parallel.Default, csr, 0.01, 3), ApproxSetCover(parallel.Default, cg, 0.01, 3); len(a) != len(b) {
 		t.Fatalf("set cover differs on compressed: %d vs %d sets", len(a), len(b))
 	}
-	ab := Biconnectivity(csr, 0.2, 11)
-	bb := Biconnectivity(cg, 0.2, 11)
-	if NumBiccLabels(csr, ab) != NumBiccLabels(cg, bb) {
+	ab := Biconnectivity(parallel.Default, csr, 0.2, 11)
+	bb := Biconnectivity(parallel.Default, cg, 0.2, 11)
+	if NumBiccLabels(parallel.Default, csr, ab) != NumBiccLabels(parallel.Default, cg, bb) {
 		t.Fatal("biconnectivity differs on compressed")
 	}
-	al := LDD(csr, 0.2, 13)
-	bl := LDD(cg, 0.2, 13)
+	al := LDD(parallel.Default, csr, 0.2, 13)
+	bl := LDD(parallel.Default, cg, 0.2, 13)
 	if len(al) != len(bl) {
 		t.Fatal("LDD output sizes differ")
 	}
@@ -73,18 +74,18 @@ func TestAlgorithmsAgreeOnCompressedSymmetric(t *testing.T) {
 func TestAlgorithmsAgreeOnCompressedWeighted(t *testing.T) {
 	csr := gen.BuildRMAT(10, 8, true, true, 78)
 	cg := compress.FromCSR(csr, 0)
-	if a, b := WeightedBFS(csr, 0), WeightedBFS(cg, 0); !equalU32(a, b) {
+	if a, b := WeightedBFS(parallel.Default, csr, 0), WeightedBFS(parallel.Default, cg, 0); !equalU32(a, b) {
 		t.Fatal("wBFS differs on compressed")
 	}
-	abf, _ := BellmanFord(csr, 0)
-	bbf, _ := BellmanFord(cg, 0)
+	abf, _ := BellmanFord(parallel.Default, csr, 0)
+	bbf, _ := BellmanFord(parallel.Default, cg, 0)
 	for v := range abf {
 		if abf[v] != bbf[v] {
 			t.Fatal("Bellman-Ford differs on compressed")
 		}
 	}
-	_, aw := MSF(csr)
-	_, bw := MSF(cg)
+	_, aw := MSF(parallel.Default, csr)
+	_, bw := MSF(parallel.Default, cg)
 	if aw != bw {
 		t.Fatalf("MSF weight differs on compressed: %d vs %d", aw, bw)
 	}
@@ -93,12 +94,12 @@ func TestAlgorithmsAgreeOnCompressedWeighted(t *testing.T) {
 func TestAlgorithmsAgreeOnCompressedDirected(t *testing.T) {
 	csr := gen.BuildErdosRenyi(800, 3000, false, false, 79)
 	cg := compress.FromCSR(csr, 0)
-	a := SCC(csr, 3, SCCOpts{})
-	b := SCC(cg, 3, SCCOpts{})
+	a := SCC(parallel.Default, csr, 3, SCCOpts{})
+	b := SCC(parallel.Default, cg, 3, SCCOpts{})
 	if !seqref.SamePartition(a, b) {
 		t.Fatal("SCC differs on compressed")
 	}
-	if x, y := BFS(csr, 0), BFS(cg, 0); !equalU32(x, y) {
+	if x, y := BFS(parallel.Default, csr, 0), BFS(parallel.Default, cg, 0); !equalU32(x, y) {
 		t.Fatal("directed BFS differs on compressed")
 	}
 }

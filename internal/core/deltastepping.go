@@ -17,7 +17,7 @@ import (
 // then the settled vertices' heavy edges are relaxed once.
 //
 // delta <= 0 selects the average edge weight, a standard heuristic.
-func DeltaStepping(g graph.Graph, src uint32, delta int32) []uint32 {
+func DeltaStepping(s *parallel.Scheduler, g graph.Graph, src uint32, delta int32) []uint32 {
 	n := g.N()
 	dist := make([]uint32, n)
 	for i := range dist {
@@ -27,7 +27,7 @@ func DeltaStepping(g graph.Graph, src uint32, delta int32) []uint32 {
 		return dist
 	}
 	if delta <= 0 {
-		delta = averageWeight(g)
+		delta = averageWeight(s, g)
 	}
 	dist[src] = 0
 	width := uint32(delta)
@@ -54,8 +54,8 @@ func DeltaStepping(g graph.Graph, src uint32, delta int32) []uint32 {
 	relax := func(frontier []uint32, light bool) []uint32 {
 		moved := make([]uint32, 0, len(frontier))
 		var cnt atomic.Int64
-		out := make([]uint32, upperDeg(g, frontier))
-		parallel.For(len(frontier), 16, func(i int) {
+		out := make([]uint32, upperDeg(s, g, frontier))
+		s.For(len(frontier), 16, func(i int) {
 			u := frontier[i]
 			du := atomics.Load32(&dist[u])
 			g.OutNgh(u, func(v uint32, w int32) bool {
@@ -78,9 +78,10 @@ func DeltaStepping(g graph.Graph, src uint32, delta int32) []uint32 {
 	}
 
 	for b := 0; b < len(buckets); b++ {
+		s.Poll()
 		var settled []uint32
 		for len(buckets[b]) > 0 {
-			frontier := prims.Filter(buckets[b], func(v uint32) bool { return bucketOf(v) == uint32(b) })
+			frontier := prims.Filter(s, buckets[b], func(v uint32) bool { return bucketOf(v) == uint32(b) })
 			buckets[b] = buckets[b][:0]
 			if len(frontier) == 0 {
 				break
@@ -97,9 +98,9 @@ func DeltaStepping(g graph.Graph, src uint32, delta int32) []uint32 {
 	return dist
 }
 
-func averageWeight(g graph.Graph) int32 {
+func averageWeight(s *parallel.Scheduler, g graph.Graph) int32 {
 	n := g.N()
-	sum := prims.MapReduce(n, int64(0), func(v int) int64 {
+	sum := prims.MapReduce(s, n, int64(0), func(v int) int64 {
 		var s int64
 		g.OutNgh(uint32(v), func(_ uint32, w int32) bool {
 			s += int64(w)
@@ -117,8 +118,8 @@ func averageWeight(g graph.Graph) int32 {
 	return d
 }
 
-func upperDeg(g graph.Graph, ids []uint32) int {
-	return prims.MapReduce(len(ids), 0,
+func upperDeg(s *parallel.Scheduler, g graph.Graph, ids []uint32) int {
+	return prims.MapReduce(s, len(ids), 0,
 		func(i int) int { return g.OutDeg(ids[i]) },
 		func(a, b int) int { return a + b })
 }

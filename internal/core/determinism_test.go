@@ -41,17 +41,17 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 	collect := func() result {
 		var r result
-		r.bfs = BFS(g, 0)
-		r.wbfs = WeightedBFS(wg, 0)
-		r.coreness, _ = KCore(g, 0)
-		r.colors = Coloring(g, 3)
-		r.mis = MIS(g, 3)
-		_, r.msfW = MSF(wg)
-		r.mmLen = len(MaximalMatching(g, 3))
-		r.ccPart = Connectivity(g, 0.2, 3)
-		r.sccPart = SCC(dg, 3, SCCOpts{})
-		r.tc = TriangleCount(g)
-		r.coverLen = len(ApproxSetCover(g, 0.01, 3))
+		r.bfs = BFS(parallel.Default, g, 0)
+		r.wbfs = WeightedBFS(parallel.Default, wg, 0)
+		r.coreness, _ = KCore(parallel.Default, g, 0)
+		r.colors = Coloring(parallel.Default, g, 3)
+		r.mis = MIS(parallel.Default, g, 3)
+		_, r.msfW = MSF(parallel.Default, wg)
+		r.mmLen = len(MaximalMatching(parallel.Default, g, 3))
+		r.ccPart = Connectivity(parallel.Default, g, 0.2, 3)
+		r.sccPart = SCC(parallel.Default, dg, 3, SCCOpts{})
+		r.tc = TriangleCount(parallel.Default, g)
+		r.coverLen = len(ApproxSetCover(parallel.Default, g, 0.01, 3))
 		return r
 	}
 	var base result
@@ -104,9 +104,9 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 func TestBiconnectivityDeterministicAcrossWorkers(t *testing.T) {
 	g := symGraphs()["er"]
 	var base map[uint64]uint32
-	withWorkers(t, 1, func() { base = biccEdgePartition(g, Biconnectivity(g, 0.2, 5)) })
+	withWorkers(t, 1, func() { base = biccEdgePartition(g, Biconnectivity(parallel.Default, g, 0.2, 5)) })
 	var par map[uint64]uint32
-	withWorkers(t, 0, func() { par = biccEdgePartition(g, Biconnectivity(g, 0.2, 5)) })
+	withWorkers(t, 0, func() { par = biccEdgePartition(g, Biconnectivity(parallel.Default, g, 0.2, 5)) })
 	if !samePartitionMaps(base, par) {
 		t.Fatal("biconnectivity partition depends on worker count")
 	}

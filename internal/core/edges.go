@@ -19,10 +19,10 @@ type WEdge struct {
 // the memory optimization the paper applies to make edgelist algorithms fit
 // ("we can pack out the edges so that each undirected edge is only inspected
 // once").
-func extractEdges(g graph.Graph, weighted bool) (eu, ev []uint32, ew []int32) {
+func extractEdges(s *parallel.Scheduler, g graph.Graph, weighted bool) (eu, ev []uint32, ew []int32) {
 	n := g.N()
 	counts := make([]int64, n)
-	parallel.ForRange(n, 64, func(lo, hi int) {
+	s.ForRange(n, 64, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			c := int64(0)
 			g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
@@ -35,13 +35,13 @@ func extractEdges(g graph.Graph, weighted bool) (eu, ev []uint32, ew []int32) {
 		}
 	})
 	offsets := make([]int64, n)
-	total := prims.Scan(counts, offsets)
+	total := prims.Scan(s, counts, offsets)
 	eu = make([]uint32, total)
 	ev = make([]uint32, total)
 	if weighted {
 		ew = make([]int32, total)
 	}
-	parallel.For(n, 64, func(v int) {
+	s.For(n, 64, func(v int) {
 		i := offsets[v]
 		g.OutNgh(uint32(v), func(u uint32, w int32) bool {
 			if u > uint32(v) {

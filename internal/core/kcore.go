@@ -20,27 +20,27 @@ import (
 // rounds, reported in Table 3).
 //
 // g must be symmetric.
-func KCore(g graph.Graph, seedUnused uint64) (coreness []uint32, rho int) {
-	return kcore(g, true)
+func KCore(s *parallel.Scheduler, g graph.Graph, seedUnused uint64) (coreness []uint32, rho int) {
+	return kcore(s, g, true)
 }
 
 // KCoreFetchAndAdd is KCore using direct fetch-and-add counters instead of
 // the histogram — the contended baseline of the paper's Table 6 ablation
 // ("k-core (fetch-and-add)" vs "k-core (histogram)").
-func KCoreFetchAndAdd(g graph.Graph) (coreness []uint32, rho int) {
-	return kcore(g, false)
+func KCoreFetchAndAdd(s *parallel.Scheduler, g graph.Graph) (coreness []uint32, rho int) {
+	return kcore(s, g, false)
 }
 
-func kcore(g graph.Graph, useHistogram bool) ([]uint32, int) {
+func kcore(s *parallel.Scheduler, g graph.Graph, useHistogram bool) ([]uint32, int) {
 	n := g.N()
 	deg := make([]uint32, n)
 	finishedFlag := make([]bool, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			deg[v] = uint32(g.OutDeg(uint32(v)))
 		}
 	})
-	b := bucket.New(n, 128, bucket.Increasing, 0, func(v uint32) uint32 {
+	b := bucket.New(s, n, 128, bucket.Increasing, 0, func(v uint32) uint32 {
 		if finishedFlag[v] {
 			return bucket.Nil
 		}
@@ -61,13 +61,14 @@ func kcore(g graph.Graph, useHistogram bool) ([]uint32, int) {
 	var degs, offsets []int64
 	var removedNghs, aliveBuf []uint32
 	for finished < n {
+		s.Poll()
 		k, ids := b.NextBucket()
 		if k == bucket.Nil {
 			break
 		}
 		rounds++
 		finished += len(ids)
-		parallel.ForRange(len(ids), 0, func(lo, hi int) {
+		s.ForRange(len(ids), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				finishedFlag[ids[i]] = true
 				deg[ids[i]] = k // coreness value
@@ -76,14 +77,14 @@ func kcore(g graph.Graph, useHistogram bool) ([]uint32, int) {
 		// Gather the endpoints of removed edges that are still alive.
 		degs = growI64(degs, len(ids))
 		offsets = growI64(offsets, len(ids))
-		parallel.ForRange(len(ids), 0, func(lo, hi int) {
+		s.ForRange(len(ids), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				degs[i] = int64(g.OutDeg(ids[i]))
 			}
 		})
-		total := prims.Scan(degs[:len(ids)], offsets[:len(ids)])
+		total := prims.Scan(s, degs[:len(ids)], offsets[:len(ids)])
 		removedNghs = growU32(removedNghs, int(total))
-		parallel.For(len(ids), 16, func(i int) {
+		s.For(len(ids), 16, func(i int) {
 			o := offsets[i]
 			g.OutNgh(ids[i], func(u uint32, _ int32) bool {
 				removedNghs[o] = u
@@ -92,7 +93,7 @@ func kcore(g graph.Graph, useHistogram bool) ([]uint32, int) {
 			})
 		})
 		aliveBuf = growU32(aliveBuf, int(total))
-		nAlive := prims.FilterInto(removedNghs[:total], aliveBuf, func(u uint32) bool { return !finishedFlag[u] })
+		nAlive := prims.FilterInto(s, removedNghs[:total], aliveBuf, func(u uint32) bool { return !finishedFlag[u] })
 		alive := aliveBuf[:nAlive]
 		// The decrement is side-effecting and must run exactly once per
 		// distinct neighbor, so compute moved-flags in a single pass and
@@ -101,20 +102,20 @@ func kcore(g graph.Graph, useHistogram bool) ([]uint32, int) {
 		if useHistogram {
 			// Work-efficient histogram: one counter touch per distinct
 			// neighbor, no contention (§5).
-			nghIDs, counts := prims.Histogram(alive, keyBits)
+			nghIDs, counts := prims.Histogram(s, alive, keyBits)
 			movedFlag := make([]bool, len(nghIDs))
-			parallel.ForRange(len(nghIDs), 512, func(lo, hi int) {
+			s.ForRange(len(nghIDs), 512, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					movedFlag[i] = decrementCoreness(deg, nghIDs[i], counts[i], k)
 				}
 			})
-			moved = prims.MapFilter(len(nghIDs),
+			moved = prims.MapFilter(s, len(nghIDs),
 				func(i int) bool { return movedFlag[i] },
 				func(i int) uint32 { return nghIDs[i] })
 		} else {
 			// Contended baseline: fetch-and-add a per-vertex counter.
 			var cnt atomic.Int64
-			parallel.ForRange(len(alive), 2048, func(lo, hi int) {
+			s.ForRange(len(alive), 2048, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					u := alive[i]
 					if atomics.FetchAndAdd32(&faDelta[u], 1) == 0 {
@@ -124,7 +125,7 @@ func kcore(g graph.Graph, useHistogram bool) ([]uint32, int) {
 			})
 			touched := faTouched[:cnt.Load()]
 			movedFlag := make([]bool, len(touched))
-			parallel.ForRange(len(touched), 512, func(lo, hi int) {
+			s.ForRange(len(touched), 512, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					u := touched[i]
 					d := faDelta[u]
@@ -132,7 +133,7 @@ func kcore(g graph.Graph, useHistogram bool) ([]uint32, int) {
 					movedFlag[i] = decrementCoreness(deg, u, d, k)
 				}
 			})
-			moved = prims.MapFilter(len(touched),
+			moved = prims.MapFilter(s, len(touched),
 				func(i int) bool { return movedFlag[i] },
 				func(i int) uint32 { return touched[i] })
 		}
@@ -173,9 +174,9 @@ func decrementCoreness(deg []uint32, v, removed, k uint32) bool {
 
 // Degeneracy returns k_max, the largest non-empty core, from a coreness
 // array.
-func Degeneracy(coreness []uint32) int {
+func Degeneracy(s *parallel.Scheduler, coreness []uint32) int {
 	if len(coreness) == 0 {
 		return 0
 	}
-	return int(prims.Max(coreness))
+	return int(prims.Max(s, coreness))
 }

@@ -22,7 +22,7 @@ import (
 // at round ⌊δ_max − δ_v⌋ unless already claimed. Vertices are claimed by the
 // first search to reach them (ties broken arbitrarily, which the paper shows
 // affects the cut fraction by only a constant factor).
-func LDD(g graph.Graph, beta float64, seed uint64) []uint32 {
+func LDD(s *parallel.Scheduler, g graph.Graph, beta float64, seed uint64) []uint32 {
 	n := g.N()
 	cluster := make([]uint32, n)
 	for i := range cluster {
@@ -33,22 +33,22 @@ func LDD(g graph.Graph, beta float64, seed uint64) []uint32 {
 	}
 	// Draw shifts and bucket vertices by start round ⌊δ_max − δ_v⌋.
 	shifts := make([]float64, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			shifts[v] = xrand.Exp(seed, uint64(v), beta)
 		}
 	})
-	maxShift := prims.Reduce(shifts, 0, math.Max)
+	maxShift := prims.Reduce(s, shifts, 0, math.Max)
 	// starts[r] lists the vertices whose search may begin at round r.
 	packed := make([]uint64, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			r := uint64(maxShift - shifts[v]) // floor; in [0, maxShift]
 			packed[v] = r<<32 | uint64(uint32(v))
 		}
 	})
-	prims.RadixSortU64(packed, 64)
-	roundStarts := prims.PackIndex(n, func(i int) bool {
+	prims.RadixSortU64(s, packed, 64)
+	roundStarts := prims.PackIndex(s, n, func(i int) bool {
 		return i == 0 || packed[i]>>32 != packed[i-1]>>32
 	})
 
@@ -57,6 +57,7 @@ func LDD(g graph.Graph, beta float64, seed uint64) []uint32 {
 	nextStart := 0
 	round := uint32(0)
 	for numVisited < n {
+		s.Poll()
 		// Admit new centers whose start time has arrived and which are
 		// still unclaimed.
 		var newcomers []uint32
@@ -70,7 +71,7 @@ func LDD(g graph.Graph, beta float64, seed uint64) []uint32 {
 			if nextStart+1 < len(roundStarts) {
 				end = int(roundStarts[nextStart+1])
 			}
-			fresh := prims.MapFilter(end-idx,
+			fresh := prims.MapFilter(s, end-idx,
 				func(i int) bool { return atomics.Load32(&cluster[uint32(packed[idx+i])]) == Inf },
 				func(i int) uint32 { return uint32(packed[idx+i]) })
 			for _, v := range fresh {
@@ -80,11 +81,11 @@ func LDD(g graph.Graph, beta float64, seed uint64) []uint32 {
 			nextStart++
 		}
 		if len(newcomers) > 0 {
-			merged := append(newcomers, frontier.Sparse()...)
+			merged := append(newcomers, frontier.Sparse(s)...)
 			frontier = ligra.FromSparse(n, merged)
 		}
 		numVisited += len(newcomers)
-		next := ligra.EdgeMap(g, frontier,
+		next := ligra.EdgeMap(s, g, frontier,
 			func(s, d uint32, _ int32) bool {
 				return atomics.CAS32(&cluster[d], Inf, atomics.Load32(&cluster[s]))
 			},
@@ -99,18 +100,18 @@ func LDD(g graph.Graph, beta float64, seed uint64) []uint32 {
 
 // NumClusters returns the number of distinct cluster IDs in an LDD (or any
 // labelling), plus a dense renumbering old-label -> [0, k).
-func NumClusters(labels []uint32) (int, []uint32) {
+func NumClusters(s *parallel.Scheduler, labels []uint32) (int, []uint32) {
 	n := len(labels)
 	isRoot := make([]uint32, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			// Many vertices share a label; the same-value store is atomic.
 			atomics.Store32(&isRoot[labels[v]], 1)
 		}
 	})
-	roots := prims.PackIndex(n, func(i int) bool { return isRoot[i] == 1 })
+	roots := prims.PackIndex(s, n, func(i int) bool { return isRoot[i] == 1 })
 	renumber := make([]uint32, n)
-	parallel.ForRange(len(roots), 0, func(lo, hi int) {
+	s.ForRange(len(roots), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			renumber[roots[i]] = uint32(i)
 		}
@@ -120,8 +121,8 @@ func NumClusters(labels []uint32) (int, []uint32) {
 
 // CutEdges counts edges (u, v) with labels[u] != labels[v] (each direction
 // counted once), the quantity LDD bounds by βm in expectation.
-func CutEdges(g graph.Graph, labels []uint32) int {
-	return prims.MapReduce(g.N(), 0, func(v int) int {
+func CutEdges(s *parallel.Scheduler, g graph.Graph, labels []uint32) int {
+	return prims.MapReduce(s, g.N(), 0, func(v int) int {
 		cut := 0
 		g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
 			if labels[u] != labels[uint32(v)] {

@@ -20,21 +20,21 @@ import (
 // equals the greedy matching over the random edge order.
 //
 // g must be symmetric.
-func MaximalMatching(g graph.Graph, seed uint64) []WEdge {
+func MaximalMatching(s *parallel.Scheduler, g graph.Graph, seed uint64) []WEdge {
 	n := g.N()
-	eu, ev, _ := extractEdges(g, false)
+	eu, ev, _ := extractEdges(s, g, false)
 	m := len(eu)
 	// Unique random key per edge: (hash, id).
 	key := make([]uint64, m)
-	parallel.ForRange(m, 0, func(lo, hi int) {
+	s.ForRange(m, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			key[i] = uint64(xrand.Hash32(seed, uint64(i)))<<32 | uint64(uint32(i))
 		}
 	})
 	matched := make([]uint32, n)
-	minKey := newFilled64(n)
+	minKey := newFilled64(s, n)
 	ids := make([]uint32, m)
-	parallel.ForRange(m, 0, func(lo, hi int) {
+	s.ForRange(m, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ids[i] = uint32(i)
 		}
@@ -42,29 +42,30 @@ func MaximalMatching(g graph.Graph, seed uint64) []WEdge {
 	var out []WEdge
 	target := 3 * n / 2
 	for round := 0; len(ids) > 0; round++ {
+		s.Poll()
 		var prefix, rest []uint32
 		if len(ids) > 2*target {
-			pivot := prims.ApproxThreshold(keysOf(key, ids), target, seed^uint64(round))
-			prefix = prims.Filter(ids, func(id uint32) bool { return key[id] <= pivot })
-			rest = prims.Filter(ids, func(id uint32) bool { return key[id] > pivot })
+			pivot := prims.ApproxThreshold(s, keysOf(s, key, ids), target, seed^uint64(round))
+			prefix = prims.Filter(s, ids, func(id uint32) bool { return key[id] <= pivot })
+			rest = prims.Filter(s, ids, func(id uint32) bool { return key[id] > pivot })
 		} else {
 			prefix, rest = ids, nil
 		}
-		out = greedyMatch(eu, ev, key, prefix, matched, minKey, out)
+		out = greedyMatch(s, eu, ev, key, prefix, matched, minKey, out)
 		if rest == nil {
 			break
 		}
 		// Pack out edges whose endpoints matched during this prefix.
-		ids = prims.Filter(rest, func(id uint32) bool {
+		ids = prims.Filter(s, rest, func(id uint32) bool {
 			return matched[eu[id]] == 0 && matched[ev[id]] == 0
 		})
 	}
 	return out
 }
 
-func keysOf(key []uint64, ids []uint32) []uint64 {
+func keysOf(s *parallel.Scheduler, key []uint64, ids []uint32) []uint64 {
 	ks := make([]uint64, len(ids))
-	parallel.ForRange(len(ids), 0, func(lo, hi int) {
+	s.ForRange(len(ids), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ks[i] = key[ids[i]]
 		}
@@ -77,16 +78,16 @@ func keysOf(key []uint64, ids []uint32) []uint64 {
 // incident key; edges winning both endpoints enter the matching; edges with
 // a matched endpoint are packed out. The rounds shrink the prefix
 // geometrically w.h.p.
-func greedyMatch(eu, ev []uint32, key []uint64, ids []uint32, matched []uint32, minKey []uint64, out []WEdge) []WEdge {
+func greedyMatch(s *parallel.Scheduler, eu, ev []uint32, key []uint64, ids []uint32, matched []uint32, minKey []uint64, out []WEdge) []WEdge {
 	for len(ids) > 0 {
-		parallel.ForRange(len(ids), 512, func(lo, hi int) {
+		s.ForRange(len(ids), 512, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				id := ids[i]
 				atomics.WriteMinU64(&minKey[eu[id]], key[id])
 				atomics.WriteMinU64(&minKey[ev[id]], key[id])
 			}
 		})
-		winners := prims.Filter(ids, func(id uint32) bool {
+		winners := prims.Filter(s, ids, func(id uint32) bool {
 			return minKey[eu[id]] == key[id] && minKey[ev[id]] == key[id]
 		})
 		for _, id := range winners {
@@ -96,14 +97,14 @@ func greedyMatch(eu, ev []uint32, key []uint64, ids []uint32, matched []uint32, 
 		}
 		// Reset priority cells before the next round (endpoints are shared
 		// between edges, so the same-value stores must be atomic).
-		parallel.ForRange(len(ids), 512, func(lo, hi int) {
+		s.ForRange(len(ids), 512, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				id := ids[i]
 				atomic.StoreUint64(&minKey[eu[id]], ^uint64(0))
 				atomic.StoreUint64(&minKey[ev[id]], ^uint64(0))
 			}
 		})
-		ids = prims.Filter(ids, func(id uint32) bool {
+		ids = prims.Filter(s, ids, func(id uint32) bool {
 			return matched[eu[id]] == 0 && matched[ev[id]] == 0
 		})
 	}
@@ -130,14 +131,14 @@ func MatchingIsValid(g graph.Graph, match []WEdge) bool {
 
 // MatchingIsMaximal reports whether no edge of g has both endpoints
 // unmatched.
-func MatchingIsMaximal(g graph.Graph, match []WEdge) bool {
+func MatchingIsMaximal(s *parallel.Scheduler, g graph.Graph, match []WEdge) bool {
 	n := g.N()
 	used := make([]bool, n)
 	for _, e := range match {
 		used[e.U] = true
 		used[e.V] = true
 	}
-	violations := prims.Count(n, func(v int) bool {
+	violations := prims.Count(s, n, func(v int) bool {
 		bad := false
 		g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
 			if !used[u] && !used[uint32(v)] {

@@ -20,12 +20,12 @@ import (
 // produces on the random order.
 //
 // g must be symmetric.
-func MIS(g graph.Graph, seed uint64) []bool {
+func MIS(s *parallel.Scheduler, g graph.Graph, seed uint64) []bool {
 	n := g.N()
-	rank := prims.InversePermutation(prims.RandomPermutation(n, seed))
+	rank := prims.InversePermutation(s, prims.RandomPermutation(s, n, seed))
 	// priority[v] = number of neighbors that precede v in the random order.
 	priority := make([]uint32, n)
-	parallel.ForRange(n, 64, func(lo, hi int) {
+	s.ForRange(n, 64, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			c := uint32(0)
 			g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
@@ -39,20 +39,21 @@ func MIS(g graph.Graph, seed uint64) []bool {
 	})
 	inSet := make([]bool, n)
 	removedFlag := make([]uint32, n)
-	roots := ligra.FromSparse(n, prims.PackIndex(n, func(i int) bool { return priority[i] == 0 }))
+	roots := ligra.FromSparse(n, prims.PackIndex(s, n, func(i int) bool { return priority[i] == 0 }))
 	finished := 0
 	for finished < n {
-		ligra.VertexMap(roots, func(v uint32) { inSet[v] = true })
+		s.Poll()
+		ligra.VertexMap(s, roots, func(v uint32) { inSet[v] = true })
 		// Neighbors of the rootset that are still active leave the graph.
-		removed := ligra.EdgeMap(g, roots,
+		removed := ligra.EdgeMap(s, g, roots,
 			func(s, d uint32, _ int32) bool { return atomics.TestAndSet(&removedFlag[d]) },
 			func(d uint32) bool { return atomic.LoadUint32(&priority[d]) > 0 },
 			ligra.Opts{})
-		ligra.VertexMap(removed, func(v uint32) { atomic.StoreUint32(&priority[v], 0) })
+		ligra.VertexMap(s, removed, func(v uint32) { atomic.StoreUint32(&priority[v], 0) })
 		finished += roots.Size() + removed.Size()
 		// Decrement the priority of active successors of removed vertices;
 		// those reaching zero become the next rootset.
-		roots = ligra.EdgeMap(g, removed,
+		roots = ligra.EdgeMap(s, g, removed,
 			func(s, d uint32, _ int32) bool {
 				if rank[s] < rank[d] {
 					return atomic.AddUint32(&priority[d], ^uint32(0)) == 0

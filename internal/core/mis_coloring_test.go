@@ -3,13 +3,14 @@ package core
 import (
 	"testing"
 
+	"repro/internal/parallel"
 	"repro/internal/prims"
 	"repro/internal/seqref"
 )
 
 func TestMISIsIndependentAndMaximal(t *testing.T) {
 	for name, g := range symGraphs() {
-		in := MIS(g, 3)
+		in := MIS(parallel.Default, g, 3)
 		for v := 0; v < g.N(); v++ {
 			hasSetNeighbor := false
 			g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
@@ -37,9 +38,9 @@ func TestMISEqualsSequentialGreedy(t *testing.T) {
 	for _, name := range []string{"rmat", "er", "torus", "star", "complete"} {
 		g := symGraphs()[name]
 		seed := uint64(3)
-		rank := prims.InversePermutation(prims.RandomPermutation(g.N(), seed))
+		rank := prims.InversePermutation(parallel.Default, prims.RandomPermutation(parallel.Default, g.N(), seed))
 		want := seqref.GreedyMIS(g, rank)
-		got := MIS(g, seed)
+		got := MIS(parallel.Default, g, seed)
 		for v := range want {
 			if got[v] != want[v] {
 				t.Fatalf("%s: MIS[%d] = %v want %v", name, v, got[v], want[v])
@@ -50,7 +51,7 @@ func TestMISEqualsSequentialGreedy(t *testing.T) {
 
 func TestMISEmptyGraphAllIn(t *testing.T) {
 	g := symGraphs()["empty"]
-	in := MIS(g, 1)
+	in := MIS(parallel.Default, g, 1)
 	for v, ok := range in {
 		if !ok {
 			t.Fatalf("isolated vertex %d excluded from MIS", v)
@@ -60,12 +61,12 @@ func TestMISEmptyGraphAllIn(t *testing.T) {
 
 func TestColoringIsProper(t *testing.T) {
 	for name, g := range symGraphs() {
-		colors := Coloring(g, 7)
-		if !ValidColoring(g, colors) {
+		colors := Coloring(parallel.Default, g, 7)
+		if !ValidColoring(parallel.Default, g, colors) {
 			t.Fatalf("%s: improper coloring", name)
 		}
 		// At most Δ+1 colors.
-		if nc := NumColors(colors); nc > g.MaxDegree()+1 {
+		if nc := NumColors(parallel.Default, colors); nc > g.MaxDegree()+1 {
 			t.Fatalf("%s: %d colors exceeds Δ+1 = %d", name, nc, g.MaxDegree()+1)
 		}
 	}
@@ -73,7 +74,7 @@ func TestColoringIsProper(t *testing.T) {
 
 func TestColoringAllVerticesColored(t *testing.T) {
 	g := symGraphs()["rmat"]
-	colors := Coloring(g, 1)
+	colors := Coloring(parallel.Default, g, 1)
 	for v, c := range colors {
 		if c == Inf {
 			t.Fatalf("vertex %d uncolored", v)
@@ -83,8 +84,8 @@ func TestColoringAllVerticesColored(t *testing.T) {
 
 func TestColoringCompleteGraphUsesExactlyN(t *testing.T) {
 	g := symGraphs()["complete"]
-	colors := Coloring(g, 5)
-	if nc := NumColors(colors); nc != g.N() {
+	colors := Coloring(parallel.Default, g, 5)
+	if nc := NumColors(parallel.Default, colors); nc != g.N() {
 		t.Fatalf("complete graph used %d colors want %d", nc, g.N())
 	}
 }
@@ -92,8 +93,8 @@ func TestColoringCompleteGraphUsesExactlyN(t *testing.T) {
 func TestColoringBipartiteUsesFewColors(t *testing.T) {
 	// LLF on a star must use exactly 2 colors.
 	g := symGraphs()["star"]
-	colors := Coloring(g, 2)
-	if nc := NumColors(colors); nc != 2 {
+	colors := Coloring(parallel.Default, g, 2)
+	if nc := NumColors(parallel.Default, colors); nc != 2 {
 		t.Fatalf("star used %d colors want 2", nc)
 	}
 }

@@ -20,12 +20,12 @@ const (
 // between 1.1–3.5x faster"). It processes prefixes of the random order,
 // repeatedly deciding vertices all of whose earlier neighbors are decided.
 // The result is exactly the sequential greedy MIS over the order — identical
-// to MIS() for the same seed.
-func MISPrefix(g graph.Graph, seed uint64) []bool {
+// to MIS(s) for the same seed.
+func MISPrefix(s *parallel.Scheduler, g graph.Graph, seed uint64) []bool {
 	n := g.N()
-	rank := prims.InversePermutation(prims.RandomPermutation(n, seed))
+	rank := prims.InversePermutation(s, prims.RandomPermutation(s, n, seed))
 	order := make([]uint32, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			order[rank[v]] = uint32(v)
 		}
@@ -39,6 +39,7 @@ func MISPrefix(g graph.Graph, seed uint64) []bool {
 	}
 	prefix := n/(2*avgDeg) + 1
 	for pos := 0; pos < n; {
+		s.Poll()
 		hi := pos + prefix
 		if hi > n {
 			hi = n
@@ -46,26 +47,26 @@ func MISPrefix(g graph.Graph, seed uint64) []bool {
 		pending := order[pos:hi]
 		for len(pending) > 0 {
 			decided := make([]uint32, len(pending))
-			parallel.ForRange(len(pending), 128, func(lo, hiB int) {
+			s.ForRange(len(pending), 128, func(lo, hiB int) {
 				for i := lo; i < hiB; i++ {
 					decided[i] = decide(g, rank, status, pending[i])
 				}
 			})
 			// Commit decisions after the scan so one iteration's decisions
 			// never read each other (keeps rounds deterministic).
-			parallel.ForRange(len(pending), 0, func(lo, hiB int) {
+			s.ForRange(len(pending), 0, func(lo, hiB int) {
 				for i := lo; i < hiB; i++ {
 					if decided[i] != misUndecided {
 						status[pending[i]] = decided[i]
 					}
 				}
 			})
-			pending = prims.Filter(pending, func(v uint32) bool { return status[v] == misUndecided })
+			pending = prims.Filter(s, pending, func(v uint32) bool { return status[v] == misUndecided })
 		}
 		pos = hi
 	}
 	out := make([]bool, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			out[v] = status[v] == misIn
 		}

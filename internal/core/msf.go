@@ -24,26 +24,27 @@ import (
 // and pack out edges whose endpoints were contracted into one component —
 // the structure that lets the paper solve MSF on graphs whose full edgelist
 // would not fit in memory.
-func MSF(g graph.Graph) ([]WEdge, int64) {
+func MSF(s *parallel.Scheduler, g graph.Graph) ([]WEdge, int64) {
 	n := g.N()
-	eu, ev, ew := extractEdges(g, true)
+	eu, ev, ew := extractEdges(s, g, true)
 	m := len(eu)
 	ids := make([]uint32, m)
-	parallel.ForRange(m, 0, func(lo, hi int) {
+	s.ForRange(m, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ids[i] = uint32(i)
 		}
 	})
 	parents := make([]uint32, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			parents[v] = uint32(v)
 		}
 	})
 	st := &msfState{
-		eu: eu, ev: ev, ew: ew,
+		sched: s,
+		eu:    eu, ev: ev, ew: ew,
 		parents:  parents,
-		minEdge:  newFilled64(n),
+		minEdge:  newFilled64(s, n),
 		inForest: make([]uint32, (m+31)/32),
 	}
 	// Filtering steps: peel off the lightest ~3n/2 edges, Borůvka them,
@@ -51,13 +52,13 @@ func MSF(g graph.Graph) ([]WEdge, int64) {
 	const filterRounds = 3
 	target := 3 * n / 2
 	for r := 0; r < filterRounds && len(ids) > 2*target; r++ {
-		pivot := prims.ApproxThreshold(weightKeys(st, ids), target, uint64(0x9e37+r))
-		prefix := prims.Filter(ids, func(id uint32) bool { return weightKey(st, id) <= pivot })
-		rest := prims.Filter(ids, func(id uint32) bool { return weightKey(st, id) > pivot })
+		pivot := prims.ApproxThreshold(s, weightKeys(s, st, ids), target, uint64(0x9e37+r))
+		prefix := prims.Filter(s, ids, func(id uint32) bool { return weightKey(st, id) <= pivot })
+		rest := prims.Filter(s, ids, func(id uint32) bool { return weightKey(st, id) > pivot })
 		st.boruvka(prefix)
 		// Pack out edges now inside one component.
 		st.relabel(rest)
-		ids = prims.Filter(rest, func(id uint32) bool { return st.eu[id] != st.ev[id] })
+		ids = prims.Filter(s, rest, func(id uint32) bool { return st.eu[id] != st.ev[id] })
 	}
 	st.boruvka(ids)
 
@@ -71,6 +72,7 @@ func MSF(g graph.Graph) ([]WEdge, int64) {
 }
 
 type msfState struct {
+	sched     *parallel.Scheduler
 	eu, ev    []uint32 // current endpoints (relabeled to component roots)
 	ew        []int32
 	origU     []uint32 // original endpoints for output
@@ -86,9 +88,9 @@ func weightKey(st *msfState, id uint32) uint64 {
 	return uint64(uint32(st.ew[id]))<<32 | uint64(id)
 }
 
-func weightKeys(st *msfState, ids []uint32) []uint64 {
+func weightKeys(s *parallel.Scheduler, st *msfState, ids []uint32) []uint64 {
 	keys := make([]uint64, len(ids))
-	parallel.ForRange(len(ids), 0, func(lo, hi int) {
+	s.ForRange(len(ids), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			keys[i] = weightKey(st, ids[i])
 		}
@@ -96,9 +98,9 @@ func weightKeys(st *msfState, ids []uint32) []uint64 {
 	return keys
 }
 
-func newFilled64(n int) []uint64 {
+func newFilled64(s *parallel.Scheduler, n int) []uint64 {
 	a := make([]uint64, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a[i] = ^uint64(0)
 		}
@@ -115,10 +117,11 @@ func (st *msfState) boruvka(ids []uint32) {
 		st.origV = append([]uint32(nil), st.ev...)
 	}
 	st.relabel(ids)
-	ids = prims.Filter(ids, func(id uint32) bool { return st.eu[id] != st.ev[id] })
+	ids = prims.Filter(st.sched, ids, func(id uint32) bool { return st.eu[id] != st.ev[id] })
 	for len(ids) > 0 {
+		st.sched.Poll()
 		// Each component root priority-writes its minimum incident edge.
-		parallel.ForRange(len(ids), 512, func(lo, hi int) {
+		st.sched.ForRange(len(ids), 512, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				id := ids[i]
 				key := weightKey(st, id)
@@ -130,7 +133,7 @@ func (st *msfState) boruvka(ids []uint32) {
 		// components together. Each vertex has a unique winning edge, so
 		// each parents cell has one writer; stores are atomic only to pair
 		// with the concurrent reads elsewhere.
-		parallel.ForRange(len(ids), 512, func(lo, hi int) {
+		st.sched.ForRange(len(ids), 512, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				id := ids[i]
 				u, v := st.eu[id], st.ev[id]
@@ -144,7 +147,7 @@ func (st *msfState) boruvka(ids []uint32) {
 		})
 		// Break the 2-cycles formed by mutual minimum edges: the higher
 		// endpoint becomes the root.
-		parallel.ForRange(len(ids), 512, func(lo, hi int) {
+		st.sched.ForRange(len(ids), 512, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				id := ids[i]
 				u, v := st.eu[id], st.ev[id]
@@ -159,7 +162,7 @@ func (st *msfState) boruvka(ids []uint32) {
 			}
 		})
 		// Collect winners exactly once (an edge can win at both endpoints).
-		winners := prims.MapFilter(len(ids),
+		winners := prims.MapFilter(st.sched, len(ids),
 			func(i int) bool {
 				id := ids[i]
 				return uint32(st.minEdge[st.eu[id]]) == id || uint32(st.minEdge[st.ev[id]]) == id
@@ -173,7 +176,7 @@ func (st *msfState) boruvka(ids []uint32) {
 		// Reset priority cells for the endpoints touched this round, then
 		// shortcut parents and relabel. Endpoints are shared between edges,
 		// so the same-value stores must be atomic.
-		parallel.ForRange(len(ids), 512, func(lo, hi int) {
+		st.sched.ForRange(len(ids), 512, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				id := ids[i]
 				atomic.StoreUint64(&st.minEdge[st.eu[id]], ^uint64(0))
@@ -182,7 +185,7 @@ func (st *msfState) boruvka(ids []uint32) {
 		})
 		st.pointerJump(ids)
 		st.relabel(ids)
-		ids = prims.Filter(ids, func(id uint32) bool { return st.eu[id] != st.ev[id] })
+		ids = prims.Filter(st.sched, ids, func(id uint32) bool { return st.eu[id] != st.ev[id] })
 	}
 }
 
@@ -191,7 +194,7 @@ func (st *msfState) boruvka(ids []uint32) {
 // atomic accesses regardless of interleaving.
 func (st *msfState) pointerJump(ids []uint32) {
 	for {
-		changed := prims.MapReduce(len(ids), 0, func(i int) int {
+		changed := prims.MapReduce(st.sched, len(ids), 0, func(i int) int {
 			id := ids[i]
 			c := 0
 			for _, v := range [2]uint32{st.eu[id], st.ev[id]} {
@@ -211,7 +214,7 @@ func (st *msfState) pointerJump(ids []uint32) {
 
 // relabel rewrites edge endpoints to their component roots.
 func (st *msfState) relabel(ids []uint32) {
-	parallel.ForRange(len(ids), 512, func(lo, hi int) {
+	st.sched.ForRange(len(ids), 512, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			id := ids[i]
 			st.eu[id] = st.root(st.eu[id])

@@ -11,6 +11,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/seqref"
 )
 
@@ -36,7 +37,7 @@ func TestQuickBFSAgainstOracle(t *testing.T) {
 	err := quick.Check(func(raw []uint16) bool {
 		g := quickGraph(raw, false)
 		want := seqref.BFS(g, 0)
-		got := BFS(g, 0)
+		got := BFS(parallel.Default, g, 0)
 		for v := range want {
 			if got[v] != want[v] {
 				return false
@@ -52,7 +53,7 @@ func TestQuickBFSAgainstOracle(t *testing.T) {
 func TestQuickConnectivityAgainstOracle(t *testing.T) {
 	err := quick.Check(func(raw []uint16, seed uint64) bool {
 		g := quickGraph(raw, false)
-		return seqref.SamePartition(seqref.Components(g), Connectivity(g, 0.2, seed))
+		return seqref.SamePartition(seqref.Components(g), Connectivity(parallel.Default, g, 0.2, seed))
 	}, quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +64,7 @@ func TestQuickKCoreAgainstOracle(t *testing.T) {
 	err := quick.Check(func(raw []uint16) bool {
 		g := quickGraph(raw, false)
 		want := seqref.Coreness(g)
-		got, _ := KCore(g, 0)
+		got, _ := KCore(parallel.Default, g, 0)
 		for v := range want {
 			if got[v] != want[v] {
 				return false
@@ -79,7 +80,7 @@ func TestQuickKCoreAgainstOracle(t *testing.T) {
 func TestQuickTriangleCountAgainstOracle(t *testing.T) {
 	err := quick.Check(func(raw []uint16) bool {
 		g := quickGraph(raw, false)
-		return TriangleCount(g) == seqref.Triangles(g)
+		return TriangleCount(parallel.Default, g) == seqref.Triangles(g)
 	}, quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -90,8 +91,8 @@ func TestQuickWeightedSSSPAgainstOracle(t *testing.T) {
 	err := quick.Check(func(raw []uint16) bool {
 		g := quickGraph(raw, true)
 		want := seqref.Dijkstra(g, 0)
-		wbfs := WeightedBFS(g, 0)
-		ds := DeltaStepping(g, 0, 2)
+		wbfs := WeightedBFS(parallel.Default, g, 0)
+		ds := DeltaStepping(parallel.Default, g, 0, 2)
 		for v := range want {
 			if want[v] == math.MaxInt64 {
 				if wbfs[v] != Inf || ds[v] != Inf {
@@ -113,9 +114,9 @@ func TestQuickWeightedSSSPAgainstOracle(t *testing.T) {
 func TestQuickMSFAgainstKruskal(t *testing.T) {
 	err := quick.Check(func(raw []uint16) bool {
 		g := quickGraph(raw, true)
-		eu, ev, ew := extractEdges(g, true)
+		eu, ev, ew := extractEdges(parallel.Default, g, true)
 		wantW, wantC := seqref.Kruskal(g.N(), eu, ev, ew)
-		forest, gotW := MSF(g)
+		forest, gotW := MSF(parallel.Default, g)
 		return gotW == wantW && len(forest) == wantC
 	}, quickCfg())
 	if err != nil {
@@ -126,7 +127,7 @@ func TestQuickMSFAgainstKruskal(t *testing.T) {
 func TestQuickMISMaximalIndependent(t *testing.T) {
 	err := quick.Check(func(raw []uint16, seed uint64) bool {
 		g := quickGraph(raw, false)
-		in := MIS(g, seed)
+		in := MIS(parallel.Default, g, seed)
 		for v := 0; v < g.N(); v++ {
 			hasSet := false
 			bad := false
@@ -153,7 +154,7 @@ func TestQuickMISMaximalIndependent(t *testing.T) {
 func TestQuickColoringProper(t *testing.T) {
 	err := quick.Check(func(raw []uint16, seed uint64) bool {
 		g := quickGraph(raw, false)
-		return ValidColoring(g, Coloring(g, seed)) && ValidColoring(g, ColoringLF(g, seed))
+		return ValidColoring(parallel.Default, g, Coloring(parallel.Default, g, seed)) && ValidColoring(parallel.Default, g, ColoringLF(parallel.Default, g, seed))
 	}, quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +169,7 @@ func TestQuickSCCAgainstTarjan(t *testing.T) {
 			el.Add(uint32(raw[i])%n, uint32(raw[i+1])%n, 1)
 		}
 		g := graph.FromEdgeList(n, el, graph.BuildOptions{})
-		return seqref.SamePartition(seqref.SCC(g), SCC(g, seed, SCCOpts{Beta: 1.5}))
+		return seqref.SamePartition(seqref.SCC(g), SCC(parallel.Default, g, seed, SCCOpts{Beta: 1.5}))
 	}, quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +183,7 @@ func TestQuickBiconnectivityAgainstHopcroftTarjan(t *testing.T) {
 			return true
 		}
 		want := seqref.BCC(g)
-		got := biccEdgePartition(g, Biconnectivity(g, 0.2, seed))
+		got := biccEdgePartition(g, Biconnectivity(parallel.Default, g, 0.2, seed))
 		return samePartitionMaps(want, got)
 	}, &quick.Config{MaxCount: 40})
 	if err != nil {
@@ -193,7 +194,7 @@ func TestQuickBiconnectivityAgainstHopcroftTarjan(t *testing.T) {
 func TestQuickSetCoverValid(t *testing.T) {
 	err := quick.Check(func(raw []uint16, seed uint64) bool {
 		g := quickGraph(raw, false)
-		return CoverIsValid(g, ApproxSetCover(g, 0.01, seed))
+		return CoverIsValid(parallel.Default, g, ApproxSetCover(parallel.Default, g, 0.01, seed))
 	}, quickCfg())
 	if err != nil {
 		t.Fatal(err)
@@ -203,8 +204,8 @@ func TestQuickSetCoverValid(t *testing.T) {
 func TestQuickMatchingValidMaximal(t *testing.T) {
 	err := quick.Check(func(raw []uint16, seed uint64) bool {
 		g := quickGraph(raw, false)
-		m := MaximalMatching(g, seed)
-		return MatchingIsValid(g, m) && MatchingIsMaximal(g, m)
+		m := MaximalMatching(parallel.Default, g, seed)
+		return MatchingIsValid(g, m) && MatchingIsMaximal(parallel.Default, g, m)
 	}, quickCfg())
 	if err != nil {
 		t.Fatal(err)

@@ -33,7 +33,7 @@ type SCCOpts struct {
 //
 // Returns a label per vertex; two vertices get equal labels iff they are in
 // the same SCC. g must be directed with in-edges available.
-func SCC(g graph.Graph, seed uint64, opt SCCOpts) []uint32 {
+func SCC(s *parallel.Scheduler, g graph.Graph, seed uint64, opt SCCOpts) []uint32 {
 	n := g.N()
 	if opt.Beta <= 1 {
 		opt.Beta = 2.0
@@ -44,15 +44,15 @@ func SCC(g graph.Graph, seed uint64, opt SCCOpts) []uint32 {
 	labels := make([]uint32, n)
 	sub := make([]uint32, n) // subproblem of each vertex
 	done := make([]uint32, (n+31)/32)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			labels[v] = Inf
 		}
 	})
-	perm := prims.RandomPermutation(n, seed)
+	perm := prims.RandomPermutation(s, n, seed)
 	gt := g.Transpose()
 
-	trim(g, labels, done, opt.TrimRounds)
+	trim(s, g, labels, done, opt.TrimRounds)
 
 	// First-phase optimization: two plain BFSs from a single pivot using
 	// bit-vectors instead of hash tables (the giant-SCC heuristic).
@@ -62,10 +62,10 @@ func SCC(g graph.Graph, seed uint64, opt SCCOpts) []uint32 {
 	}
 	if pivotIdx < n {
 		pivot := perm[pivotIdx]
-		reachF := reachBits(g, pivot, done, sub)
-		reachB := reachBits(gt, pivot, done, sub)
+		reachF := reachBits(s, g, pivot, done, sub)
+		reachB := reachBits(s, gt, pivot, done, sub)
 		rank := uint32(pivotIdx)
-		parallel.ForRange(n, 0, func(lo, hi int) {
+		s.ForRange(n, 0, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				if atomics.Bit(done, v) {
 					continue
@@ -86,7 +86,7 @@ func SCC(g graph.Graph, seed uint64, opt SCCOpts) []uint32 {
 
 	// Batched phases over the remaining permutation.
 	newSub := make([]uint32, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			newSub[v] = Inf
 		}
@@ -94,25 +94,26 @@ func SCC(g graph.Graph, seed uint64, opt SCCOpts) []uint32 {
 	offset := pivotIdx + 1
 	batch := 2.0
 	for offset < n {
+		s.Poll()
 		size := int(batch)
 		if offset+size > n {
 			size = n - offset
 		}
 		batch *= opt.Beta
-		centers := prims.MapFilter(size,
+		centers := prims.MapFilter(s, size,
 			func(i int) bool { return !atomics.Bit(done, int(perm[offset+i])) },
 			func(i int) uint32 { return uint32(offset + i) }) // center ranks
 		offset += size
 		if len(centers) == 0 {
 			continue
 		}
-		tF, visF := markReachable(g, perm, centers, sub, done)
-		tB, visB := markReachable(gt, perm, centers, sub, done)
+		tF, visF := markReachable(s, g, perm, centers, sub, done)
+		tB, visB := markReachable(s, gt, perm, centers, sub, done)
 		// Vertices touched by either search.
-		touched := prims.PackIndex(n, func(v int) bool {
+		touched := prims.PackIndex(s, n, func(v int) bool {
 			return atomics.Bit(visF, v) || atomics.Bit(visB, v)
 		})
-		parallel.ForRange(len(touched), 64, func(lo, hi int) {
+		s.ForRange(len(touched), 64, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := touched[i]
 				captured := false
@@ -138,7 +139,7 @@ func SCC(g graph.Graph, seed uint64, opt SCCOpts) []uint32 {
 				})
 			}
 		})
-		parallel.ForRange(len(touched), 0, func(lo, hi int) {
+		s.ForRange(len(touched), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := touched[i]
 				if newSub[v] != Inf {
@@ -153,10 +154,10 @@ func SCC(g graph.Graph, seed uint64, opt SCCOpts) []uint32 {
 
 // trim repeatedly removes vertices with zero active in- or out-degree; each
 // forms a singleton SCC labeled n+v (distinct from all center ranks).
-func trim(g graph.Graph, labels []uint32, done []uint32, rounds int) {
+func trim(s *parallel.Scheduler, g graph.Graph, labels []uint32, done []uint32, rounds int) {
 	n := g.N()
 	for r := 0; r < rounds; r++ {
-		trimmed := prims.PackIndex(n, func(v int) bool {
+		trimmed := prims.PackIndex(s, n, func(v int) bool {
 			if atomics.Bit(done, v) {
 				return false
 			}
@@ -184,7 +185,7 @@ func trim(g graph.Graph, labels []uint32, done []uint32, rounds int) {
 		if len(trimmed) == 0 {
 			return
 		}
-		parallel.ForRange(len(trimmed), 0, func(lo, hi int) {
+		s.ForRange(len(trimmed), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := trimmed[i]
 				labels[v] = uint32(n) + v
@@ -196,14 +197,15 @@ func trim(g graph.Graph, labels []uint32, done []uint32, rounds int) {
 
 // reachBits marks all active vertices reachable from src (restricted to
 // src's subproblem) in a bitset, via a plain frontier BFS.
-func reachBits(g graph.Graph, src uint32, done []uint32, sub []uint32) []uint32 {
+func reachBits(s *parallel.Scheduler, g graph.Graph, src uint32, done []uint32, sub []uint32) []uint32 {
 	n := g.N()
 	bits := make([]uint32, (n+31)/32)
 	atomics.TestAndSetBit(bits, int(src))
 	mySub := sub[src]
 	frontier := ligra.Single(n, src)
 	for frontier.Size() > 0 {
-		frontier = ligra.EdgeMap(g, frontier,
+		s.Poll()
+		frontier = ligra.EdgeMap(s, g, frontier,
 			func(s, d uint32, _ int32) bool {
 				return atomics.TestAndSetBit(bits, int(d))
 			},
@@ -219,9 +221,9 @@ func reachBits(g graph.Graph, src uint32, done []uint32, sub []uint32) []uint32 
 // permutation rank) spreads its rank to all vertices it reaches inside its
 // subproblem, recording (vertex, rank) pairs in a hash table. Returns the
 // table and the bitset of vertices visited.
-func markReachable(g graph.Graph, perm []uint32, centerRanks []uint32, sub []uint32, done []uint32) (*hashtable.Table, []uint32) {
+func markReachable(s *parallel.Scheduler, g graph.Graph, perm []uint32, centerRanks []uint32, sub []uint32, done []uint32) (*hashtable.Table, []uint32) {
 	n := g.N()
-	table := hashtable.New(4 * len(centerRanks))
+	table := hashtable.New(s, 4*len(centerRanks))
 	visited := make([]uint32, (n+31)/32)
 	roundFlag := make([]uint32, n)
 	// Map center rank -> subproblem (the ranks of one phase span a small
@@ -241,15 +243,16 @@ func markReachable(g graph.Graph, perm []uint32, centerRanks []uint32, sub []uin
 		frontier = append(frontier, c)
 	}
 	for len(frontier) > 0 {
+		s.Poll()
 		// Upper-bound this round's insertions: Σ deg(u)·labels(u).
-		bound := prims.MapReduce(len(frontier), 0, func(i int) int {
+		bound := prims.MapReduce(s, len(frontier), 0, func(i int) int {
 			u := frontier[i]
 			return g.OutDeg(u) * table.CountOf(u)
 		}, func(a, b int) int { return a + b })
 		table.Reserve(bound)
 		next := make([]uint32, bound)
 		var cnt atomic.Int64
-		parallel.For(len(frontier), 16, func(i int) {
+		s.For(len(frontier), 16, func(i int) {
 			u := frontier[i]
 			var labs [16]uint32
 			labels := labs[:0]
@@ -280,7 +283,7 @@ func markReachable(g graph.Graph, perm []uint32, centerRanks []uint32, sub []uin
 			})
 		})
 		frontier = next[:cnt.Load()]
-		parallel.ForRange(len(frontier), 0, func(lo, hi int) {
+		s.ForRange(len(frontier), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				atomics.Store32(&roundFlag[frontier[i]], 0)
 			}
@@ -291,6 +294,6 @@ func markReachable(g graph.Graph, perm []uint32, centerRanks []uint32, sub []uin
 
 // NumSCCs returns the number of distinct SCC labels and the largest class
 // size (for Tables 3, 8-13).
-func NumSCCs(labels []uint32) (int, int) {
-	return ComponentCount(labels)
+func NumSCCs(s *parallel.Scheduler, labels []uint32) (int, int) {
+	return ComponentCount(s, labels)
 }

@@ -5,13 +5,14 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/seqref"
 )
 
 func TestSCCMatchesTarjan(t *testing.T) {
 	for name, g := range dirGraphs() {
 		want := seqref.SCC(g)
-		got := SCC(g, 17, SCCOpts{})
+		got := SCC(parallel.Default, g, 17, SCCOpts{})
 		if !seqref.SamePartition(want, got) {
 			t.Fatalf("%s: SCC partition mismatch", name)
 		}
@@ -20,8 +21,8 @@ func TestSCCMatchesTarjan(t *testing.T) {
 
 func TestSCCSeedsAgree(t *testing.T) {
 	g := dirGraphs()["rmat-dir"]
-	a := SCC(g, 1, SCCOpts{})
-	b := SCC(g, 2, SCCOpts{Beta: 1.3})
+	a := SCC(parallel.Default, g, 1, SCCOpts{})
+	b := SCC(parallel.Default, g, 2, SCCOpts{Beta: 1.3})
 	if !seqref.SamePartition(a, b) {
 		t.Fatal("SCC partition varies with seed")
 	}
@@ -30,7 +31,7 @@ func TestSCCSeedsAgree(t *testing.T) {
 func TestSCCTrimDisabled(t *testing.T) {
 	g := dirGraphs()["er-sparse"]
 	want := seqref.SCC(g)
-	got := SCC(g, 3, SCCOpts{TrimRounds: -1})
+	got := SCC(parallel.Default, g, 3, SCCOpts{TrimRounds: -1})
 	if !seqref.SamePartition(want, got) {
 		t.Fatal("SCC without trimming mismatches")
 	}
@@ -40,7 +41,7 @@ func TestSCCSingleGiantComponent(t *testing.T) {
 	// A directed cycle over n vertices is one SCC; exercises the
 	// first-phase single-pivot path.
 	g := graph.FromEdgeList(1000, gen.Cycle(1000), graph.BuildOptions{})
-	got := SCC(g, 5, SCCOpts{})
+	got := SCC(parallel.Default, g, 5, SCCOpts{})
 	for v := 1; v < 1000; v++ {
 		if got[v] != got[0] {
 			t.Fatalf("cycle split at %d", v)
@@ -50,7 +51,7 @@ func TestSCCSingleGiantComponent(t *testing.T) {
 
 func TestSCCDAGAllSingletons(t *testing.T) {
 	g := dirGraphs()["dag"]
-	got := SCC(g, 9, SCCOpts{})
+	got := SCC(parallel.Default, g, 9, SCCOpts{})
 	seen := map[uint32]bool{}
 	for _, l := range got {
 		if seen[l] {
@@ -64,7 +65,7 @@ func TestSCCRandomDigraphsProperty(t *testing.T) {
 	for seed := uint64(0); seed < 8; seed++ {
 		g := gen.BuildErdosRenyi(200, 500, false, false, 1000+seed)
 		want := seqref.SCC(g)
-		got := SCC(g, seed, SCCOpts{Beta: 1.5})
+		got := SCC(parallel.Default, g, seed, SCCOpts{Beta: 1.5})
 		if !seqref.SamePartition(want, got) {
 			t.Fatalf("seed %d: SCC partition mismatch", seed)
 		}

@@ -24,7 +24,7 @@ import (
 // prioritized priority-writes, sets that acquire at least (1+ε)^(b-1)
 // elements enter the cover, and the rest are rebucketed by their shrunken
 // degree. Returns the chosen set IDs.
-func ApproxSetCover(g graph.Graph, eps float64, seed uint64) []uint32 {
+func ApproxSetCover(s *parallel.Scheduler, g graph.Graph, eps float64, seed uint64) []uint32 {
 	n := g.N()
 	if eps <= 0 {
 		eps = 0.01
@@ -42,16 +42,16 @@ func ApproxSetCover(g graph.Graph, eps float64, seed uint64) []uint32 {
 	deg := make([]int32, n)
 	off := make([]int64, n+1)
 	dtmp := make([]int64, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			deg[v] = int32(g.OutDeg(uint32(v)))
 			dtmp[v] = int64(deg[v])
 		}
 	})
-	total := prims.Scan(dtmp, off[:n])
+	total := prims.Scan(s, dtmp, off[:n])
 	off[n] = total
 	adj := make([]uint32, total)
-	parallel.For(n, 64, func(v int) {
+	s.For(n, 64, func(v int) {
 		i := off[v]
 		g.OutNgh(uint32(v), func(u uint32, _ int32) bool {
 			adj[i] = u
@@ -66,20 +66,21 @@ func ApproxSetCover(g graph.Graph, eps float64, seed uint64) []uint32 {
 		}
 	}
 	covered := make([]uint32, n)
-	owner := newFilled64(n)
-	b := bucket.New(n, 128, bucket.Decreasing, bucketOf(maxDeg), func(s uint32) uint32 {
+	owner := newFilled64(s, n)
+	b := bucket.New(s, n, 128, bucket.Decreasing, bucketOf(maxDeg), func(s uint32) uint32 {
 		return bucketOf(int(deg[s]))
 	})
 	var cover []uint32
 	round := uint64(0)
 	for {
+		s.Poll()
 		bkt, sets := b.NextBucket()
 		if bkt == bucket.Nil {
 			break
 		}
 		round++
 		// Pack out covered elements and compute current degrees.
-		parallel.ForRange(len(sets), 64, func(lo, hi int) {
+		s.ForRange(len(sets), 64, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				s := sets[i]
 				lo64 := off[s]
@@ -94,19 +95,19 @@ func ApproxSetCover(g graph.Graph, eps float64, seed uint64) []uint32 {
 			}
 		})
 		// Split into sets still in this bucket (SC) and sets to rebucket.
-		sc := prims.Filter(sets, func(s uint32) bool { return bucketOf(int(deg[s])) == bkt })
-		sr := prims.Filter(sets, func(s uint32) bool { return bucketOf(int(deg[s])) != bkt })
+		sc := prims.Filter(s, sets, func(s uint32) bool { return bucketOf(int(deg[s])) == bkt })
+		sr := prims.Filter(s, sets, func(s uint32) bool { return bucketOf(int(deg[s])) != bkt })
 		if len(sc) > 0 {
 			// Fresh random priorities each round (the paper's fix: reusing
 			// vertex IDs causes worst-case behaviour on meshes/tori).
 			pri := make([]uint32, len(sc))
-			parallel.ForRange(len(sc), 0, func(lo, hi int) {
+			s.ForRange(len(sc), 0, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					pri[i] = xrand.Hash32(seed^round, uint64(i))
 				}
 			})
 			// Acquire elements with priority-writes.
-			parallel.For(len(sc), 32, func(i int) {
+			s.For(len(sc), 32, func(i int) {
 				s := sc[i]
 				key := uint64(pri[i])<<32 | uint64(s)
 				for j := off[s]; j < off[s]+int64(deg[s]); j++ {
@@ -116,7 +117,7 @@ func ApproxSetCover(g graph.Graph, eps float64, seed uint64) []uint32 {
 			// Threshold for joining the cover: (1+ε)^max(b-1, 0).
 			thresh := int32(math.Ceil(math.Pow(1+eps, math.Max(float64(bkt)-1, 0))))
 			won := make([]int32, len(sc))
-			parallel.For(len(sc), 32, func(i int) {
+			s.For(len(sc), 32, func(i int) {
 				s := sc[i]
 				w := int32(0)
 				for j := off[s]; j < off[s]+int64(deg[s]); j++ {
@@ -127,14 +128,14 @@ func ApproxSetCover(g graph.Graph, eps float64, seed uint64) []uint32 {
 				won[i] = w
 			})
 			isWinner := make([]bool, len(sc))
-			parallel.For(len(sc), 256, func(i int) { isWinner[i] = won[i] >= thresh })
-			winners := prims.MapFilter(len(sc),
+			s.For(len(sc), 256, func(i int) { isWinner[i] = won[i] >= thresh })
+			winners := prims.MapFilter(s, len(sc),
 				func(i int) bool { return isWinner[i] },
 				func(i int) uint32 { return sc[i] })
 			// Winners cover the elements they acquired (owner must stay
 			// stable while being read, so the reservation reset is a
 			// separate pass).
-			parallel.For(len(sc), 32, func(i int) {
+			s.For(len(sc), 32, func(i int) {
 				if !isWinner[i] {
 					return
 				}
@@ -147,18 +148,18 @@ func ApproxSetCover(g graph.Graph, eps float64, seed uint64) []uint32 {
 				}
 			})
 			// Same-value stores to shared elements must be atomic.
-			parallel.For(len(sc), 32, func(i int) {
+			s.For(len(sc), 32, func(i int) {
 				s := sc[i]
 				for j := off[s]; j < off[s]+int64(deg[s]); j++ {
 					atomic.StoreUint64(&owner[adj[j]], ^uint64(0))
 				}
 			})
 			cover = append(cover, winners...)
-			losers := prims.MapFilter(len(sc),
+			losers := prims.MapFilter(s, len(sc),
 				func(i int) bool { return !isWinner[i] },
 				func(i int) uint32 { return sc[i] })
 			// Winners leave the structure; mark their degree spent.
-			parallel.ForRange(len(winners), 0, func(lo, hi int) {
+			s.ForRange(len(winners), 0, func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					deg[winners[i]] = 0
 				}
@@ -172,10 +173,10 @@ func ApproxSetCover(g graph.Graph, eps float64, seed uint64) []uint32 {
 
 // CoverIsValid reports whether every vertex of g with at least one neighbor
 // is covered: it belongs to N(s) for some chosen set s.
-func CoverIsValid(g graph.Graph, cover []uint32) bool {
+func CoverIsValid(s *parallel.Scheduler, g graph.Graph, cover []uint32) bool {
 	n := g.N()
 	covered := make([]uint32, n)
-	parallel.ForRange(len(cover), 0, func(lo, hi int) {
+	s.ForRange(len(cover), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			g.OutNgh(cover[i], func(u uint32, _ int32) bool {
 				atomics.Store32(&covered[u], 1)
@@ -183,7 +184,7 @@ func CoverIsValid(g graph.Graph, cover []uint32) bool {
 			})
 		}
 	})
-	missing := prims.Count(n, func(v int) bool {
+	missing := prims.Count(s, n, func(v int) bool {
 		return g.OutDeg(uint32(v)) > 0 && covered[v] == 0
 	})
 	return missing == 0

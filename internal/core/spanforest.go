@@ -14,37 +14,37 @@ import (
 // vertex, and the roots. Biconnectivity (Algorithm 7) consumes this; the
 // paper computes the same forest with a breadth-first search over each
 // component in O(m) work and O(diam(G) log n) depth.
-func SpanningForest(g graph.Graph, beta float64, seed uint64) (parent, level, roots []uint32) {
-	labels := Connectivity(g, beta, seed)
-	roots = componentRoots(labels)
-	level, parent = MultiBFS(g, roots)
+func SpanningForest(s *parallel.Scheduler, g graph.Graph, beta float64, seed uint64) (parent, level, roots []uint32) {
+	labels := Connectivity(s, g, beta, seed)
+	roots = componentRoots(s, labels)
+	level, parent = MultiBFS(s, g, roots)
 	return parent, level, roots
 }
 
 // componentRoots returns, for each distinct label, the minimum vertex ID
 // carrying it.
-func componentRoots(labels []uint32) []uint32 {
+func componentRoots(s *parallel.Scheduler, labels []uint32) []uint32 {
 	n := len(labels)
 	minOf := make([]uint32, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			minOf[i] = Inf
 		}
 	})
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			atomics.WriteMin32(&minOf[labels[v]], uint32(v))
 		}
 	})
-	return prims.MapFilter(n,
+	return prims.MapFilter(s, n,
 		func(i int) bool { return minOf[i] != Inf },
 		func(i int) uint32 { return minOf[i] })
 }
 
 // ForestEdgeCount returns the number of tree edges in a parent array
 // (vertices with parent != self and != Inf).
-func ForestEdgeCount(parent []uint32) int {
-	return prims.Count(len(parent), func(i int) bool {
+func ForestEdgeCount(s *parallel.Scheduler, parent []uint32) int {
+	return prims.Count(s, len(parent), func(i int) bool {
 		return parent[i] != Inf && parent[i] != uint32(i)
 	})
 }

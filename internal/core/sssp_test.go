@@ -6,13 +6,14 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/seqref"
 )
 
 func TestBFSMatchesSequential(t *testing.T) {
 	for name, g := range symGraphs() {
 		want := seqref.BFS(g, 0)
-		got := BFS(g, 0)
+		got := BFS(parallel.Default, g, 0)
 		for v := range want {
 			if got[v] != want[v] {
 				t.Fatalf("%s: BFS dist[%d] = %d want %d", name, v, got[v], want[v])
@@ -24,7 +25,7 @@ func TestBFSMatchesSequential(t *testing.T) {
 func TestBFSDirected(t *testing.T) {
 	for name, g := range dirGraphs() {
 		want := seqref.BFS(g, 0)
-		got := BFS(g, 0)
+		got := BFS(parallel.Default, g, 0)
 		for v := range want {
 			if got[v] != want[v] {
 				t.Fatalf("%s: BFS dist[%d] = %d want %d", name, v, got[v], want[v])
@@ -35,7 +36,7 @@ func TestBFSDirected(t *testing.T) {
 
 func TestBFSTreeIsValid(t *testing.T) {
 	for name, g := range symGraphs() {
-		dist, parent := BFSTree(g, 0)
+		dist, parent := BFSTree(parallel.Default, g, 0)
 		for v := range dist {
 			switch {
 			case dist[v] == Inf:
@@ -57,8 +58,8 @@ func TestBFSTreeIsValid(t *testing.T) {
 
 func TestMultiBFSCoversAllComponents(t *testing.T) {
 	g := symGraphs()["sparse-islands"]
-	_, _, roots := SpanningForest(g, 0.2, 1)
-	dist, parent := MultiBFS(g, roots)
+	_, _, roots := SpanningForest(parallel.Default, g, 0.2, 1)
+	dist, parent := MultiBFS(parallel.Default, g, roots)
 	for v := range dist {
 		if dist[v] == Inf || parent[v] == Inf {
 			t.Fatalf("vertex %d unreached by multi-source BFS from component roots", v)
@@ -69,7 +70,7 @@ func TestMultiBFSCoversAllComponents(t *testing.T) {
 func TestWeightedBFSMatchesDijkstra(t *testing.T) {
 	for name, g := range symWeightedGraphs() {
 		want := seqref.Dijkstra(g, 0)
-		got := WeightedBFS(g, 0)
+		got := WeightedBFS(parallel.Default, g, 0)
 		for v := range want {
 			w := want[v]
 			gv := int64(got[v])
@@ -88,8 +89,8 @@ func TestWeightedBFSMatchesDijkstra(t *testing.T) {
 
 func TestWeightedBFSUnblockedAgrees(t *testing.T) {
 	g := symWeightedGraphs()["rmat-w"]
-	a := WeightedBFS(g, 3)
-	b := WeightedBFSUnblocked(g, 3)
+	a := WeightedBFS(parallel.Default, g, 3)
+	b := WeightedBFSUnblocked(parallel.Default, g, 3)
 	for v := range a {
 		if a[v] != b[v] {
 			t.Fatalf("blocked/unblocked disagree at %d: %d vs %d", v, a[v], b[v])
@@ -100,7 +101,7 @@ func TestWeightedBFSUnblockedAgrees(t *testing.T) {
 func TestBellmanFordMatchesSequential(t *testing.T) {
 	for name, g := range symWeightedGraphs() {
 		want, wneg := seqref.BellmanFord(g, 0)
-		got, gneg := BellmanFord(g, 0)
+		got, gneg := BellmanFord(parallel.Default, g, 0)
 		if wneg != gneg {
 			t.Fatalf("%s: negative cycle flag %v want %v", name, gneg, wneg)
 		}
@@ -121,7 +122,7 @@ func TestBellmanFordNegativeWeightsNoCycle(t *testing.T) {
 		W: []int32{5, 2, -4, 1},
 	}
 	g := graph.FromEdgeList(4, el, graph.BuildOptions{})
-	dist, neg := BellmanFord(g, 0)
+	dist, neg := BellmanFord(parallel.Default, g, 0)
 	if neg {
 		t.Fatal("false negative-cycle report")
 	}
@@ -142,7 +143,7 @@ func TestBellmanFordNegativeCycle(t *testing.T) {
 		W: []int32{1, -2, 1, 1},
 	}
 	g := graph.FromEdgeList(5, el, graph.BuildOptions{})
-	dist, neg := BellmanFord(g, 0)
+	dist, neg := BellmanFord(parallel.Default, g, 0)
 	if !neg {
 		t.Fatal("missed negative cycle")
 	}
@@ -162,7 +163,7 @@ func TestBellmanFordNegativeCycle(t *testing.T) {
 func TestBCMatchesSequential(t *testing.T) {
 	for name, g := range symGraphs() {
 		want := seqref.BC(g, 0)
-		got := BC(g, 0)
+		got := BC(parallel.Default, g, 0)
 		for v := range want {
 			if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
 				t.Fatalf("%s: BC[%d] = %v want %v", name, v, got[v], want[v])
@@ -174,7 +175,7 @@ func TestBCMatchesSequential(t *testing.T) {
 func TestBCDirected(t *testing.T) {
 	for name, g := range dirGraphs() {
 		want := seqref.BC(g, 0)
-		got := BC(g, 0)
+		got := BC(parallel.Default, g, 0)
 		for v := range want {
 			if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
 				t.Fatalf("%s: BC[%d] = %v want %v", name, v, got[v], want[v])
@@ -186,7 +187,7 @@ func TestBCDirected(t *testing.T) {
 func TestBCKnownValues(t *testing.T) {
 	// Path 0-1-2-3: from source 0, dependencies are 1->2, 2->1, 3->0.
 	g := graph.FromEdgeList(4, gen.Path(4), graph.BuildOptions{Symmetrize: true})
-	got := BC(g, 0)
+	got := BC(parallel.Default, g, 0)
 	want := []float64{0, 2, 1, 0}
 	for v := range want {
 		if math.Abs(got[v]-want[v]) > 1e-9 {

@@ -13,7 +13,7 @@ import (
 // higher degree-rank, so every triangle is counted exactly once as a wedge
 // whose two out-neighborhoods intersect; adjacency lists are intersected
 // sequentially inside the outer parallel loop, as in the paper.
-func TriangleCount(g graph.Graph) int64 {
+func TriangleCount(s *parallel.Scheduler, g graph.Graph) int64 {
 	n := g.N()
 	// rank(u) < rank(v) iff (deg(u), u) < (deg(v), v).
 	rankLess := func(u, v uint32) bool {
@@ -53,10 +53,10 @@ func TriangleCount(g graph.Graph) int64 {
 		dg = graph.FromAdjacency(n, false, dgDeg, dgEmit)
 	}
 	// Sum |N+(u) ∩ N+(v)| over directed edges (u, v).
-	bounds := parallel.Blocks(n, 0)
+	bounds := s.Blocks(n, 0)
 	nb := len(bounds) - 1
 	partial := make([]int64, nb)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		// Two decode buffers per block: nv must stay valid while each
 		// neighbor list decodes into the second buffer.
 		var buf1, buf2 []uint32
@@ -71,5 +71,5 @@ func TriangleCount(g graph.Graph) int64 {
 		}
 		partial[b] = local
 	})
-	return prims.Sum(partial)
+	return prims.Sum(s, partial)
 }

@@ -5,6 +5,7 @@ import (
 	"repro/internal/bucket"
 	"repro/internal/graph"
 	"repro/internal/ligra"
+	"repro/internal/parallel"
 )
 
 // WeightedBFS solves integral-weight SSSP (Algorithm 4, the paper's wBFS
@@ -15,18 +16,18 @@ import (
 // work and O(diam(G) log n) depth w.h.p. on the PW-MT-RAM.
 //
 // Edge weights must be >= 1 (the paper's inputs draw them from [1, log n)).
-func WeightedBFS(g graph.Graph, src uint32) []uint32 {
-	return weightedBFS(g, src, ligra.Opts{})
+func WeightedBFS(s *parallel.Scheduler, g graph.Graph, src uint32) []uint32 {
+	return weightedBFS(s, g, src, ligra.Opts{})
 }
 
 // WeightedBFSUnblocked is WeightedBFS forced onto the flat (non-blocked)
 // sparse edgeMap. It exists for the Table 6 ablation comparing
 // edgeMapBlocked against the standard sparse traversal.
-func WeightedBFSUnblocked(g graph.Graph, src uint32) []uint32 {
-	return weightedBFS(g, src, ligra.Opts{NoBlocked: true})
+func WeightedBFSUnblocked(s *parallel.Scheduler, g graph.Graph, src uint32) []uint32 {
+	return weightedBFS(s, g, src, ligra.Opts{NoBlocked: true})
 }
 
-func weightedBFS(g graph.Graph, src uint32, opt ligra.Opts) []uint32 {
+func weightedBFS(s *parallel.Scheduler, g graph.Graph, src uint32, opt ligra.Opts) []uint32 {
 	n := g.N()
 	dist := make([]uint32, n)
 	flags := make([]uint32, n)
@@ -36,7 +37,7 @@ func weightedBFS(g graph.Graph, src uint32, opt ligra.Opts) []uint32 {
 	dist[src] = 0
 	// Bucket i holds vertices with current tentative distance i; unreached
 	// vertices (Inf = bucket.Nil) are not filed.
-	b := bucket.New(n, 128, bucket.Increasing, 0, func(v uint32) uint32 {
+	b := bucket.New(s, n, 128, bucket.Increasing, 0, func(v uint32) uint32 {
 		return atomics.Load32(&dist[v])
 	})
 	update := func(s, d uint32, w int32) bool {
@@ -48,13 +49,14 @@ func weightedBFS(g graph.Graph, src uint32, opt ligra.Opts) []uint32 {
 	}
 	cond := func(uint32) bool { return true }
 	for {
+		s.Poll()
 		bkt, ids := b.NextBucket()
 		if bkt == bucket.Nil {
 			break
 		}
-		moved := ligra.EdgeMap(g, ligra.FromSparse(n, ids), update, cond, opt)
-		ligra.VertexMap(moved, func(v uint32) { atomics.Store32(&flags[v], 0) })
-		b.Update(moved.Sparse())
+		moved := ligra.EdgeMap(s, g, ligra.FromSparse(n, ids), update, cond, opt)
+		ligra.VertexMap(s, moved, func(v uint32) { atomics.Store32(&flags[v], 0) })
+		b.Update(moved.Sparse(s))
 	}
 	return dist
 }

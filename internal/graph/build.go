@@ -90,9 +90,9 @@ func FromEdgeList(n int, el *EdgeList, opt BuildOptions) *CSR {
 // filtering, and lays out CSR offsets and neighbor arrays.
 func buildAdj(n int, keys []uint64, wts []uint32, sortBits int, opt BuildOptions) ([]int64, []uint32, []int32) {
 	if wts != nil {
-		prims.RadixSortPairs(keys, wts, sortBits)
+		prims.RadixSortPairs(parallel.Default, keys, wts, sortBits)
 	} else {
-		prims.RadixSortU64(keys, sortBits)
+		prims.RadixSortU64(parallel.Default, keys, sortBits)
 	}
 	m := len(keys)
 	keep := func(i int) bool {
@@ -105,7 +105,7 @@ func buildAdj(n int, keys []uint64, wts []uint32, sortBits int, opt BuildOptions
 		}
 		return true
 	}
-	kept := prims.PackIndex(m, keep)
+	kept := prims.PackIndex(parallel.Default, m, keep)
 	mk := len(kept)
 	edges := make([]uint32, mk)
 	srcs := make([]uint32, mk)
@@ -181,7 +181,7 @@ func FromAdjacency(n int, symmetric bool, deg func(v uint32) int, emit func(v ui
 		}
 	})
 	offsets := make([]int64, n+1)
-	total := prims.Scan(degs, offsets[:n])
+	total := prims.Scan(parallel.Default, degs, offsets[:n])
 	offsets[n] = total
 	edges := make([]uint32, total)
 	parallel.For(n, 64, func(v int) {

@@ -20,25 +20,27 @@ const empty = ^uint64(0)
 // Table stores a set of (vertex, label) pairs, both uint32. The pair
 // (^0, ^0) is reserved.
 type Table struct {
+	sched *parallel.Scheduler
 	slots []uint64
 	mask  uint64
 	count atomic.Int64
 }
 
 // New returns a table with capacity for at least capacity pairs at a load
-// factor of at most 3/4.
-func New(capacity int) *Table {
+// factor of at most 3/4. Parallel maintenance (clearing, rehashing) runs on
+// scheduler s.
+func New(s *parallel.Scheduler, capacity int) *Table {
 	size := 16
 	for size*3/4 < capacity {
 		size <<= 1
 	}
-	t := &Table{slots: make([]uint64, size), mask: uint64(size - 1)}
-	clearSlots(t.slots)
+	t := &Table{sched: s, slots: make([]uint64, size), mask: uint64(size - 1)}
+	clearSlots(s, t.slots)
 	return t
 }
 
-func clearSlots(s []uint64) {
-	parallel.ForRange(len(s), 0, func(lo, hi int) {
+func clearSlots(sched *parallel.Scheduler, s []uint64) {
+	sched.ForRange(len(s), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s[i] = empty
 		}
@@ -132,9 +134,9 @@ func (t *Table) Reserve(extra int) {
 	old := t.slots
 	t.slots = make([]uint64, size)
 	t.mask = uint64(size - 1)
-	clearSlots(t.slots)
+	clearSlots(t.sched, t.slots)
 	t.count.Store(0)
-	parallel.ForRange(len(old), 0, func(lo, hi int) {
+	t.sched.ForRange(len(old), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if old[i] != empty {
 				t.Insert(uint32(old[i]>>32), uint32(old[i]))

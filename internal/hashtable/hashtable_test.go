@@ -8,7 +8,7 @@ import (
 )
 
 func TestInsertContains(t *testing.T) {
-	tb := New(100)
+	tb := New(parallel.Default, 100)
 	if !tb.Insert(3, 7) {
 		t.Fatal("first insert returned false")
 	}
@@ -24,7 +24,7 @@ func TestInsertContains(t *testing.T) {
 }
 
 func TestForEachOfEnumeratesAllLabels(t *testing.T) {
-	tb := New(1000)
+	tb := New(parallel.Default, 1000)
 	for l := uint32(0); l < 20; l++ {
 		tb.Insert(42, l)
 		tb.Insert(43, l+100)
@@ -46,7 +46,7 @@ func TestForEachOfEnumeratesAllLabels(t *testing.T) {
 }
 
 func TestForEachOfEarlyStop(t *testing.T) {
-	tb := New(100)
+	tb := New(parallel.Default, 100)
 	for l := uint32(0); l < 10; l++ {
 		tb.Insert(1, l)
 	}
@@ -58,7 +58,7 @@ func TestForEachOfEarlyStop(t *testing.T) {
 }
 
 func TestConcurrentInsertsExactCount(t *testing.T) {
-	tb := New(1 << 16)
+	tb := New(parallel.Default, 1<<16)
 	n := 50000
 	// Every pair inserted twice from different positions: exactly n unique.
 	parallel.For(2*n, 64, func(i int) {
@@ -76,7 +76,7 @@ func TestConcurrentInsertsExactCount(t *testing.T) {
 }
 
 func TestReserveGrowsAndPreserves(t *testing.T) {
-	tb := New(16)
+	tb := New(parallel.Default, 16)
 	for i := uint32(0); i < 10; i++ {
 		tb.Insert(i, i*i)
 	}
@@ -102,7 +102,7 @@ func TestReserveGrowsAndPreserves(t *testing.T) {
 }
 
 func TestEntries(t *testing.T) {
-	tb := New(64)
+	tb := New(parallel.Default, 64)
 	tb.Insert(5, 6)
 	tb.Insert(7, 8)
 	e := tb.Entries()
@@ -120,7 +120,7 @@ func TestEntries(t *testing.T) {
 
 func TestHeavyCollisionVertex(t *testing.T) {
 	// All labels on one vertex: the probe run must stay correct as it wraps.
-	tb := New(64)
+	tb := New(parallel.Default, 64)
 	for l := uint32(0); l < 40; l++ {
 		tb.Insert(9, l)
 	}

@@ -51,7 +51,7 @@ var Traffic atomic.Int64
 // with u in frontier and cond(v) true, and returns the subset of
 // destinations for which update returned true. The direction (sparse push
 // vs. dense pull over in-edges) is chosen by frontier size as in Ligra.
-func EdgeMap(g graph.Graph, frontier VertexSubset, update Update, cond Cond, opt Opts) VertexSubset {
+func EdgeMap(s *parallel.Scheduler, g graph.Graph, frontier VertexSubset, update Update, cond Cond, opt Opts) VertexSubset {
 	n := g.N()
 	if frontier.Size() == 0 {
 		return Empty(n)
@@ -60,17 +60,17 @@ func EdgeMap(g graph.Graph, frontier VertexSubset, update Update, cond Cond, opt
 	if threshold <= 0 {
 		threshold = 20
 	}
-	ids := frontier.Sparse()
-	degSum := prims.MapReduce(len(ids), 0,
+	ids := frontier.Sparse(s)
+	degSum := prims.MapReduce(s, len(ids), 0,
 		func(i int) int { return g.OutDeg(ids[i]) },
 		func(a, b int) int { return a + b })
 	if !opt.NoDense && frontier.Size()+degSum > g.M()/threshold {
-		return edgeMapDense(g, frontier, update, cond, opt)
+		return edgeMapDense(s, g, frontier, update, cond, opt)
 	}
 	if opt.NoBlocked {
-		return edgeMapSparse(g, ids, degSum, update, cond, opt)
+		return edgeMapSparse(s, g, ids, degSum, update, cond, opt)
 	}
-	return edgeMapBlocked(g, ids, degSum, update, cond, opt)
+	return edgeMapBlocked(s, g, ids, degSum, update, cond, opt)
 }
 
 // edgeMapDense is the pull direction: every vertex with cond(v) scans its
@@ -78,15 +78,15 @@ func EdgeMap(g graph.Graph, frontier VertexSubset, update Update, cond Cond, opt
 // and stops early once cond(v) becomes false. O(sum in-degrees examined)
 // work; depth O(max in-degree) for the early-exit variant, as the paper
 // notes.
-func edgeMapDense(g graph.Graph, frontier VertexSubset, update Update, cond Cond, opt Opts) VertexSubset {
+func edgeMapDense(s *parallel.Scheduler, g graph.Graph, frontier VertexSubset, update Update, cond Cond, opt Opts) VertexSubset {
 	n := g.N()
-	inFlags := frontier.Dense()
+	inFlags := frontier.Dense(s)
 	var outFlags []bool
 	if !opt.NoOutput {
 		outFlags = make([]bool, n)
 	}
 	var added atomic.Int64
-	parallel.ForRange(n, 256, func(lo, hi int) {
+	s.ForRange(n, 256, func(lo, hi int) {
 		local := int64(0)
 		for v := lo; v < hi; v++ {
 			d := uint32(v)
@@ -108,17 +108,17 @@ func edgeMapDense(g graph.Graph, frontier VertexSubset, update Update, cond Cond
 	if opt.NoOutput {
 		return Empty(n)
 	}
-	return FromDense(outFlags, int(added.Load()))
+	return FromDense(s, outFlags, int(added.Load()))
 }
 
 // edgeMapSparse is the standard push direction: one output slot per incident
 // edge, filled with the destination when update succeeds, then filtered.
-func edgeMapSparse(g graph.Graph, ids []uint32, degSum int, update Update, cond Cond, opt Opts) VertexSubset {
+func edgeMapSparse(s *parallel.Scheduler, g graph.Graph, ids []uint32, degSum int, update Update, cond Cond, opt Opts) VertexSubset {
 	n := g.N()
 	offsets := make([]int64, len(ids))
-	prims.Scan(degreesOf(g, ids), offsets)
+	prims.Scan(s, degreesOf(s, g, ids), offsets)
 	out := make([]uint32, degSum)
-	parallel.For(len(ids), 32, func(i int) {
+	s.For(len(ids), 32, func(i int) {
 		u := ids[i]
 		o := offsets[i]
 		written := int64(0)
@@ -137,7 +137,7 @@ func edgeMapSparse(g graph.Graph, ids []uint32, degSum int, update Update, cond 
 	if opt.NoOutput {
 		return Empty(n)
 	}
-	kept := prims.Filter(out, func(v uint32) bool { return v != none })
+	kept := prims.Filter(s, out, func(v uint32) bool { return v != none })
 	return FromSparse(n, kept)
 }
 
@@ -147,23 +147,23 @@ func edgeMapSparse(g graph.Graph, ids []uint32, degSum int, update Update, cond 
 // the output size rather than to the frontier's degree sum.
 const emBlockSize = 4096
 
-func edgeMapBlocked(g graph.Graph, ids []uint32, degSum int, update Update, cond Cond, opt Opts) VertexSubset {
+func edgeMapBlocked(s *parallel.Scheduler, g graph.Graph, ids []uint32, degSum int, update Update, cond Cond, opt Opts) VertexSubset {
 	n := g.N()
 	if degSum == 0 {
 		return Empty(n)
 	}
-	degs := degreesOf(g, ids)
+	degs := degreesOf(s, g, ids)
 	offsets := make([]int64, len(ids))
-	prims.Scan(degs, offsets)
+	prims.Scan(s, degs, offsets)
 	nblocks := (degSum + emBlockSize - 1) / emBlockSize
 	// B[b] = index of the frontier vertex containing edge b*emBlockSize.
 	starts := make([]int, nblocks)
-	parallel.For(nblocks, 64, func(b int) {
+	s.For(nblocks, 64, func(b int) {
 		starts[b] = prims.SearchSorted64(offsets, int64(b*emBlockSize)+1) - 1
 	})
 	inter := make([]uint32, degSum)
 	counts := make([]int, nblocks)
-	parallel.For(nblocks, 1, func(b int) {
+	s.For(nblocks, 1, func(b int) {
 		edgeLo := b * emBlockSize
 		edgeHi := edgeLo + emBlockSize
 		if edgeHi > degSum {
@@ -195,17 +195,17 @@ func edgeMapBlocked(g graph.Graph, ids []uint32, degSum int, update Update, cond
 		return Empty(n)
 	}
 	blockOff := make([]int, nblocks)
-	total := prims.Scan(counts, blockOff)
+	total := prims.Scan(s, counts, blockOff)
 	result := make([]uint32, total)
-	parallel.For(nblocks, 64, func(b int) {
+	s.For(nblocks, 64, func(b int) {
 		copy(result[blockOff[b]:blockOff[b]+counts[b]], inter[b*emBlockSize:b*emBlockSize+counts[b]])
 	})
 	return FromSparse(n, result)
 }
 
-func degreesOf(g graph.Graph, ids []uint32) []int64 {
+func degreesOf(s *parallel.Scheduler, g graph.Graph, ids []uint32) []int64 {
 	degs := make([]int64, len(ids))
-	parallel.ForRange(len(ids), 0, func(lo, hi int) {
+	s.ForRange(len(ids), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			degs[i] = int64(g.OutDeg(ids[i]))
 		}

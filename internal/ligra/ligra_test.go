@@ -7,6 +7,7 @@ import (
 	"repro/internal/atomics"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 func TestVertexSubsetBasics(t *testing.T) {
@@ -19,37 +20,37 @@ func TestVertexSubsetBasics(t *testing.T) {
 		t.Fatal("Single broken")
 	}
 	s = FromSparse(10, []uint32{1, 5, 9})
-	d := s.Dense()
+	d := s.Dense(parallel.Default)
 	if !d[1] || !d[5] || !d[9] || d[0] {
 		t.Fatal("Dense conversion broken")
 	}
 	flags := make([]bool, 10)
 	flags[2], flags[7] = true, true
-	s = FromDense(flags, -1)
+	s = FromDense(parallel.Default, flags, -1)
 	if s.Size() != 2 {
 		t.Fatalf("FromDense recount = %d", s.Size())
 	}
-	sp := s.Sparse()
+	sp := s.Sparse(parallel.Default)
 	slices.Sort(sp)
 	if !slices.Equal(sp, []uint32{2, 7}) {
 		t.Fatalf("Sparse conversion = %v", sp)
 	}
-	all := All(5)
+	all := All(parallel.Default, 5)
 	if all.Size() != 5 || !all.Contains(4) {
 		t.Fatal("All broken")
 	}
 }
 
 func TestVertexMapAndFilter(t *testing.T) {
-	s := All(100)
+	s := All(parallel.Default, 100)
 	var count [100]uint32
-	VertexMap(s, func(v uint32) { atomics.FetchAndAdd32(&count[v], 1) })
+	VertexMap(parallel.Default, s, func(v uint32) { atomics.FetchAndAdd32(&count[v], 1) })
 	for v, c := range count {
 		if c != 1 {
 			t.Fatalf("vertex %d mapped %d times", v, c)
 		}
 	}
-	f := VertexFilter(s, func(v uint32) bool { return v%10 == 0 })
+	f := VertexFilter(parallel.Default, s, func(v uint32) bool { return v%10 == 0 })
 	if f.Size() != 10 {
 		t.Fatalf("filter size = %d", f.Size())
 	}
@@ -73,7 +74,7 @@ func bfsLevels(g graph.Graph, src uint32, opt Opts) []uint32 {
 	for frontier.Size() > 0 {
 		round++
 		r := round
-		frontier = EdgeMap(g, frontier,
+		frontier = EdgeMap(parallel.Default, g, frontier,
 			func(s, d uint32, w int32) bool {
 				if atomics.TestAndSet(&visited[d]) {
 					level[d] = r
@@ -126,7 +127,7 @@ func TestEdgeMapDirectedUsesInEdgesForDense(t *testing.T) {
 
 func TestEdgeMapEmptyFrontier(t *testing.T) {
 	g := gen.BuildTorus3D(3, false, 1)
-	out := EdgeMap(g, Empty(g.N()),
+	out := EdgeMap(parallel.Default, g, Empty(g.N()),
 		func(s, d uint32, w int32) bool { return true },
 		func(d uint32) bool { return true }, Opts{})
 	if out.Size() != 0 {
@@ -137,7 +138,7 @@ func TestEdgeMapEmptyFrontier(t *testing.T) {
 func TestEdgeMapNoOutput(t *testing.T) {
 	g := gen.BuildTorus3D(3, false, 1)
 	touched := make([]uint32, g.N())
-	out := EdgeMap(g, Single(g.N(), 0),
+	out := EdgeMap(parallel.Default, g, Single(g.N(), 0),
 		func(s, d uint32, w int32) bool {
 			atomics.FetchAndAdd32(&touched[d], 1)
 			return true
@@ -160,7 +161,7 @@ func TestEdgeMapWeightsArriveAtUpdate(t *testing.T) {
 	el := &graph.EdgeList{N: 3, U: []uint32{0, 0}, V: []uint32{1, 2}, W: []int32{7, 9}}
 	g := graph.FromEdgeList(3, el, graph.BuildOptions{})
 	var w1, w2 int32
-	EdgeMap(g, Single(3, 0),
+	EdgeMap(parallel.Default, g, Single(3, 0),
 		func(s, d uint32, w int32) bool {
 			if d == 1 {
 				w1 = w
@@ -177,7 +178,7 @@ func TestEdgeMapWeightsArriveAtUpdate(t *testing.T) {
 
 func TestEdgeMapCondSkips(t *testing.T) {
 	g := gen.BuildTorus3D(4, false, 1)
-	out := EdgeMap(g, Single(g.N(), 0),
+	out := EdgeMap(parallel.Default, g, Single(g.N(), 0),
 		func(s, d uint32, w int32) bool { return true },
 		func(d uint32) bool { return false }, Opts{})
 	if out.Size() != 0 {
@@ -193,14 +194,14 @@ func TestEdgeMapBlockedHighDegreeSplit(t *testing.T) {
 	g := graph.FromEdgeList(n, el, graph.BuildOptions{Symmetrize: true})
 	visited := make([]uint32, n)
 	visited[0] = 1
-	out := EdgeMap(g, Single(n, 0),
+	out := EdgeMap(parallel.Default, g, Single(n, 0),
 		func(s, d uint32, w int32) bool { return atomics.TestAndSet(&visited[d]) },
 		func(d uint32) bool { return atomics.Load32(&visited[d]) == 0 },
 		Opts{NoDense: true})
 	if out.Size() != n-1 {
 		t.Fatalf("star edgeMap reached %d of %d", out.Size(), n-1)
 	}
-	got := slices.Clone(out.Sparse())
+	got := slices.Clone(out.Sparse(parallel.Default))
 	slices.Sort(got)
 	for i, v := range got {
 		if v != uint32(i+1) {

@@ -3,6 +3,10 @@
 // sparse/dense representations, vertexMap/vertexFilter, and edgeMap with
 // Ligra's direction optimization plus the cache-friendly edgeMapBlocked
 // sparse traversal from the paper's §B (Algorithm 15).
+//
+// All traversal routines are scheduler-scoped: they take the
+// *parallel.Scheduler to run on as their first argument, so concurrent
+// callers (e.g. two gbbs.Engine requests) never share parallelism state.
 package ligra
 
 import (
@@ -38,17 +42,17 @@ func FromSparse(n int, ids []uint32) VertexSubset {
 
 // FromDense wraps a dense boolean membership array as a subset. size < 0
 // recounts membership in parallel.
-func FromDense(flags []bool, size int) VertexSubset {
+func FromDense(s *parallel.Scheduler, flags []bool, size int) VertexSubset {
 	if size < 0 {
-		size = prims.Count(len(flags), func(i int) bool { return flags[i] })
+		size = prims.Count(s, len(flags), func(i int) bool { return flags[i] })
 	}
 	return VertexSubset{n: len(flags), dense: flags, size: size}
 }
 
 // All returns the full subset over n vertices.
-func All(n int) VertexSubset {
+func All(s *parallel.Scheduler, n int) VertexSubset {
 	ids := make([]uint32, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ids[i] = uint32(i)
 		}
@@ -57,47 +61,47 @@ func All(n int) VertexSubset {
 }
 
 // N returns the size of the universe the subset draws from.
-func (s *VertexSubset) N() int { return s.n }
+func (vs *VertexSubset) N() int { return vs.n }
 
 // Size returns the number of member vertices.
-func (s *VertexSubset) Size() int { return s.size }
+func (vs *VertexSubset) Size() int { return vs.size }
 
 // IsEmpty reports whether the subset has no members.
-func (s *VertexSubset) IsEmpty() bool { return s.size == 0 }
+func (vs *VertexSubset) IsEmpty() bool { return vs.size == 0 }
 
 // IsDense reports whether the subset currently holds a dense representation.
-func (s *VertexSubset) IsDense() bool { return s.dense != nil && s.sparse == nil }
+func (vs *VertexSubset) IsDense() bool { return vs.dense != nil && vs.sparse == nil }
 
 // Sparse returns the member IDs, converting from dense if needed (the result
 // is cached). The order is unspecified but deterministic.
-func (s *VertexSubset) Sparse() []uint32 {
-	if s.sparse == nil {
-		s.sparse = prims.PackIndex(s.n, func(i int) bool { return s.dense[i] })
+func (vs *VertexSubset) Sparse(s *parallel.Scheduler) []uint32 {
+	if vs.sparse == nil {
+		vs.sparse = prims.PackIndex(s, vs.n, func(i int) bool { return vs.dense[i] })
 	}
-	return s.sparse
+	return vs.sparse
 }
 
 // Dense returns the membership flags, converting from sparse if needed (the
 // result is cached).
-func (s *VertexSubset) Dense() []bool {
-	if s.dense == nil {
-		s.dense = make([]bool, s.n)
-		ids := s.sparse
-		parallel.ForRange(len(ids), 0, func(lo, hi int) {
+func (vs *VertexSubset) Dense(s *parallel.Scheduler) []bool {
+	if vs.dense == nil {
+		vs.dense = make([]bool, vs.n)
+		ids := vs.sparse
+		s.ForRange(len(ids), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				s.dense[ids[i]] = true
+				vs.dense[ids[i]] = true
 			}
 		})
 	}
-	return s.dense
+	return vs.dense
 }
 
 // Contains reports membership of v.
-func (s *VertexSubset) Contains(v uint32) bool {
-	if s.dense != nil {
-		return s.dense[v]
+func (vs *VertexSubset) Contains(v uint32) bool {
+	if vs.dense != nil {
+		return vs.dense[v]
 	}
-	for _, u := range s.sparse {
+	for _, u := range vs.sparse {
 		if u == v {
 			return true
 		}
@@ -106,25 +110,25 @@ func (s *VertexSubset) Contains(v uint32) bool {
 }
 
 // ForEach applies f to every member in parallel.
-func (s *VertexSubset) ForEach(f func(v uint32)) {
-	ids := s.Sparse()
-	parallel.ForRange(len(ids), 0, func(lo, hi int) {
+func (vs *VertexSubset) ForEach(s *parallel.Scheduler, f func(v uint32)) {
+	ids := vs.Sparse(s)
+	s.ForRange(len(ids), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			f(ids[i])
 		}
 	})
 }
 
-// VertexMap applies f to every member of s in parallel (the paper's
+// VertexMap applies f to every member of vs in parallel (the paper's
 // vertexMap).
-func VertexMap(s VertexSubset, f func(v uint32)) {
-	s.ForEach(f)
+func VertexMap(s *parallel.Scheduler, vs VertexSubset, f func(v uint32)) {
+	vs.ForEach(s, f)
 }
 
-// VertexFilter returns the members of s satisfying pred (the paper's
+// VertexFilter returns the members of vs satisfying pred (the paper's
 // vertexFilter).
-func VertexFilter(s VertexSubset, pred func(v uint32) bool) VertexSubset {
-	ids := s.Sparse()
-	out := prims.Filter(ids, pred)
-	return FromSparse(s.n, out)
+func VertexFilter(s *parallel.Scheduler, vs VertexSubset, pred func(v uint32) bool) VertexSubset {
+	ids := vs.Sparse(s)
+	out := prims.Filter(s, ids, pred)
+	return FromSparse(vs.n, out)
 }

@@ -1,6 +1,7 @@
 package ligra
 
 import (
+	"repro/internal/parallel"
 	"slices"
 	"testing"
 )
@@ -8,9 +9,9 @@ import (
 func TestSparseConversionIsCached(t *testing.T) {
 	flags := make([]bool, 8)
 	flags[3], flags[6] = true, true
-	s := FromDense(flags, 2)
-	a := s.Sparse()
-	b := s.Sparse()
+	s := FromDense(parallel.Default, flags, 2)
+	a := s.Sparse(parallel.Default)
+	b := s.Sparse(parallel.Default)
 	if &a[0] != &b[0] {
 		t.Fatal("Sparse() not cached")
 	}
@@ -18,8 +19,8 @@ func TestSparseConversionIsCached(t *testing.T) {
 
 func TestDenseConversionIsCached(t *testing.T) {
 	s := FromSparse(8, []uint32{1, 2})
-	a := s.Dense()
-	b := s.Dense()
+	a := s.Dense(parallel.Default)
+	b := s.Dense(parallel.Default)
 	if &a[0] != &b[0] {
 		t.Fatal("Dense() not cached")
 	}
@@ -30,19 +31,19 @@ func TestContainsBothRepresentations(t *testing.T) {
 	if !s.Contains(4) || !s.Contains(7) || s.Contains(5) {
 		t.Fatal("sparse Contains wrong")
 	}
-	_ = s.Dense()
+	_ = s.Dense(parallel.Default)
 	if !s.Contains(4) || s.Contains(5) {
 		t.Fatal("dense Contains wrong")
 	}
 }
 
 func TestVertexFilterPreservesUniverse(t *testing.T) {
-	s := All(20)
-	f := VertexFilter(s, func(v uint32) bool { return v >= 15 })
+	s := All(parallel.Default, 20)
+	f := VertexFilter(parallel.Default, s, func(v uint32) bool { return v >= 15 })
 	if f.N() != 20 || f.Size() != 5 {
 		t.Fatalf("N=%d Size=%d", f.N(), f.Size())
 	}
-	got := slices.Clone(f.Sparse())
+	got := slices.Clone(f.Sparse(parallel.Default))
 	slices.Sort(got)
 	if !slices.Equal(got, []uint32{15, 16, 17, 18, 19}) {
 		t.Fatalf("filtered = %v", got)
@@ -50,11 +51,11 @@ func TestVertexFilterPreservesUniverse(t *testing.T) {
 }
 
 func TestFromDenseZeroSize(t *testing.T) {
-	s := FromDense(make([]bool, 5), -1)
+	s := FromDense(parallel.Default, make([]bool, 5), -1)
 	if !s.IsEmpty() || s.Size() != 0 {
 		t.Fatal("all-false dense subset not empty")
 	}
-	if len(s.Sparse()) != 0 {
+	if len(s.Sparse(parallel.Default)) != 0 {
 		t.Fatal("sparse of empty dense not empty")
 	}
 }

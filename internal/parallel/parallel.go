@@ -11,37 +11,134 @@
 // work-stealing scheduler provides for parallel loops while keeping
 // per-goroutine overhead off the critical path.
 //
-// Setting the worker count to 1 (SetWorkers(1)) makes every operation run
-// inline with zero scheduling overhead; this is how the single-thread columns
-// of the paper's Tables 2, 4 and 5 are measured.
+// The runtime is instance-based: a Scheduler carries its own worker count
+// (and optionally a cancellation signal), so independent callers — e.g. two
+// gbbs.Engine values serving different requests — can run concurrently with
+// different parallelism without sharing any global state. Default is the
+// process-wide scheduler the package-level wrappers (ForRange, SetWorkers,
+// ...) delegate to; it preserves the historical free-function surface used by
+// the paper-measurement path.
+//
+// A Scheduler with one worker (New(1), or SetWorkers(1) on Default) runs
+// every operation inline with zero scheduling overhead; this is how the
+// single-thread columns of the paper's Tables 2, 4 and 5 are measured.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// workers is the number of OS-thread-backed goroutines a parallel operation
-// may use. It defaults to runtime.NumCPU and is read atomically so benchmarks
-// can flip between 1-thread and P-thread configurations.
-var workers atomic.Int64
-
-func init() {
-	workers.Store(int64(runtime.NumCPU()))
+// Scheduler executes parallel loops and fork-join tasks on a bounded set of
+// worker goroutines. The zero value is not usable; construct with New. A
+// Scheduler is cheap (a few words) and safe for concurrent use: independent
+// loops issued against the same Scheduler each spawn their own workers, so a
+// Scheduler can serve many goroutines at once.
+type Scheduler struct {
+	workers atomic.Int64
+	grain   int // default grain override; 0 selects the automatic grain
+	// done/err carry an optional cancellation signal attached with
+	// Attach(ctx). Poll panics with a stopPanic when done is closed;
+	// RecoverStop converts that panic back into an error at the API
+	// boundary. They are immutable after construction.
+	done <-chan struct{}
+	err  func() error
 }
 
-// Workers reports the current worker count used by parallel operations.
-func Workers() int { return int(workers.Load()) }
-
-// SetWorkers sets the number of workers used by subsequent parallel
-// operations and returns the previous value. p < 1 is treated as 1.
-// It does not affect operations already in flight.
-func SetWorkers(p int) int {
+// New returns a Scheduler that runs parallel operations on p worker
+// goroutines. p < 1 selects 1 (fully sequential); use runtime.NumCPU() for
+// the hardware parallelism.
+func New(p int) *Scheduler {
+	s := &Scheduler{}
 	if p < 1 {
 		p = 1
 	}
-	return int(workers.Swap(int64(p)))
+	s.workers.Store(int64(p))
+	return s
+}
+
+// NewWithGrain returns a Scheduler with a fixed default grain size used when
+// a loop does not specify one. grain <= 0 keeps the automatic heuristic.
+func NewWithGrain(p, grain int) *Scheduler {
+	s := New(p)
+	if grain > 0 {
+		s.grain = grain
+	}
+	return s
+}
+
+// Default is the process-wide scheduler the package-level wrappers delegate
+// to. It defaults to runtime.NumCPU() workers.
+var Default = New(runtime.NumCPU())
+
+// Workers reports the scheduler's current worker count.
+func (s *Scheduler) Workers() int { return int(s.workers.Load()) }
+
+// SetWorkers sets the scheduler's worker count and returns the previous
+// value. p < 1 is treated as 1. It does not affect operations in flight.
+func (s *Scheduler) SetWorkers(p int) int {
+	if p < 1 {
+		p = 1
+	}
+	return int(s.workers.Swap(int64(p)))
+}
+
+// Attach returns a child scheduler that shares nothing with s but starts
+// from s's worker count and grain, and additionally observes ctx: once ctx
+// is done, Poll on the child panics with a cancellation token that
+// RecoverStop translates into ctx.Err(). Attach is how a gbbs.Engine scopes
+// one algorithm invocation to one request context. A nil or background-like
+// ctx (ctx.Done() == nil) returns a child with no cancellation signal.
+func (s *Scheduler) Attach(ctx context.Context) *Scheduler {
+	child := &Scheduler{grain: s.grain}
+	child.workers.Store(s.workers.Load())
+	if ctx != nil && ctx.Done() != nil {
+		child.done = ctx.Done()
+		child.err = ctx.Err
+	}
+	return child
+}
+
+// stopPanic is the token Poll throws when the attached context is done. It
+// deliberately does not implement error: an unrecovered stopPanic (a Poll
+// outside RecoverStop) should crash loudly rather than be mistaken for a
+// value.
+type stopPanic struct{ err error }
+
+// Poll checks the cancellation signal attached with Attach and panics with a
+// stop token if the context is done. Algorithms call it between rounds (not
+// inside loop bodies — the panic must unwind the algorithm's own goroutine).
+// On a scheduler with no attached context it is a single nil check.
+func (s *Scheduler) Poll() {
+	if s.done == nil {
+		return
+	}
+	select {
+	case <-s.done:
+		err := context.Canceled
+		if s.err != nil {
+			if e := s.err(); e != nil {
+				err = e
+			}
+		}
+		panic(stopPanic{err})
+	default:
+	}
+}
+
+// RecoverStop recovers a stop token thrown by Poll and stores its error
+// (ctx.Err()) into *err; any other panic is re-raised. Use it as
+// `defer parallel.RecoverStop(&err)` at the boundary that called Attach.
+func RecoverStop(err *error) {
+	if r := recover(); r != nil {
+		if sp, ok := r.(stopPanic); ok {
+			*err = sp.err
+			return
+		}
+		panic(r)
+	}
 }
 
 // grainFor picks a default grain: enough blocks for dynamic load balancing
@@ -57,19 +154,27 @@ func grainFor(n, p int) int {
 	return g
 }
 
+func (s *Scheduler) grainOf(n, grain, p int) int {
+	if grain > 0 {
+		return grain
+	}
+	if s.grain > 0 {
+		return s.grain
+	}
+	return grainFor(n, p)
+}
+
 // ForRange runs body over the half-open range [0, n) split into chunks of at
 // most grain elements. body receives [lo, hi) sub-ranges and is called
 // concurrently from multiple goroutines; distinct calls never overlap.
-// grain <= 0 selects an automatic grain. ForRange returns when all chunks
-// have completed.
-func ForRange(n, grain int, body func(lo, hi int)) {
+// grain <= 0 selects the scheduler's default grain. ForRange returns when
+// all chunks have completed.
+func (s *Scheduler) ForRange(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	p := Workers()
-	if grain <= 0 {
-		grain = grainFor(n, p)
-	}
+	p := s.Workers()
+	grain = s.grainOf(n, grain, p)
 	blocks := (n + grain - 1) / grain
 	if p == 1 || blocks == 1 {
 		body(0, n)
@@ -104,8 +209,8 @@ func ForRange(n, grain int, body func(lo, hi int)) {
 // For runs body(i) for each i in [0, n) in parallel. The per-element closure
 // call costs a few nanoseconds; hot loops should prefer ForRange and iterate
 // inside the block.
-func For(n, grain int, body func(i int)) {
-	ForRange(n, grain, func(lo, hi int) {
+func (s *Scheduler) For(n, grain int, body func(i int)) {
+	s.ForRange(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			body(i)
 		}
@@ -114,8 +219,8 @@ func For(n, grain int, body func(i int)) {
 
 // Do runs f and g in parallel (binary fork-join) and returns when both have
 // completed. With one worker it runs them sequentially.
-func Do(f, g func()) {
-	if Workers() == 1 {
+func (s *Scheduler) Do(f, g func()) {
+	if s.Workers() == 1 {
 		f()
 		g()
 		return
@@ -130,8 +235,8 @@ func Do(f, g func()) {
 }
 
 // DoN runs each of fs in parallel and returns when all have completed.
-func DoN(fs ...func()) {
-	if Workers() == 1 || len(fs) <= 1 {
+func (s *Scheduler) DoN(fs ...func()) {
+	if s.Workers() == 1 || len(fs) <= 1 {
 		for _, f := range fs {
 			f()
 		}
@@ -149,16 +254,14 @@ func DoN(fs ...func()) {
 	wg.Wait()
 }
 
-// Blocks returns the block boundaries ForRange would use for n items with the
-// given grain: a slice of block start offsets plus the terminal n. It lets
-// two-pass algorithms (count then scatter) agree on the partition.
-func Blocks(n, grain int) []int {
+// Blocks returns the block boundaries ForRange would use for n items with
+// the given grain: a slice of block start offsets plus the terminal n. It
+// lets two-pass algorithms (count then scatter) agree on the partition.
+func (s *Scheduler) Blocks(n, grain int) []int {
 	if n <= 0 {
 		return []int{0}
 	}
-	if grain <= 0 {
-		grain = grainFor(n, Workers())
-	}
+	grain = s.grainOf(n, grain, s.Workers())
 	nb := (n + grain - 1) / grain
 	out := make([]int, nb+1)
 	for b := 0; b < nb; b++ {
@@ -170,9 +273,42 @@ func Blocks(n, grain int) []int {
 
 // ForBlocks runs body once per block of the partition returned by Blocks,
 // passing the block index and its [lo, hi) range.
-func ForBlocks(bounds []int, body func(b, lo, hi int)) {
+func (s *Scheduler) ForBlocks(bounds []int, body func(b, lo, hi int)) {
 	nb := len(bounds) - 1
-	For(nb, 1, func(b int) {
+	s.For(nb, 1, func(b int) {
 		body(b, bounds[b], bounds[b+1])
 	})
 }
+
+// Package-level wrappers delegating to Default. They keep the historical
+// free-function surface working (the paper-measurement path and older tests
+// flip Default's worker count); new code should hold a *Scheduler.
+
+// Workers reports Default's worker count.
+//
+// Deprecated: use a Scheduler instance (parallel.New or Default.Workers).
+func Workers() int { return Default.Workers() }
+
+// SetWorkers sets Default's worker count and returns the previous value.
+//
+// Deprecated: create an isolated scheduler with parallel.New(p) instead of
+// mutating the process-wide default.
+func SetWorkers(p int) int { return Default.SetWorkers(p) }
+
+// ForRange runs body over [0, n) on the Default scheduler.
+func ForRange(n, grain int, body func(lo, hi int)) { Default.ForRange(n, grain, body) }
+
+// For runs body(i) for each i in [0, n) on the Default scheduler.
+func For(n, grain int, body func(i int)) { Default.For(n, grain, body) }
+
+// Do runs f and g in parallel on the Default scheduler.
+func Do(f, g func()) { Default.Do(f, g) }
+
+// DoN runs each of fs in parallel on the Default scheduler.
+func DoN(fs ...func()) { Default.DoN(fs...) }
+
+// Blocks returns Default's block partition for n items.
+func Blocks(n, grain int) []int { return Default.Blocks(n, grain) }
+
+// ForBlocks runs body once per block on the Default scheduler.
+func ForBlocks(bounds []int, body func(b, lo, hi int)) { Default.ForBlocks(bounds, body) }

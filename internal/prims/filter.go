@@ -4,15 +4,15 @@ import "repro/internal/parallel"
 
 // Filter returns the elements of a satisfying pred, preserving order, in O(n)
 // work and O(log n) depth (per-block count, scan, per-block copy).
-func Filter[T any](a []T, pred func(T) bool) []T {
+func Filter[T any](s *parallel.Scheduler, a []T, pred func(T) bool) []T {
 	n := len(a)
 	if n == 0 {
 		return nil
 	}
-	bounds := parallel.Blocks(n, 0)
+	bounds := s.Blocks(n, 0)
 	nb := len(bounds) - 1
 	counts := make([]int, nb)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		c := 0
 		for i := lo; i < hi; i++ {
 			if pred(a[i]) {
@@ -21,9 +21,9 @@ func Filter[T any](a []T, pred func(T) bool) []T {
 		}
 		counts[b] = c
 	})
-	total := ScanInPlace(counts)
+	total := ScanInPlace(s, counts)
 	out := make([]T, total)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		o := counts[b]
 		for i := lo; i < hi; i++ {
 			if pred(a[i]) {
@@ -37,15 +37,15 @@ func Filter[T any](a []T, pred func(T) bool) []T {
 
 // FilterInto is Filter writing into out (which must be large enough); it
 // returns the number of kept elements. out must not alias a.
-func FilterInto[T any](a []T, out []T, pred func(T) bool) int {
+func FilterInto[T any](s *parallel.Scheduler, a []T, out []T, pred func(T) bool) int {
 	n := len(a)
 	if n == 0 {
 		return 0
 	}
-	bounds := parallel.Blocks(n, 0)
+	bounds := s.Blocks(n, 0)
 	nb := len(bounds) - 1
 	counts := make([]int, nb)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		c := 0
 		for i := lo; i < hi; i++ {
 			if pred(a[i]) {
@@ -54,8 +54,8 @@ func FilterInto[T any](a []T, out []T, pred func(T) bool) int {
 		}
 		counts[b] = c
 	})
-	total := ScanInPlace(counts)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	total := ScanInPlace(s, counts)
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		o := counts[b]
 		for i := lo; i < hi; i++ {
 			if pred(a[i]) {
@@ -70,14 +70,14 @@ func FilterInto[T any](a []T, out []T, pred func(T) bool) int {
 // PackIndex returns, in increasing order, the indices i in [0, n) for which
 // pred(i) is true. It is the paper's pack over an implicit boolean sequence
 // (used to turn dense frontiers back into sparse ones).
-func PackIndex(n int, pred func(i int) bool) []uint32 {
+func PackIndex(s *parallel.Scheduler, n int, pred func(i int) bool) []uint32 {
 	if n == 0 {
 		return nil
 	}
-	bounds := parallel.Blocks(n, 0)
+	bounds := s.Blocks(n, 0)
 	nb := len(bounds) - 1
 	counts := make([]int, nb)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		c := 0
 		for i := lo; i < hi; i++ {
 			if pred(i) {
@@ -86,9 +86,9 @@ func PackIndex(n int, pred func(i int) bool) []uint32 {
 		}
 		counts[b] = c
 	})
-	total := ScanInPlace(counts)
+	total := ScanInPlace(s, counts)
 	out := make([]uint32, total)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		o := counts[b]
 		for i := lo; i < hi; i++ {
 			if pred(i) {
@@ -103,11 +103,11 @@ func PackIndex(n int, pred func(i int) bool) []uint32 {
 // MapFilter produces f(i) for each i in [0, n) where keep(i) is true, in
 // index order. It fuses a map with a pack so callers avoid materializing the
 // dense intermediate.
-func MapFilter[T any](n int, keep func(i int) bool, f func(i int) T) []T {
-	bounds := parallel.Blocks(n, 0)
+func MapFilter[T any](s *parallel.Scheduler, n int, keep func(i int) bool, f func(i int) T) []T {
+	bounds := s.Blocks(n, 0)
 	nb := len(bounds) - 1
 	counts := make([]int, nb)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		c := 0
 		for i := lo; i < hi; i++ {
 			if keep(i) {
@@ -116,9 +116,9 @@ func MapFilter[T any](n int, keep func(i int) bool, f func(i int) T) []T {
 		}
 		counts[b] = c
 	})
-	total := ScanInPlace(counts)
+	total := ScanInPlace(s, counts)
 	out := make([]T, total)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		o := counts[b]
 		for i := lo; i < hi; i++ {
 			if keep(i) {

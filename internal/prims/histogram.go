@@ -19,8 +19,8 @@ import (
 // fetch-and-add. counts must be zeroed by the caller and have length greater
 // than every key. This is the contended baseline of Table 6's
 // "k-core (fetch-and-add)" row.
-func HistogramAtomic(keys []uint32, counts []uint32) {
-	parallel.ForRange(len(keys), 2048, func(lo, hi int) {
+func HistogramAtomic(s *parallel.Scheduler, keys []uint32, counts []uint32) {
+	s.ForRange(len(keys), 2048, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			atomics.FetchAndAdd32(&counts[keys[i]], 1)
 		}
@@ -30,26 +30,26 @@ func HistogramAtomic(keys []uint32, counts []uint32) {
 // Histogram returns the distinct keys of the input in sorted order together
 // with their multiplicities, in O(n) work per radix pass and O(log n)
 // contention-free depth. keyBits bounds the key width (use BitsFor(maxKey)).
-func Histogram(keys []uint32, keyBits int) (ids []uint32, counts []uint32) {
+func Histogram(s *parallel.Scheduler, keys []uint32, keyBits int) (ids []uint32, counts []uint32) {
 	n := len(keys)
 	if n == 0 {
 		return nil, nil
 	}
 	sorted := make([]uint64, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			sorted[i] = uint64(keys[i])
 		}
 	})
-	RadixSortU64(sorted, keyBits)
+	RadixSortU64(s, sorted, keyBits)
 	// Boundaries of equal-key runs.
-	starts := PackIndex(n, func(i int) bool {
+	starts := PackIndex(s, n, func(i int) bool {
 		return i == 0 || sorted[i] != sorted[i-1]
 	})
 	k := len(starts)
 	ids = make([]uint32, k)
 	counts = make([]uint32, k)
-	parallel.ForRange(k, 0, func(lo, hi int) {
+	s.ForRange(k, 0, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			start := int(starts[j])
 			end := n
@@ -67,9 +67,9 @@ func Histogram(keys []uint32, keyBits int) (ids []uint32, counts []uint32) {
 // once per distinct key, in parallel. It is the paper's HistogramFilter
 // shape: fn typically updates per-vertex state and decides whether the
 // vertex's bucket changed, saving a write per filtered-out pair.
-func HistogramApply(keys []uint32, keyBits int, fn func(key, count uint32)) {
-	ids, counts := Histogram(keys, keyBits)
-	parallel.ForRange(len(ids), 512, func(lo, hi int) {
+func HistogramApply(s *parallel.Scheduler, keys []uint32, keyBits int, fn func(key, count uint32)) {
+	ids, counts := Histogram(s, keys, keyBits)
+	s.ForRange(len(ids), 512, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			fn(ids[j], counts[j])
 		}
@@ -79,7 +79,7 @@ func HistogramApply(keys []uint32, keyBits int, fn func(key, count uint32)) {
 // HistogramSum aggregates weighted pairs: for every (keys[i], vals[i]) it
 // sums vals per distinct key. Used where the generalized (K,T) histogram of
 // the paper is needed rather than pure counting.
-func HistogramSum(keys []uint32, vals []uint32, keyBits int) (ids []uint32, sums []uint64) {
+func HistogramSum(s *parallel.Scheduler, keys []uint32, vals []uint32, keyBits int) (ids []uint32, sums []uint64) {
 	n := len(keys)
 	if n == 0 {
 		return nil, nil
@@ -88,20 +88,20 @@ func HistogramSum(keys []uint32, vals []uint32, keyBits int) (ids []uint32, sums
 		panic("prims: HistogramSum length mismatch")
 	}
 	packed := make([]uint64, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			packed[i] = uint64(keys[i])<<32 | uint64(vals[i])
 		}
 	})
 	// Sorting by the high 32 bits groups equal keys; the payload rides along.
-	RadixSortU64(packed, keyBits+32)
-	starts := PackIndex(n, func(i int) bool {
+	RadixSortU64(s, packed, keyBits+32)
+	starts := PackIndex(s, n, func(i int) bool {
 		return i == 0 || packed[i]>>32 != packed[i-1]>>32
 	})
 	k := len(starts)
 	ids = make([]uint32, k)
 	sums = make([]uint64, k)
-	parallel.ForRange(k, 0, func(lo, hi int) {
+	s.ForRange(k, 0, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			start := int(starts[j])
 			end := n

@@ -12,19 +12,19 @@ import (
 // randomized algorithms (SCC batching, MIS/MM priorities) all start from such
 // a permutation, and it notes that connectivity "always generates a random
 // permutation, even on the first round".
-func RandomPermutation(n int, seed uint64) []uint32 {
+func RandomPermutation(s *parallel.Scheduler, n int, seed uint64) []uint32 {
 	if n <= 0 {
 		return nil
 	}
 	packed := make([]uint64, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			packed[i] = uint64(xrand.Hash32(seed, uint64(i)))<<32 | uint64(uint32(i))
 		}
 	})
-	RadixSortU64(packed, 64)
+	RadixSortU64(s, packed, 64)
 	perm := make([]uint32, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			perm[i] = uint32(packed[i])
 		}
@@ -33,9 +33,9 @@ func RandomPermutation(n int, seed uint64) []uint32 {
 }
 
 // InversePermutation returns inv with inv[perm[i]] = i.
-func InversePermutation(perm []uint32) []uint32 {
+func InversePermutation(s *parallel.Scheduler, perm []uint32) []uint32 {
 	inv := make([]uint32, len(perm))
-	parallel.ForRange(len(perm), 0, func(lo, hi int) {
+	s.ForRange(len(perm), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			inv[perm[i]] = uint32(i)
 		}

@@ -17,7 +17,7 @@ func TestScanMatchesSequential(t *testing.T) {
 			a[i] = int64(i%7 - 3)
 		}
 		out := make([]int64, n)
-		total := Scan(a, out)
+		total := Scan(parallel.Default, a, out)
 		var s int64
 		for i := 0; i < n; i++ {
 			if out[i] != s {
@@ -33,7 +33,7 @@ func TestScanMatchesSequential(t *testing.T) {
 
 func TestScanInPlace(t *testing.T) {
 	a := []int{5, 3, 1, 2}
-	total := ScanInPlace(a)
+	total := ScanInPlace(parallel.Default, a)
 	want := []int{0, 5, 8, 9}
 	if total != 11 || !slices.Equal(a, want) {
 		t.Fatalf("got %v total %d", a, total)
@@ -43,7 +43,7 @@ func TestScanInPlace(t *testing.T) {
 func TestScanInclusive(t *testing.T) {
 	a := []uint32{1, 2, 3, 4}
 	out := make([]uint32, 4)
-	total := ScanInclusive(a, out)
+	total := ScanInclusive(parallel.Default, a, out)
 	if total != 10 || !slices.Equal(out, []uint32{1, 3, 6, 10}) {
 		t.Fatalf("got %v total %d", out, total)
 	}
@@ -56,7 +56,7 @@ func TestScanQuickProperty(t *testing.T) {
 			in[i] = int64(v)
 		}
 		out := make([]int64, len(in))
-		total := Scan(in, out)
+		total := Scan(parallel.Default, in, out)
 		var s int64
 		for i := range in {
 			if out[i] != s {
@@ -76,27 +76,27 @@ func TestReduceAndSum(t *testing.T) {
 	for i := range a {
 		a[i] = i
 	}
-	if got := Sum(a); got != 100000*99999/2 {
+	if got := Sum(parallel.Default, a); got != 100000*99999/2 {
 		t.Fatalf("Sum = %d", got)
 	}
-	if got := Max(a); got != 99999 {
+	if got := Max(parallel.Default, a); got != 99999 {
 		t.Fatalf("Max = %d", got)
 	}
-	if got := Min(a); got != 0 {
+	if got := Min(parallel.Default, a); got != 0 {
 		t.Fatalf("Min = %d", got)
 	}
-	if got := Reduce([]int{}, -1, func(x, y int) int { return x + y }); got != -1 {
+	if got := Reduce(parallel.Default, []int{}, -1, func(x, y int) int { return x + y }); got != -1 {
 		t.Fatalf("Reduce empty = %d", got)
 	}
 }
 
 func TestMapReduceAndCount(t *testing.T) {
 	n := 12345
-	got := MapReduce(n, 0, func(i int) int { return i * 2 }, func(x, y int) int { return x + y })
+	got := MapReduce(parallel.Default, n, 0, func(i int) int { return i * 2 }, func(x, y int) int { return x + y })
 	if got != n*(n-1) {
 		t.Fatalf("MapReduce = %d want %d", got, n*(n-1))
 	}
-	c := Count(n, func(i int) bool { return i%3 == 0 })
+	c := Count(parallel.Default, n, func(i int) bool { return i%3 == 0 })
 	want := (n + 2) / 3
 	if c != want {
 		t.Fatalf("Count = %d want %d", c, want)
@@ -110,7 +110,7 @@ func TestFilterMatchesSequential(t *testing.T) {
 			a[i] = uint32(i * 7 % 256)
 		}
 		pred := func(v uint32) bool { return v%2 == 0 }
-		got := Filter(a, pred)
+		got := Filter(parallel.Default, a, pred)
 		var want []uint32
 		for _, v := range a {
 			if pred(v) {
@@ -126,24 +126,24 @@ func TestFilterMatchesSequential(t *testing.T) {
 func TestFilterInto(t *testing.T) {
 	a := []int{1, 2, 3, 4, 5, 6}
 	out := make([]int, 6)
-	k := FilterInto(a, out, func(v int) bool { return v > 3 })
+	k := FilterInto(parallel.Default, a, out, func(v int) bool { return v > 3 })
 	if k != 3 || !slices.Equal(out[:k], []int{4, 5, 6}) {
 		t.Fatalf("FilterInto got %v k=%d", out[:k], k)
 	}
 }
 
 func TestPackIndex(t *testing.T) {
-	got := PackIndex(10, func(i int) bool { return i%3 == 0 })
+	got := PackIndex(parallel.Default, 10, func(i int) bool { return i%3 == 0 })
 	if !slices.Equal(got, []uint32{0, 3, 6, 9}) {
 		t.Fatalf("PackIndex = %v", got)
 	}
-	if PackIndex(0, func(int) bool { return true }) != nil {
-		t.Fatal("PackIndex(0) should be nil")
+	if PackIndex(parallel.Default, 0, func(int) bool { return true }) != nil {
+		t.Fatal("PackIndex(parallel.Default, 0) should be nil")
 	}
 }
 
 func TestMapFilter(t *testing.T) {
-	got := MapFilter(6, func(i int) bool { return i%2 == 1 }, func(i int) int { return i * i })
+	got := MapFilter(parallel.Default, 6, func(i int) bool { return i%2 == 1 }, func(i int) int { return i * i })
 	if !slices.Equal(got, []int{1, 9, 25}) {
 		t.Fatalf("MapFilter = %v", got)
 	}
@@ -158,7 +158,7 @@ func TestRadixSortU64FullWidth(t *testing.T) {
 		}
 		want := slices.Clone(a)
 		slices.Sort(want)
-		RadixSortU64(a, 64)
+		RadixSortU64(parallel.Default, a, 64)
 		if !slices.Equal(a, want) {
 			t.Fatalf("n=%d: radix sort mismatch", n)
 		}
@@ -174,7 +174,7 @@ func TestRadixSortU64PartialBitsIsStable(t *testing.T) {
 	for i := range a {
 		a[i] = uint64(i)<<8 | uint64(rng.Intn(16))
 	}
-	RadixSortU64(a, 8)
+	RadixSortU64(parallel.Default, a, 8)
 	for i := 1; i < n; i++ {
 		lo0, lo1 := a[i-1]&0xff, a[i]&0xff
 		if lo0 > lo1 {
@@ -194,7 +194,7 @@ func TestRadixSortU32(t *testing.T) {
 	}
 	want := slices.Clone(a)
 	slices.Sort(want)
-	RadixSortU32(a, 32)
+	RadixSortU32(parallel.Default, a, 32)
 	if !slices.Equal(a, want) {
 		t.Fatal("RadixSortU32 mismatch")
 	}
@@ -210,7 +210,7 @@ func TestRadixSortPairsCarriesPayload(t *testing.T) {
 		vals[i] = uint32(i)
 	}
 	orig := slices.Clone(keys)
-	RadixSortPairs(keys, vals, BitsFor(1000))
+	RadixSortPairs(parallel.Default, keys, vals, BitsFor(1000))
 	if !IsSortedU64(keys) {
 		t.Fatal("keys not sorted")
 	}
@@ -232,7 +232,7 @@ func TestRadixSortQuickProperty(t *testing.T) {
 		want := slices.Clone(a)
 		slices.Sort(want)
 		got := slices.Clone(a)
-		RadixSortU64(got, 64)
+		RadixSortU64(parallel.Default, got, 64)
 		return slices.Equal(got, want)
 	}, &quick.Config{MaxCount: 100})
 	if err != nil {
@@ -242,7 +242,7 @@ func TestRadixSortQuickProperty(t *testing.T) {
 
 func TestRandomPermutationIsPermutation(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 1000, 1 << 16} {
-		p := RandomPermutation(n, 42)
+		p := RandomPermutation(parallel.Default, n, 42)
 		if len(p) != n {
 			t.Fatalf("len = %d want %d", len(p), n)
 		}
@@ -257,20 +257,20 @@ func TestRandomPermutationIsPermutation(t *testing.T) {
 }
 
 func TestRandomPermutationVariesWithSeed(t *testing.T) {
-	a := RandomPermutation(1000, 1)
-	b := RandomPermutation(1000, 2)
+	a := RandomPermutation(parallel.Default, 1000, 1)
+	b := RandomPermutation(parallel.Default, 1000, 2)
 	if slices.Equal(a, b) {
 		t.Fatal("different seeds gave identical permutations")
 	}
-	c := RandomPermutation(1000, 1)
+	c := RandomPermutation(parallel.Default, 1000, 1)
 	if !slices.Equal(a, c) {
 		t.Fatal("same seed gave different permutations")
 	}
 }
 
 func TestInversePermutation(t *testing.T) {
-	p := RandomPermutation(5000, 7)
-	inv := InversePermutation(p)
+	p := RandomPermutation(parallel.Default, 5000, 7)
+	inv := InversePermutation(parallel.Default, p)
 	for i, v := range p {
 		if inv[v] != uint32(i) {
 			t.Fatalf("inverse broken at %d", i)
@@ -360,7 +360,7 @@ func TestHistogramMatchesMap(t *testing.T) {
 		for i := range keys {
 			keys[i] = uint32(rng.Intn(500))
 		}
-		ids, counts := Histogram(keys, BitsFor(500))
+		ids, counts := Histogram(parallel.Default, keys, BitsFor(500))
 		want := map[uint32]uint32{}
 		for _, k := range keys {
 			want[k]++
@@ -386,8 +386,8 @@ func TestHistogramAtomicMatchesHistogram(t *testing.T) {
 		keys[i] = uint32(rng.Intn(64)) // few bins: heavy contention path
 	}
 	dense := make([]uint32, 64)
-	HistogramAtomic(keys, dense)
-	ids, counts := Histogram(keys, 6)
+	HistogramAtomic(parallel.Default, keys, dense)
+	ids, counts := Histogram(parallel.Default, keys, 6)
 	for i, id := range ids {
 		if dense[id] != counts[i] {
 			t.Fatalf("bin %d: atomic %d vs sorted %d", id, dense[id], counts[i])
@@ -398,7 +398,7 @@ func TestHistogramAtomicMatchesHistogram(t *testing.T) {
 func TestHistogramApply(t *testing.T) {
 	keys := []uint32{3, 3, 3, 1, 2, 2}
 	got := map[uint32]uint32{}
-	HistogramApply(keys, 2, func(k, c uint32) { got[k] = c })
+	HistogramApply(parallel.Default, keys, 2, func(k, c uint32) { got[k] = c })
 	if got[3] != 3 || got[2] != 2 || got[1] != 1 || len(got) != 3 {
 		t.Fatalf("HistogramApply = %v", got)
 	}
@@ -407,7 +407,7 @@ func TestHistogramApply(t *testing.T) {
 func TestHistogramSum(t *testing.T) {
 	keys := []uint32{5, 1, 5, 1, 5}
 	vals := []uint32{10, 1, 20, 2, 30}
-	ids, sums := HistogramSum(keys, vals, 3)
+	ids, sums := HistogramSum(parallel.Default, keys, vals, 3)
 	if len(ids) != 2 || ids[0] != 1 || ids[1] != 5 || sums[0] != 3 || sums[1] != 60 {
 		t.Fatalf("HistogramSum ids=%v sums=%v", ids, sums)
 	}
@@ -423,7 +423,7 @@ func TestApproxThreshold(t *testing.T) {
 	sorted := slices.Clone(keys)
 	slices.Sort(sorted)
 	for _, k := range []int{1, 100, n / 2, n - 1, n, 2 * n} {
-		pivot := ApproxThreshold(keys, k, 11)
+		pivot := ApproxThreshold(parallel.Default, keys, k, 11)
 		cnt := 0
 		for _, v := range keys {
 			if v <= pivot {
@@ -452,14 +452,14 @@ func TestPrimsUnderSingleWorker(t *testing.T) {
 	for i := range a {
 		a[i] = 1
 	}
-	if Sum(a) != 10000 {
+	if Sum(parallel.Default, a) != 10000 {
 		t.Fatal("Sum wrong with 1 worker")
 	}
 	out := make([]int, len(a))
-	if Scan(a, out) != 10000 || out[9999] != 9999 {
+	if Scan(parallel.Default, a, out) != 10000 || out[9999] != 9999 {
 		t.Fatal("Scan wrong with 1 worker")
 	}
-	p := RandomPermutation(1000, 3)
+	p := RandomPermutation(parallel.Default, 1000, 3)
 	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
 	for i, v := range p {
 		if v != uint32(i) {

@@ -4,12 +4,12 @@ import "repro/internal/parallel"
 
 // Reduce combines the elements of a with the associative function f starting
 // from the identity id, in O(n) work and O(log n) depth.
-func Reduce[T any](a []T, id T, f func(T, T) T) T {
+func Reduce[T any](s *parallel.Scheduler, a []T, id T, f func(T, T) T) T {
 	n := len(a)
 	if n == 0 {
 		return id
 	}
-	bounds := parallel.Blocks(n, 0)
+	bounds := s.Blocks(n, 0)
 	nb := len(bounds) - 1
 	if nb == 1 {
 		acc := id
@@ -19,7 +19,7 @@ func Reduce[T any](a []T, id T, f func(T, T) T) T {
 		return acc
 	}
 	partial := make([]T, nb)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		acc := id
 		for i := lo; i < hi; i++ {
 			acc = f(acc, a[i])
@@ -34,20 +34,20 @@ func Reduce[T any](a []T, id T, f func(T, T) T) T {
 }
 
 // Sum returns the sum of the elements of a.
-func Sum[T Number](a []T) T {
-	return Reduce(a, 0, func(x, y T) T { return x + y })
+func Sum[T Number](s *parallel.Scheduler, a []T) T {
+	return Reduce(s, a, 0, func(x, y T) T { return x + y })
 }
 
 // MapReduce applies m to each index in [0, n) and reduces the results with f
 // from identity id. It is the paper's map-reduce over an implicit sequence.
-func MapReduce[T any](n int, id T, m func(i int) T, f func(T, T) T) T {
+func MapReduce[T any](s *parallel.Scheduler, n int, id T, m func(i int) T, f func(T, T) T) T {
 	if n == 0 {
 		return id
 	}
-	bounds := parallel.Blocks(n, 0)
+	bounds := s.Blocks(n, 0)
 	nb := len(bounds) - 1
 	partial := make([]T, nb)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		acc := id
 		for i := lo; i < hi; i++ {
 			acc = f(acc, m(i))
@@ -62,8 +62,8 @@ func MapReduce[T any](n int, id T, m func(i int) T, f func(T, T) T) T {
 }
 
 // Max returns the maximum element of a; a must be non-empty.
-func Max[T Number](a []T) T {
-	return Reduce(a[1:], a[0], func(x, y T) T {
+func Max[T Number](s *parallel.Scheduler, a []T) T {
+	return Reduce(s, a[1:], a[0], func(x, y T) T {
 		if y > x {
 			return y
 		}
@@ -72,8 +72,8 @@ func Max[T Number](a []T) T {
 }
 
 // Min returns the minimum element of a; a must be non-empty.
-func Min[T Number](a []T) T {
-	return Reduce(a[1:], a[0], func(x, y T) T {
+func Min[T Number](s *parallel.Scheduler, a []T) T {
+	return Reduce(s, a[1:], a[0], func(x, y T) T {
 		if y < x {
 			return y
 		}
@@ -82,8 +82,8 @@ func Min[T Number](a []T) T {
 }
 
 // Count returns the number of indices i in [0, n) for which pred(i) is true.
-func Count(n int, pred func(i int) bool) int {
-	return MapReduce(n, 0, func(i int) int {
+func Count(s *parallel.Scheduler, n int, pred func(i int) bool) int {
+	return MapReduce(s, n, 0, func(i int) int {
 		if pred(i) {
 			return 1
 		}

@@ -1,8 +1,11 @@
 // Package prims implements the work-efficient parallel primitives of the
 // paper's §3 (scan, reduce, filter, pack) plus the sorting, histogramming,
 // selection and permutation routines the algorithm implementations rely on.
-// Every primitive has O(n) (or O(n log n) for sorting) work and low depth,
-// and degrades to a plain sequential loop when parallel.Workers() == 1.
+// Every primitive has O(n) (or O(n log n) for sorting) work and low depth.
+// Primitives are scheduler-scoped: each takes the *parallel.Scheduler it
+// should run on as its first argument (pass parallel.Default for the
+// process-wide pool) and degrades to a plain sequential loop on a
+// one-worker scheduler.
 package prims
 
 import "repro/internal/parallel"
@@ -18,18 +21,18 @@ type Number interface {
 // a[i-1], out[0] = 0) and returns the total sum. out must have len(a)
 // elements and may alias a. Runs in O(n) work and O(log n) depth: per-block
 // sums, a sequential scan over the (few) block sums, then per-block rewrite.
-func Scan[T Number](a, out []T) T {
+func Scan[T Number](s *parallel.Scheduler, a, out []T) T {
 	n := len(a)
 	if n == 0 {
 		return 0
 	}
-	bounds := parallel.Blocks(n, 0)
+	bounds := s.Blocks(n, 0)
 	nb := len(bounds) - 1
 	if nb == 1 {
 		return scanSeq(a, out, 0)
 	}
 	sums := make([]T, nb)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		var s T
 		for i := lo; i < hi; i++ {
 			s += a[i]
@@ -42,7 +45,7 @@ func Scan[T Number](a, out []T) T {
 		sums[b] = total
 		total += s
 	}
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		scanSeq(a[lo:hi], out[lo:hi], sums[b])
 	})
 	return total
@@ -58,15 +61,15 @@ func scanSeq[T Number](a, out []T, carry T) T {
 }
 
 // ScanInclusive writes inclusive prefix sums into out and returns the total.
-func ScanInclusive[T Number](a, out []T) T {
+func ScanInclusive[T Number](s *parallel.Scheduler, a, out []T) T {
 	n := len(a)
 	if n == 0 {
 		return 0
 	}
-	bounds := parallel.Blocks(n, 0)
+	bounds := s.Blocks(n, 0)
 	nb := len(bounds) - 1
 	sums := make([]T, nb)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		var s T
 		for i := lo; i < hi; i++ {
 			s += a[i]
@@ -79,7 +82,7 @@ func ScanInclusive[T Number](a, out []T) T {
 		sums[b] = total
 		total += s
 	}
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		s := sums[b]
 		for i := lo; i < hi; i++ {
 			s += a[i]
@@ -90,4 +93,4 @@ func ScanInclusive[T Number](a, out []T) T {
 }
 
 // ScanInPlace replaces a with its exclusive prefix sums and returns the total.
-func ScanInPlace[T Number](a []T) T { return Scan(a, a) }
+func ScanInPlace[T Number](s *parallel.Scheduler, a []T) T { return Scan(s, a, a) }

@@ -3,6 +3,8 @@ package prims
 import (
 	"slices"
 
+	"repro/internal/parallel"
+
 	"repro/internal/xrand"
 )
 
@@ -13,37 +15,37 @@ import (
 // verifies the count, nudging the quantile upward on undershoot — O(n) work
 // per verification pass and a constant number of passes with high
 // probability.
-func ApproxThreshold(keys []uint64, k int, seed uint64) uint64 {
+func ApproxThreshold(s *parallel.Scheduler, keys []uint64, k int, seed uint64) uint64 {
 	n := len(keys)
 	if n == 0 {
 		return 0
 	}
 	if k >= n {
-		return Max(keys)
+		return Max(s, keys)
 	}
 	if k < 1 {
 		k = 1
 	}
-	s := 2048
-	if s > n {
-		s = n
+	sz := 2048
+	if sz > n {
+		sz = n
 	}
-	sample := make([]uint64, s)
-	for i := 0; i < s; i++ {
+	sample := make([]uint64, sz)
+	for i := 0; i < sz; i++ {
 		sample[i] = keys[xrand.Uniform(seed, uint64(i), uint64(n))]
 	}
 	slices.Sort(sample)
 	// Target quantile with slack so the first guess usually overshoots k.
-	idx := int(float64(s)*float64(k)/float64(n)) + s/64 + 2
+	idx := int(float64(sz)*float64(k)/float64(n)) + sz/64 + 2
 	for {
-		if idx >= s {
-			return Max(keys)
+		if idx >= sz {
+			return Max(s, keys)
 		}
 		pivot := sample[idx]
-		cnt := Count(n, func(i int) bool { return keys[i] <= pivot })
+		cnt := Count(s, n, func(i int) bool { return keys[i] <= pivot })
 		if cnt >= k {
 			return pivot
 		}
-		idx += s / 8
+		idx += sz / 8
 	}
 }

@@ -17,7 +17,7 @@ const radixBuckets = 1 << radixBits
 
 // RadixSortU64 sorts a in place by its low `bitsWanted` bits (pass 64 for a
 // full sort). Stable across passes, deterministic, parallel.
-func RadixSortU64(a []uint64, bitsWanted int) {
+func RadixSortU64(s *parallel.Scheduler, a []uint64, bitsWanted int) {
 	n := len(a)
 	if n <= 1 {
 		return
@@ -42,7 +42,7 @@ func RadixSortU64(a []uint64, bitsWanted int) {
 		}
 	} else {
 		for p := 0; p < passes; p++ {
-			radixPassU64(src, dst, uint(p*radixBits))
+			radixPassU64(s, src, dst, uint(p*radixBits))
 			src, dst = dst, src
 		}
 	}
@@ -86,12 +86,12 @@ func insertionSortMasked(a []uint64, bitsWanted int) {
 	}
 }
 
-func radixPassU64(src, dst []uint64, shift uint) {
+func radixPassU64(s *parallel.Scheduler, src, dst []uint64, shift uint) {
 	n := len(src)
-	bounds := parallel.Blocks(n, 4096)
+	bounds := s.Blocks(n, 4096)
 	nb := len(bounds) - 1
 	counts := make([]int, nb*radixBuckets)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		c := counts[b*radixBuckets : (b+1)*radixBuckets]
 		for i := lo; i < hi; i++ {
 			c[(src[i]>>shift)&(radixBuckets-1)]++
@@ -107,7 +107,7 @@ func radixPassU64(src, dst []uint64, shift uint) {
 			total += c
 		}
 	}
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		c := counts[b*radixBuckets : (b+1)*radixBuckets]
 		for i := lo; i < hi; i++ {
 			r := (src[i] >> shift) & (radixBuckets - 1)
@@ -118,7 +118,7 @@ func radixPassU64(src, dst []uint64, shift uint) {
 }
 
 // RadixSortU32 sorts a in place by its low bitsWanted bits.
-func RadixSortU32(a []uint32, bitsWanted int) {
+func RadixSortU32(s *parallel.Scheduler, a []uint32, bitsWanted int) {
 	n := len(a)
 	if n <= 1 {
 		return
@@ -127,13 +127,13 @@ func RadixSortU32(a []uint32, bitsWanted int) {
 		bitsWanted = 32
 	}
 	wide := make([]uint64, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			wide[i] = uint64(a[i])
 		}
 	})
-	RadixSortU64(wide, bitsWanted)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	RadixSortU64(s, wide, bitsWanted)
+	s.ForRange(n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			a[i] = uint32(wide[i])
 		}
@@ -142,7 +142,7 @@ func RadixSortU32(a []uint32, bitsWanted int) {
 
 // RadixSortPairs sorts keys (by low bitsWanted bits) and applies the same
 // permutation to vals. Stable.
-func RadixSortPairs(keys []uint64, vals []uint32, bitsWanted int) {
+func RadixSortPairs(s *parallel.Scheduler, keys []uint64, vals []uint32, bitsWanted int) {
 	n := len(keys)
 	if n != len(vals) {
 		panic("prims: RadixSortPairs length mismatch")
@@ -159,7 +159,7 @@ func RadixSortPairs(keys []uint64, vals []uint32, bitsWanted int) {
 	ks, kd := keys, kbuf
 	vs, vd := vals, vbuf
 	for p := 0; p < passes; p++ {
-		radixPassPairs(ks, kd, vs, vd, uint(p*radixBits))
+		radixPassPairs(s, ks, kd, vs, vd, uint(p*radixBits))
 		ks, kd = kd, ks
 		vs, vd = vd, vs
 	}
@@ -169,12 +169,12 @@ func RadixSortPairs(keys []uint64, vals []uint32, bitsWanted int) {
 	}
 }
 
-func radixPassPairs(ksrc, kdst []uint64, vsrc, vdst []uint32, shift uint) {
+func radixPassPairs(s *parallel.Scheduler, ksrc, kdst []uint64, vsrc, vdst []uint32, shift uint) {
 	n := len(ksrc)
-	bounds := parallel.Blocks(n, 4096)
+	bounds := s.Blocks(n, 4096)
 	nb := len(bounds) - 1
 	counts := make([]int, nb*radixBuckets)
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		c := counts[b*radixBuckets : (b+1)*radixBuckets]
 		for i := lo; i < hi; i++ {
 			c[(ksrc[i]>>shift)&(radixBuckets-1)]++
@@ -188,7 +188,7 @@ func radixPassPairs(ksrc, kdst []uint64, vsrc, vdst []uint32, shift uint) {
 			total += c
 		}
 	}
-	parallel.ForBlocks(bounds, func(b, lo, hi int) {
+	s.ForBlocks(bounds, func(b, lo, hi int) {
 		c := counts[b*radixBuckets : (b+1)*radixBuckets]
 		for i := lo; i < hi; i++ {
 			r := (ksrc[i] >> shift) & (radixBuckets - 1)

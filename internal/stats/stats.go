@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/xrand"
 )
 
@@ -48,52 +49,52 @@ type Options struct {
 }
 
 // ComputeSym computes the undirected-graph statistics of a symmetric graph.
-func ComputeSym(name string, g graph.Graph, opt Options) Graph {
+func ComputeSym(s *parallel.Scheduler, name string, g graph.Graph, opt Options) Graph {
 	if opt.DiameterSamples == 0 {
 		opt.DiameterSamples = 4
 	}
-	s := Graph{Name: name, N: g.N(), M: g.M()}
-	s.EffectiveDiameter = EffectiveDiameter(g, opt.DiameterSamples, opt.Seed)
-	cc := core.Connectivity(g, 0.2, opt.Seed)
-	s.NumCC, s.LargestCC = core.ComponentCount(cc)
-	bicc := core.Biconnectivity(g, 0.2, opt.Seed)
-	s.NumBCC = core.NumBiccLabels(g, bicc)
+	st := Graph{Name: name, N: g.N(), M: g.M()}
+	st.EffectiveDiameter = EffectiveDiameter(s, g, opt.DiameterSamples, opt.Seed)
+	cc := core.Connectivity(s, g, 0.2, opt.Seed)
+	st.NumCC, st.LargestCC = core.ComponentCount(s, cc)
+	bicc := core.Biconnectivity(s, g, 0.2, opt.Seed)
+	st.NumBCC = core.NumBiccLabels(s, g, bicc)
 	if !opt.SkipTriangles {
-		s.Triangles = core.TriangleCount(g)
+		st.Triangles = core.TriangleCount(s, g)
 	}
-	s.ColorsLLF = core.NumColors(core.Coloring(g, opt.Seed))
-	s.ColorsLF = core.NumColors(core.ColoringLF(g, opt.Seed))
-	mis := core.MIS(g, opt.Seed)
+	st.ColorsLLF = core.NumColors(s, core.Coloring(s, g, opt.Seed))
+	st.ColorsLF = core.NumColors(s, core.ColoringLF(s, g, opt.Seed))
+	mis := core.MIS(s, g, opt.Seed)
 	for _, in := range mis {
 		if in {
-			s.MISSize++
+			st.MISSize++
 		}
 	}
-	s.MatchingSize = len(core.MaximalMatching(g, opt.Seed))
-	s.SetCoverSize = len(core.ApproxSetCover(g, 0.01, opt.Seed))
-	coreness, rho := core.KCore(g, opt.Seed)
-	s.KMax = core.Degeneracy(coreness)
-	s.Rho = rho
-	return s
+	st.MatchingSize = len(core.MaximalMatching(s, g, opt.Seed))
+	st.SetCoverSize = len(core.ApproxSetCover(s, g, 0.01, opt.Seed))
+	coreness, rho := core.KCore(s, g, opt.Seed)
+	st.KMax = core.Degeneracy(s, coreness)
+	st.Rho = rho
+	return st
 }
 
 // ComputeDir computes the directed-graph statistics (SCCs, directed
 // effective diameter).
-func ComputeDir(name string, g graph.Graph, opt Options) Graph {
+func ComputeDir(s *parallel.Scheduler, name string, g graph.Graph, opt Options) Graph {
 	if opt.DiameterSamples == 0 {
 		opt.DiameterSamples = 4
 	}
-	s := Graph{Name: name, N: g.N(), M: g.M()}
-	s.EffectiveDiameter = EffectiveDiameter(g, opt.DiameterSamples, opt.Seed)
-	labels := core.SCC(g, opt.Seed, core.SCCOpts{})
-	s.NumSCC, s.LargestSCC = core.NumSCCs(labels)
-	return s
+	st := Graph{Name: name, N: g.N(), M: g.M()}
+	st.EffectiveDiameter = EffectiveDiameter(s, g, opt.DiameterSamples, opt.Seed)
+	labels := core.SCC(s, g, opt.Seed, core.SCCOpts{})
+	st.NumSCC, st.LargestSCC = core.NumSCCs(s, labels)
+	return st
 }
 
 // EffectiveDiameter returns the maximum BFS level observed from `samples`
 // pseudo-random sources (plus vertex 0), the paper's lower-bound estimate
 // for graphs whose exact diameter is impractical to compute.
-func EffectiveDiameter(g graph.Graph, samples int, seed uint64) int {
+func EffectiveDiameter(s *parallel.Scheduler, g graph.Graph, samples int, seed uint64) int {
 	n := g.N()
 	if n == 0 {
 		return 0
@@ -104,7 +105,7 @@ func EffectiveDiameter(g graph.Graph, samples int, seed uint64) int {
 		if i > 0 {
 			src = uint32(xrand.Uniform(seed, uint64(i), uint64(n)))
 		}
-		dist := core.BFS(g, src)
+		dist := core.BFS(s, g, src)
 		for _, d := range dist {
 			if d != core.Inf && int(d) > max {
 				max = int(d)
@@ -116,25 +117,25 @@ func EffectiveDiameter(g graph.Graph, samples int, seed uint64) int {
 
 // WriteTable writes statistics rows in the layout of the paper's Tables
 // 8-13.
-func WriteTable(w io.Writer, s Graph, directed bool) {
-	fmt.Fprintf(w, "Statistics for the %s graph\n", s.Name)
-	fmt.Fprintf(w, "  Num. Vertices                     %d\n", s.N)
-	fmt.Fprintf(w, "  Num. Edges (directed count)       %d\n", s.M)
-	fmt.Fprintf(w, "  Effective Diameter (sampled)      %d\n", s.EffectiveDiameter)
+func WriteTable(w io.Writer, st Graph, directed bool) {
+	fmt.Fprintf(w, "Statistics for the %s graph\n", st.Name)
+	fmt.Fprintf(w, "  Num. Vertices                     %d\n", st.N)
+	fmt.Fprintf(w, "  Num. Edges (directed count)       %d\n", st.M)
+	fmt.Fprintf(w, "  Effective Diameter (sampled)      %d\n", st.EffectiveDiameter)
 	if directed {
-		fmt.Fprintf(w, "  Num. Strongly Connected Comp.     %d\n", s.NumSCC)
-		fmt.Fprintf(w, "  Size of Largest SCC               %d\n", s.LargestSCC)
+		fmt.Fprintf(w, "  Num. Strongly Connected Comp.     %d\n", st.NumSCC)
+		fmt.Fprintf(w, "  Size of Largest SCC               %d\n", st.LargestSCC)
 		return
 	}
-	fmt.Fprintf(w, "  Num. Connected Components         %d\n", s.NumCC)
-	fmt.Fprintf(w, "  Size of Largest Component         %d\n", s.LargestCC)
-	fmt.Fprintf(w, "  Num. Biconnected Components       %d\n", s.NumBCC)
-	fmt.Fprintf(w, "  Num. Triangles                    %d\n", s.Triangles)
-	fmt.Fprintf(w, "  Num. Colors Used by LF            %d\n", s.ColorsLF)
-	fmt.Fprintf(w, "  Num. Colors Used by LLF           %d\n", s.ColorsLLF)
-	fmt.Fprintf(w, "  Maximal Independent Set Size      %d\n", s.MISSize)
-	fmt.Fprintf(w, "  Maximal Matching Size             %d\n", s.MatchingSize)
-	fmt.Fprintf(w, "  Set Cover Size                    %d\n", s.SetCoverSize)
-	fmt.Fprintf(w, "  kmax (Degeneracy)                 %d\n", s.KMax)
-	fmt.Fprintf(w, "  rho (Num. Peeling Rounds)         %d\n", s.Rho)
+	fmt.Fprintf(w, "  Num. Connected Components         %d\n", st.NumCC)
+	fmt.Fprintf(w, "  Size of Largest Component         %d\n", st.LargestCC)
+	fmt.Fprintf(w, "  Num. Biconnected Components       %d\n", st.NumBCC)
+	fmt.Fprintf(w, "  Num. Triangles                    %d\n", st.Triangles)
+	fmt.Fprintf(w, "  Num. Colors Used by LF            %d\n", st.ColorsLF)
+	fmt.Fprintf(w, "  Num. Colors Used by LLF           %d\n", st.ColorsLLF)
+	fmt.Fprintf(w, "  Maximal Independent Set Size      %d\n", st.MISSize)
+	fmt.Fprintf(w, "  Maximal Matching Size             %d\n", st.MatchingSize)
+	fmt.Fprintf(w, "  Set Cover Size                    %d\n", st.SetCoverSize)
+	fmt.Fprintf(w, "  kmax (Degeneracy)                 %d\n", st.KMax)
+	fmt.Fprintf(w, "  rho (Num. Peeling Rounds)         %d\n", st.Rho)
 }
