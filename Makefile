@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench clean
+.PHONY: all build test race vet fmt fmt-check bench build-isolation clean
 
 all: build test
 
@@ -14,6 +14,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Verify the engine-scoped build pipeline: vet plus race-mode tests of the
+# graph-construction packages and the public Build API (covers the
+# concurrent-engines isolation and build-cancellation tests).
+build-isolation:
+	$(GO) vet ./internal/graph/... ./internal/gen/... ./internal/compress/... ./gbbs/...
+	$(GO) test -race ./internal/graph/... ./internal/gen/... ./internal/compress/... ./gbbs/...
 
 vet:
 	$(GO) vet ./...

@@ -59,7 +59,7 @@ func BenchmarkAblationSCCTrim(b *testing.B) {
 	// zero-degree vertices stay active as centers and flood the giant
 	// subproblem's reachability tables (which is precisely why the paper
 	// trims), so this ablation runs on a small graph.
-	g := gen.BuildRMAT(10, 8, false, false, 44)
+	g := gen.BuildRMAT(parallel.Default, 10, 8, false, false, 44)
 	for _, trim := range []int{-1, 1, 3} {
 		b.Run(fmt.Sprintf("trim=%d", trim), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -73,7 +73,7 @@ func BenchmarkAblationCompressionBlockSize(b *testing.B) {
 	inputs()
 	g := ablationG
 	for _, bs := range []int{16, 64, 256, 1024} {
-		cg := compress.FromCSR(g, bs)
+		cg := compress.FromCSR(parallel.Default, g, bs)
 		b.Run(fmt.Sprintf("bs=%d/BFS", bs), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.BFS(parallel.Default, cg, 0)
@@ -82,7 +82,7 @@ func BenchmarkAblationCompressionBlockSize(b *testing.B) {
 	}
 	// Ratio report as a sub-benchmark metric.
 	for _, bs := range []int{16, 64, 256, 1024} {
-		cg := compress.FromCSR(g, bs)
+		cg := compress.FromCSR(parallel.Default, g, bs)
 		b.Run(fmt.Sprintf("bs=%d/decode", bs), func(b *testing.B) {
 			var buf []uint32
 			for i := 0; i < b.N; i++ {
@@ -215,23 +215,23 @@ func BenchmarkBaselineColoring(b *testing.B) {
 }
 
 func BenchmarkAblationGraphBuild(b *testing.B) {
-	el := gen.RMAT(benchScale, 16, 3)
+	el := gen.RMAT(parallel.Default, benchScale, 16, 3)
 	b.Run("directed", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			graph.FromEdgeList(el.N, el, graph.BuildOptions{})
+			graph.FromEdgeList(parallel.Default, el.N, el, graph.BuildOptions{})
 		}
 		b.SetBytes(int64(el.Len() * 8))
 	})
 	b.Run("symmetrized", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			graph.FromEdgeList(el.N, el, graph.BuildOptions{Symmetrize: true})
+			graph.FromEdgeList(parallel.Default, el.N, el, graph.BuildOptions{Symmetrize: true})
 		}
 		b.SetBytes(int64(el.Len() * 16))
 	})
 	b.Run("compress", func(b *testing.B) {
-		g := graph.FromEdgeList(el.N, el, graph.BuildOptions{Symmetrize: true})
+		g := graph.FromEdgeList(parallel.Default, el.N, el, graph.BuildOptions{Symmetrize: true})
 		for i := 0; i < b.N; i++ {
-			compress.FromCSR(g, 0)
+			compress.FromCSR(parallel.Default, g, 0)
 		}
 		b.SetBytes(int64(g.M() * 4))
 	})

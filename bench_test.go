@@ -52,9 +52,9 @@ func inputs() {
 			bench.MakeRMATInput("Hyperlink2012-sim", benchScale, 16, true, 7),
 		}
 		for side := 8; side <= 1<<uint(benchScale/3); side *= 2 {
-			torusFam = append(torusFam, gen.BuildTorus3D(side, false, 9))
+			torusFam = append(torusFam, gen.BuildTorus3D(parallel.Default, side, false, 9))
 		}
-		ablationG = gen.BuildRMAT(benchScale, 16, true, true, 66)
+		ablationG = gen.BuildRMAT(parallel.Default, benchScale, 16, true, true, 66)
 	})
 }
 

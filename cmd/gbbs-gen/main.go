@@ -1,15 +1,19 @@
 // gbbs-gen generates synthetic graphs and writes them in the
 // (Weighted)AdjacencyGraph text format the benchmark's I/O specification
-// uses.
+// uses. Generation runs through a gbbs.Engine, so -threads bounds the
+// worker count of the whole build instead of mutating process-global state.
 //
-// Usage:
+// Inputs are described either with the legacy per-family flags (-kind,
+// -scale, ...) or declaratively with -source/-transform specs:
 //
 //	gbbs-gen -kind rmat -scale 18 -factor 16 -sym -o graph.adj
 //	gbbs-gen -kind torus -side 64 -weighted -o torus.adj
 //	gbbs-gen -kind er -n 100000 -m 1000000 -o er.adj
+//	gbbs-gen -source "rmat:scale=18,factor=16" -transform "sym;paperweights" -threads 4 -o graph.adj
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,31 +25,78 @@ import (
 func main() {
 	kind := flag.String("kind", "rmat", "graph family: rmat | torus | er | ba | ws")
 	scale := flag.Int("scale", 16, "rmat: log2 vertex count")
-	factor := flag.Int("factor", 16, "rmat: edges per vertex")
+	factor := flag.Int("factor", 16, "rmat: edges per vertex; ba/ws: edges per vertex")
 	side := flag.Int("side", 32, "torus: side length (n = side^3)")
-	n := flag.Int("n", 1<<16, "er: vertices")
+	n := flag.Int("n", 1<<16, "er/ba/ws: vertices")
 	m := flag.Int("m", 1<<20, "er: edges")
 	sym := flag.Bool("sym", false, "symmetrize")
 	weighted := flag.Bool("weighted", false, "attach uniform weights from [1, log n)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	threads := flag.Int("threads", 0, "worker threads for generation and build (0 = all CPUs)")
+	sourceSpec := flag.String("source", "", `declarative source spec, e.g. "rmat:scale=18,factor=16" (overrides -kind)`)
+	transformSpec := flag.String("transform", "", `transform spec, e.g. "sym;paperweights:seed=1"`)
 	out := flag.String("o", "", "output path (default stdout)")
 	flag.Parse()
 
-	var g *gbbs.CSR
-	switch *kind {
-	case "rmat":
-		g = gbbs.RMATGraph(*scale, *factor, *sym, *weighted, *seed)
-	case "torus":
-		g = gbbs.TorusGraph(*side, *weighted, *seed)
-	case "er":
-		g = gbbs.RandomGraph(*n, *m, *sym, *weighted, *seed)
-	case "ba":
-		g = gbbs.PreferentialGraph(*n, *factor, *weighted, *seed)
-	case "ws":
-		g = gbbs.SmallWorldGraph(*n, *factor, 0.1, *weighted, *seed)
-	default:
-		log.Fatalf("unknown kind %q", *kind)
+	var source gbbs.GraphSource
+	var transforms []gbbs.Transform
+	if *sourceSpec != "" {
+		var err error
+		source, err = gbbs.ParseSource(*sourceSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The boolean shaping flags compose with declarative sources too.
+		if *sym {
+			transforms = append(transforms, gbbs.Symmetrize())
+		}
+		if *weighted {
+			transforms = append(transforms, gbbs.PaperWeights(*seed))
+		}
+	} else {
+		symmetrize := *sym
+		switch *kind {
+		case "rmat":
+			source = gbbs.RMAT(*scale, *factor, *seed)
+		case "torus":
+			source = gbbs.Torus(*side)
+			symmetrize = true
+		case "er":
+			source = gbbs.Random(*n, *m, *seed)
+		case "ba":
+			source = gbbs.Preferential(*n, *factor, *seed)
+			symmetrize = true
+		case "ws":
+			source = gbbs.SmallWorld(*n, *factor, 0.1, *seed)
+			symmetrize = true
+		default:
+			log.Fatalf("unknown kind %q", *kind)
+		}
+		if symmetrize {
+			transforms = append(transforms, gbbs.Symmetrize())
+		}
+		if *weighted {
+			transforms = append(transforms, gbbs.PaperWeights(*seed))
+		}
 	}
+	if *transformSpec != "" {
+		extra, err := gbbs.ParseTransforms(*transformSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		transforms = append(transforms, extra...)
+	}
+
+	opts := []gbbs.Option{gbbs.WithSeed(*seed)}
+	if *threads > 0 {
+		opts = append(opts, gbbs.WithThreads(*threads))
+	}
+	eng := gbbs.New(opts...)
+	g, err := eng.BuildCSR(context.Background(), source, transforms...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -58,6 +109,6 @@ func main() {
 	if err := gbbs.WriteAdjacency(w, g); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s graph: n=%d m=%d weighted=%v symmetric=%v\n",
-		*kind, g.N(), g.M(), g.Weighted(), g.Symmetric())
+	fmt.Fprintf(os.Stderr, "wrote %s: n=%d m=%d weighted=%v symmetric=%v threads=%d\n",
+		source, g.N(), g.M(), g.Weighted(), g.Symmetric(), eng.Threads())
 }

@@ -6,14 +6,17 @@
 // Algorithms are dispatched through the gbbs registry: there is no
 // per-algorithm switch here, and anything registered with gbbs.Register
 // (including by third-party packages linked into this binary) is runnable
-// by name and enumerable with -list.
+// by name and enumerable with -list. Inputs are declarative: the flags are
+// translated into a gbbs.GraphSource plus transforms, and the engine builds
+// the graph on its own scheduler — so -threads bounds generation, loading
+// and compression as well as the algorithm, and -timeout covers the build.
 //
 // Usage:
 //
 //	gbbs-run -list
 //	gbbs-run -algo bfs -i graph.adj -sym -src 0
 //	gbbs-run -algo kcore -gen rmat -scale 18
-//	gbbs-run -algo scc -gen rmat -scale 16
+//	gbbs-run -algo cc -source "rmat:scale=18,factor=16" -transform "sym"
 //	gbbs-run -algo cc -gen rmat -scale 18 -threads 4 -timeout 30s
 package main
 
@@ -33,6 +36,8 @@ func main() {
 	algo := flag.String("algo", "bfs", "algorithm to run (see -list)")
 	list := flag.Bool("list", false, "list registered algorithms and exit")
 	input := flag.String("i", "", "input adjacency-graph file (empty = generate)")
+	sourceSpec := flag.String("source", "", `declarative source spec, e.g. "rmat:scale=18,factor=16" (overrides -i/-gen)`)
+	transformSpec := flag.String("transform", "", `transform spec, e.g. "sym;paperweights:seed=1;compress"`)
 	genKind := flag.String("gen", "rmat", "generator when no input file: rmat | torus | er")
 	scale := flag.Int("scale", 16, "generator scale")
 	side := flag.Int("side", 32, "torus side")
@@ -42,7 +47,7 @@ func main() {
 	src := flag.Uint("src", 0, "source vertex for SSSP/BC problems")
 	seed := flag.Uint64("seed", 1, "random seed")
 	threads := flag.Int("threads", 0, "worker threads (0 = all CPUs)")
-	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	timeout := flag.Duration("timeout", 0, "abort the build+run after this long (0 = no limit)")
 	compressed := flag.Bool("compressed", false, "run on the parallel-byte compressed representation")
 	flag.Parse()
 
@@ -57,40 +62,61 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Graph loading/building runs on the default scheduler (construction is
-	// not engine-scoped); bound it too so -threads 1 measures the paper's
-	// single-thread configuration end to end.
-	if *threads > 0 {
-		gbbs.SetThreads(*threads)
-	}
-	needWeights := a.NeedsWeights
-	var csr *gbbs.CSR
-	if *input != "" {
-		f, err := os.Open(*input)
+	// Describe the input declaratively; the engine builds it on its own
+	// scheduler, so -threads 1 measures the paper's single-thread
+	// configuration end to end (build included) without any global state.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	var source gbbs.GraphSource
+	var transforms []gbbs.Transform
+	switch {
+	case *sourceSpec != "":
+		var err error
+		source, err = gbbs.ParseSource(*sourceSpec)
 		if err != nil {
 			log.Fatal(err)
 		}
-		csr, err = gbbs.ReadAdjacency(f, *sym)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
+		// -source is fully declarative; explicitly-set shaping flags still
+		// compose rather than being silently dropped (-sym defaults true,
+		// so only an explicit -sym counts here).
+		if explicit["sym"] && *sym {
+			transforms = append(transforms, gbbs.Symmetrize())
 		}
-	} else {
+		if *weighted {
+			transforms = append(transforms, gbbs.PaperWeights(*seed))
+		}
+	case *input != "":
+		source = gbbs.AdjacencyFile(*input, *sym)
+	default:
+		needWeights := *weighted || a.NeedsWeights
 		switch *genKind {
 		case "rmat":
-			csr = gbbs.RMATGraph(*scale, *factor, *sym, *weighted || needWeights, *seed)
+			source = gbbs.RMAT(*scale, *factor, *seed)
 		case "torus":
-			csr = gbbs.TorusGraph(*side, *weighted || needWeights, *seed)
+			source = gbbs.Torus(*side)
+			*sym = true // the paper's 3D-Torus is always symmetric
 		case "er":
 			n := 1 << uint(*scale)
-			csr = gbbs.RandomGraph(n, n**factor, *sym, *weighted || needWeights, *seed)
+			source = gbbs.Random(n, n**factor, *seed)
 		default:
 			log.Fatalf("unknown generator %q", *genKind)
 		}
+		if *sym {
+			transforms = append(transforms, gbbs.Symmetrize())
+		}
+		if needWeights {
+			transforms = append(transforms, gbbs.PaperWeights(*seed))
+		}
 	}
-	var g gbbs.Graph = csr
+	if *transformSpec != "" {
+		extra, err := gbbs.ParseTransforms(*transformSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		transforms = append(transforms, extra...)
+	}
 	if *compressed {
-		g = gbbs.Compress(csr, 0)
+		transforms = append(transforms, gbbs.EncodeCompressed(0))
 	}
 
 	opts := []gbbs.Option{gbbs.WithSeed(*seed)}
@@ -98,8 +124,6 @@ func main() {
 		opts = append(opts, gbbs.WithThreads(*threads))
 	}
 	eng := gbbs.New(opts...)
-	fmt.Fprintf(os.Stderr, "graph: n=%d m=%d weighted=%v symmetric=%v threads=%d\n",
-		g.N(), g.M(), g.Weighted(), g.Symmetric(), eng.Threads())
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -107,10 +131,18 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := eng.Run(ctx, a.Name, gbbs.Request{Graph: g, Source: uint32(*src), Seed: *seed})
+	res, err := eng.Run(ctx, a.Name, gbbs.Request{
+		Input:  &gbbs.InputSpec{Source: source, Transforms: transforms},
+		Source: uint32(*src),
+		Seed:   *seed,
+	})
 	if err != nil {
 		log.Fatalf("%s: %v", a.Name, err)
 	}
+	g := res.Graph
+	fmt.Fprintf(os.Stderr, "graph: %s n=%d m=%d weighted=%v symmetric=%v threads=%d built in %v\n",
+		source, g.N(), g.M(), g.Weighted(), g.Symmetric(), eng.Threads(),
+		res.BuildElapsed.Round(time.Microsecond))
 	if detail, ok := res.Value.(fmt.Stringer); ok {
 		fmt.Println(detail)
 	}

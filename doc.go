@@ -8,23 +8,30 @@
 // engines: an Engine created with functional options owns an isolated
 // work-stealing-style scheduler, so any number of engines can run
 // concurrently in one process with different thread budgets — the
-// foundation for serving many tenants or requests at once. Every algorithm
-// is an Engine method taking a context.Context, checked between rounds, so
-// a caller can cancel or deadline any run:
+// foundation for serving many tenants or requests at once. Graph
+// construction is engine-scoped too: a GraphSource (generator, edge list,
+// or file reader) plus composable Transforms (Symmetrize, weight
+// assignment, relabelling, parallel-byte compression) are materialized by
+// Engine.Build on the engine's own scheduler, with the context checked
+// between build phases. Every algorithm is an Engine method taking a
+// context.Context, checked between rounds, so a caller can cancel or
+// deadline any build or run:
 //
-//	g := gbbs.RMATGraph(18, 16, true, false, 1)
 //	eng := gbbs.New(gbbs.WithThreads(8), gbbs.WithSeed(1))
+//	g, err := eng.Build(ctx, gbbs.RMAT(18, 16, 1), gbbs.Symmetrize())
 //	dist, err := eng.BFS(ctx, g, 0)
 //
 // Algorithms are also dispatchable by name through a registry with uniform
 // Request/Result types (gbbs.Register, gbbs.Algorithms, gbbs.Lookup,
-// Engine.Run); both CLI drivers dispatch exclusively through it, so a
-// package that registers a new algorithm is immediately runnable from
-// cmd/gbbs-run and listed by `gbbs-run -list`.
+// Engine.Run); requests may carry a declarative input (Request.Input, a
+// source plus transforms) that the engine builds before dispatch. Both CLI
+// drivers dispatch exclusively through the registry, so a package that
+// registers a new algorithm is immediately runnable from cmd/gbbs-run and
+// listed by `gbbs-run -list`.
 //
-// The older package-level free functions (gbbs.BFS, gbbs.SetThreads, ...)
-// remain working but deprecated; they delegate to a process-wide default
-// engine.
+// The older package-level free functions (gbbs.BFS, gbbs.RMATGraph,
+// gbbs.SetThreads, ...) remain working but deprecated; they delegate to a
+// process-wide default scheduler.
 //
 // # Harness
 //

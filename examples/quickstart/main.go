@@ -12,15 +12,20 @@ import (
 )
 
 func main() {
-	// A symmetrized RMAT graph with 2^14 vertices and ~16 edges/vertex —
-	// the same family the paper uses to stand in for social networks.
-	g := gbbs.RMATGraph(14, 16, true, false, 42)
-	fmt.Printf("graph: n=%d m=%d (directed edge count)\n", g.N(), g.M())
-
 	// An Engine owns its own scheduler: concurrent engines with different
 	// thread counts never interfere, and every method takes a context.
 	eng := gbbs.New(gbbs.WithSeed(1))
 	ctx := context.Background()
+
+	// A symmetrized RMAT graph with 2^14 vertices and ~16 edges/vertex —
+	// the same family the paper uses to stand in for social networks.
+	// Engine.Build runs the generator and the CSR construction on the
+	// engine's own scheduler.
+	g, err := eng.BuildCSR(ctx, gbbs.RMAT(14, 16, 42), gbbs.Symmetrize())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d (directed edge count)\n", g.N(), g.M())
 
 	// Breadth-first search from vertex 0.
 	dist, err := eng.BFS(ctx, g, 0)

@@ -18,9 +18,12 @@ func main() {
 	side := flag.Int("side", 40, "torus side (n = side^3)")
 	flag.Parse()
 
-	g := gbbs.TorusGraph(*side, true, 9)
 	eng := gbbs.New(gbbs.WithSeed(3))
 	ctx := context.Background()
+	g, err := eng.BuildCSR(ctx, gbbs.Torus(*side), gbbs.Symmetrize(), gbbs.PaperWeights(9))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("torus: n=%d m=%d, weights in [1, log n)\n", g.N(), g.M())
 
 	t0 := time.Now()

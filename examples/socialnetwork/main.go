@@ -19,12 +19,15 @@ func main() {
 	factor := flag.Int("factor", 16, "edges per vertex")
 	flag.Parse()
 
-	start := time.Now()
-	g := gbbs.RMATGraph(*scale, *factor, true, false, 7)
-	fmt.Printf("network: n=%d m=%d (built in %v)\n", g.N(), g.M(), time.Since(start).Round(time.Millisecond))
-
 	eng := gbbs.New(gbbs.WithSeed(3))
 	ctx := context.Background()
+
+	start := time.Now()
+	g, err := eng.BuildCSR(ctx, gbbs.RMAT(*scale, *factor, 7), gbbs.Symmetrize())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("network: n=%d m=%d (built in %v)\n", g.N(), g.M(), time.Since(start).Round(time.Millisecond))
 
 	// 1. Degeneracy ordering: the k-core decomposition finds the densest
 	// community cores.

@@ -18,9 +18,12 @@ func main() {
 	scale := flag.Int("scale", 16, "log2 of vertex count")
 	flag.Parse()
 
-	g := gbbs.RMATGraph(*scale, 16, false, false, 2014) // directed crawl
 	eng := gbbs.New(gbbs.WithSeed(1))
 	ctx := context.Background()
+	g, err := eng.BuildCSR(ctx, gbbs.RMAT(*scale, 16, 2014)) // directed crawl
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("crawl: n=%d directed edges=%d\n", g.N(), g.M())
 
 	// 1. Bow-tie core: the giant SCC.
@@ -66,7 +69,10 @@ func main() {
 
 	// 3. Exact vs. approximate coreness on the symmetrized crawl (Table 7's
 	// comparison against Slota et al.'s approximate k-core).
-	sg := gbbs.RMATGraph(*scale, 16, true, false, 2014)
+	sg, err := eng.BuildCSR(ctx, gbbs.RMAT(*scale, 16, 2014), gbbs.Symmetrize())
+	if err != nil {
+		panic(err)
+	}
 	t0 = time.Now()
 	exact, rho, err := eng.KCore(ctx, sg)
 	if err != nil {

@@ -19,10 +19,20 @@ func main() {
 	scale := flag.Int("scale", 17, "log2 of vertex count")
 	flag.Parse()
 
-	g := gbbs.RMATGraph(*scale, 16, true, false, 2012)
-	cg := gbbs.Compress(g, 0)
 	eng := gbbs.New(gbbs.WithSeed(1))
 	ctx := context.Background()
+	g, err := eng.BuildCSR(ctx, gbbs.RMAT(*scale, 16, 2012), gbbs.Symmetrize())
+	if err != nil {
+		panic(err)
+	}
+	// Re-encoding an existing CSR is itself a build pipeline: Prebuilt
+	// wraps it as a source and EncodeCompressed selects the parallel-byte
+	// output representation.
+	built, err := eng.Build(ctx, gbbs.Prebuilt(g), gbbs.EncodeCompressed(0))
+	if err != nil {
+		panic(err)
+	}
+	cg := built.(*gbbs.Compressed)
 
 	uncompressedBytes := int64(g.M()) * 4 // 4-byte neighbor IDs
 	fmt.Printf("web-sim:      n=%d m=%d\n", g.N(), g.M())

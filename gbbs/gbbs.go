@@ -4,41 +4,53 @@
 //
 // It exposes:
 //
-//   - graph construction: edge lists, generators (RMAT, 3D torus,
-//     Erdős–Rényi, ...), adjacency-graph file I/O, and Ligra+ parallel-byte
-//     compression;
+//   - graph construction as an engine-scoped pipeline: GraphSource
+//     describes where a graph comes from (edge lists, the RMAT / torus /
+//     Erdős–Rényi / preferential-attachment / small-world generators,
+//     adjacency and binary file readers), Transform describes what happens
+//     to it (Symmetrize, weight assignment, relabelling, parallel-byte
+//     compression), and Engine.Build materializes the pipeline;
 //   - the benchmark's 15 theoretically-efficient parallel algorithms with
 //     the work/depth bounds of the paper's Table 1, as methods on Engine;
 //   - a registry (Register, Algorithms, Lookup) for dispatching algorithms
-//     by name with uniform Request/Result types;
+//     by name with uniform Request/Result types, including declarative
+//     inputs (Request.Input) built through the engine;
 //   - the statistics suite behind the paper's Tables 3 and 8–13.
 //
 // # Engines
 //
 // An Engine owns an isolated scheduler, so concurrent engines never share
 // parallelism state — one process can serve many requests, each with its own
-// thread budget, seed and context:
+// thread budget, seed and context. Both graph construction and algorithm
+// execution run on that private scheduler:
 //
-//	g := gbbs.RMATGraph(18, 16, true /*symmetric*/, false /*weighted*/, 1)
 //	eng := gbbs.New(gbbs.WithThreads(8), gbbs.WithSeed(1))
+//	g, err := eng.Build(ctx, gbbs.RMAT(18, 16, 1), gbbs.Symmetrize())
 //	dist, err := eng.BFS(ctx, g, 0)
 //	labels, err := eng.Connectivity(ctx, g)
 //
-// Engine methods take a context.Context, check it between algorithm rounds,
-// and return ctx.Err() promptly after cancellation or deadline expiry.
-// Name-based dispatch goes through the registry:
+// Engine methods take a context.Context, check it between algorithm rounds
+// (and between build phases), and return ctx.Err() promptly after
+// cancellation or deadline expiry. Name-based dispatch goes through the
+// registry, with either a prebuilt graph or a declarative input:
 //
 //	res, err := eng.Run(ctx, "bfs", gbbs.Request{Graph: g, Source: 0})
+//	res, err := eng.Run(ctx, "cc", gbbs.Request{Input: &gbbs.InputSpec{
+//		Source:     gbbs.RMAT(18, 16, 1),
+//		Transforms: []gbbs.Transform{gbbs.Symmetrize()},
+//	}})
 //
-// All algorithms accept any Graph (uncompressed CSR or compressed) and are
-// deterministic for a fixed seed, independent of the thread count.
+// All algorithms accept any Graph (uncompressed CSR or compressed); both
+// algorithms and builds are deterministic for a fixed seed, independent of
+// the thread count.
 //
 // # Legacy free functions
 //
-// The package-level algorithm functions (BFS, Connectivity, ...) and
+// The package-level algorithm functions (BFS, Connectivity, ...), the
+// one-shot constructors (FromEdgeList, RMATGraph, ReadAdjacency, ...) and
 // SetThreads predate Engine. They remain fully functional, delegating to a
-// process-wide default engine, but are deprecated for new code: they cannot
-// be cancelled and share one global worker count.
+// process-wide default scheduler, but are deprecated for new code: they
+// cannot be cancelled and share one global worker count.
 package gbbs
 
 import (
@@ -108,55 +120,80 @@ func SetThreads(p int) int { return parallel.SetWorkers(p) }
 // Deprecated: use Engine.Threads.
 func Threads() int { return parallel.Workers() }
 
-// FromEdgeList builds a CSR graph over n vertices.
+// FromEdgeList builds a CSR graph over n vertices on the default scheduler.
+//
+// Deprecated: build on an engine's scheduler instead:
+// Engine.Build(ctx, Edges(el), ...).
 func FromEdgeList(n int, el *EdgeList, opt BuildOptions) *CSR {
-	return graph.FromEdgeList(n, el, opt)
+	return graph.FromEdgeList(parallel.Default, n, el, opt)
 }
 
-// Compress converts a CSR graph to the parallel-byte format. blockSize <= 0
-// selects the default (64 neighbors per block).
-func Compress(g *CSR, blockSize int) *Compressed { return compress.FromCSR(g, blockSize) }
+// Compress converts a CSR graph to the parallel-byte format on the default
+// scheduler. blockSize <= 0 selects the default (64 neighbors per block).
+//
+// Deprecated: use Engine.Build(ctx, Prebuilt(g), EncodeCompressed(blockSize)).
+func Compress(g *CSR, blockSize int) *Compressed {
+	return compress.FromCSR(parallel.Default, g, blockSize)
+}
 
 // RMATGraph generates an RMAT power-law graph with n = 2^scale vertices and
-// ~n*edgeFactor edges (the stand-in for the paper's social/web graphs).
+// ~n*edgeFactor edges (the stand-in for the paper's social/web graphs) on
+// the default scheduler.
+//
+// Deprecated: use Engine.Build(ctx, RMAT(scale, edgeFactor, seed), ...).
 func RMATGraph(scale, edgeFactor int, symmetric, weighted bool, seed uint64) *CSR {
-	return gen.BuildRMAT(scale, edgeFactor, symmetric, weighted, seed)
+	return gen.BuildRMAT(parallel.Default, scale, edgeFactor, symmetric, weighted, seed)
 }
 
 // TorusGraph generates the paper's 3D-Torus on side³ vertices (6-regular,
-// high diameter).
+// high diameter) on the default scheduler.
+//
+// Deprecated: use Engine.Build(ctx, Torus(side), Symmetrize(), ...).
 func TorusGraph(side int, weighted bool, seed uint64) *CSR {
-	return gen.BuildTorus3D(side, weighted, seed)
+	return gen.BuildTorus3D(parallel.Default, side, weighted, seed)
 }
 
 // RandomGraph generates an Erdős–Rényi-style graph with m uniformly random
-// edges.
+// edges on the default scheduler.
+//
+// Deprecated: use Engine.Build(ctx, Random(n, m, seed), ...).
 func RandomGraph(n, m int, symmetric, weighted bool, seed uint64) *CSR {
-	return gen.BuildErdosRenyi(n, m, symmetric, weighted, seed)
+	return gen.BuildErdosRenyi(parallel.Default, n, m, symmetric, weighted, seed)
 }
 
 // PreferentialGraph generates a Barabási–Albert preferential-attachment
-// graph (power-law, single component).
+// graph (power-law, single component) on the default scheduler.
+//
+// Deprecated: use Engine.Build(ctx, Preferential(n, k, seed), Symmetrize()).
 func PreferentialGraph(n, k int, weighted bool, seed uint64) *CSR {
-	return gen.BuildBarabasiAlbert(n, k, weighted, seed)
+	return gen.BuildBarabasiAlbert(parallel.Default, n, k, weighted, seed)
 }
 
 // SmallWorldGraph generates a Watts–Strogatz small-world graph: ring
-// lattice with k clockwise neighbors, rewired with probability p.
+// lattice with k clockwise neighbors, rewired with probability p, on the
+// default scheduler.
+//
+// Deprecated: use Engine.Build(ctx, SmallWorld(n, k, p, seed), Symmetrize()).
 func SmallWorldGraph(n, k int, p float64, weighted bool, seed uint64) *CSR {
-	return gen.BuildWattsStrogatz(n, k, p, weighted, seed)
+	return gen.BuildWattsStrogatz(parallel.Default, n, k, p, weighted, seed)
 }
 
-// ReadAdjacency parses the (Weighted)AdjacencyGraph text format.
+// ReadAdjacency parses the (Weighted)AdjacencyGraph text format on the
+// default scheduler.
+//
+// Deprecated: use Engine.Build(ctx, Adjacency(r, symmetric)).
 func ReadAdjacency(r io.Reader, symmetric bool) (*CSR, error) {
-	return graph.ReadAdjacency(r, symmetric)
+	return graph.ReadAdjacency(parallel.Default, r, symmetric)
 }
 
 // WriteAdjacency writes the (Weighted)AdjacencyGraph text format.
 func WriteAdjacency(w io.Writer, g *CSR) error { return graph.WriteAdjacency(w, g) }
 
-// ReadBinary parses the compact binary graph format.
-func ReadBinary(r io.Reader) (*CSR, error) { return graph.ReadBinary(r) }
+// ReadBinary parses the compact binary graph format on the default
+// scheduler.
+//
+// Deprecated: use Engine.Build(ctx, Binary(r)).
+func ReadBinary(r io.Reader) (*CSR, error) { return graph.ReadBinary(parallel.Default, r) }
 
 // WriteBinary writes the compact binary graph format (loads far faster than
 // the text format; use it for large inputs).

@@ -8,10 +8,18 @@ import (
 	"time"
 )
 
-// Request is the uniform input of a registry-dispatched algorithm run.
+// Request is the uniform input of a registry-dispatched algorithm run. The
+// graph is given either directly (Graph) or declaratively (Input), in which
+// case Engine.Run builds it through Engine.Build — on the engine's
+// scheduler, under the run's context — before dispatching.
 type Request struct {
-	// Graph is the input graph (CSR or compressed). Required.
+	// Graph is the input graph (CSR or compressed). Either Graph or Input
+	// is required; Graph wins when both are set.
 	Graph Graph
+	// Input declares the graph to build when Graph is nil. The build runs
+	// through Engine.Build and its wall-clock time is reported separately
+	// in Result.BuildElapsed.
+	Input *InputSpec
 	// Source is the source vertex for SSSP/BC-style problems; ignored by
 	// algorithms with NeedsSource == false.
 	Source uint32
@@ -21,6 +29,15 @@ type Request struct {
 	// setcover, "beta" for ldd, "delta" for deltastepping). Unknown keys are
 	// ignored; missing keys select the paper's defaults.
 	Opts map[string]any
+}
+
+// InputSpec declares a graph build: a source plus the transforms to apply,
+// exactly the arguments of Engine.Build. CLI drivers construct it from
+// -source/-transform specs (see ParseSource, ParseTransforms); programmatic
+// callers compose it from the source and transform constructors.
+type InputSpec struct {
+	Source     GraphSource
+	Transforms []Transform
 }
 
 // seed resolves the effective seed for a run on engine e.
@@ -63,6 +80,12 @@ type Result struct {
 	// Elapsed is the wall-clock running time of the algorithm itself
 	// (excluding graph loading), filled in by Engine.Run.
 	Elapsed time.Duration
+	// Graph is the graph the run executed on: Request.Graph when given,
+	// otherwise the graph built from Request.Input.
+	Graph Graph
+	// BuildElapsed is the wall-clock time Engine.Build spent materializing
+	// Request.Input; zero when Request.Graph was supplied directly.
+	BuildElapsed time.Duration
 }
 
 // Algorithm describes one registered algorithm: CLI-facing metadata plus the
@@ -148,16 +171,31 @@ func Lookup(name string) (Algorithm, bool) {
 }
 
 // Run dispatches an algorithm by registry name: it validates the request
-// against the algorithm's requirements, executes it on this engine, and
-// returns the Result with Elapsed filled in. Unknown names, missing graphs
-// and unmet weight requirements return descriptive errors.
+// against the algorithm's requirements, builds the graph from Request.Input
+// when no graph was given directly, executes the algorithm on this engine,
+// and returns the Result with Elapsed (and BuildElapsed for declarative
+// inputs) filled in. Unknown names, missing graphs and unmet weight
+// requirements return descriptive errors.
 func (e *Engine) Run(ctx context.Context, name string, req Request) (Result, error) {
 	a, ok := Lookup(name)
 	if !ok {
 		return Result{}, fmt.Errorf("gbbs: unknown algorithm %q", name)
 	}
+	var buildElapsed time.Duration
+	if req.Graph == nil && req.Input != nil {
+		if req.Input.Source == nil {
+			return Result{}, fmt.Errorf("gbbs: %s: Request.Input has a nil Source", name)
+		}
+		start := time.Now()
+		g, err := e.Build(ctx, req.Input.Source, req.Input.Transforms...)
+		if err != nil {
+			return Result{}, fmt.Errorf("gbbs: %s: building %s: %w", name, req.Input.Source, err)
+		}
+		buildElapsed = time.Since(start)
+		req.Graph = g
+	}
 	if req.Graph == nil {
-		return Result{}, fmt.Errorf("gbbs: %s: Request.Graph is nil", name)
+		return Result{}, fmt.Errorf("gbbs: %s: Request.Graph and Request.Input are both nil", name)
 	}
 	if a.NeedsWeights && !req.Graph.Weighted() {
 		return Result{}, fmt.Errorf("gbbs: %s requires a weighted graph", name)
@@ -171,5 +209,7 @@ func (e *Engine) Run(ctx context.Context, name string, req Request) (Result, err
 		return Result{}, err
 	}
 	res.Elapsed = time.Since(start)
+	res.Graph = req.Graph
+	res.BuildElapsed = buildElapsed
 	return res, nil
 }

@@ -1,0 +1,340 @@
+package gbbs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file parses the textual source/transform specs the CLI drivers
+// (cmd/gbbs-run, cmd/gbbs-gen) accept, so inputs can be described
+// declaratively on a command line and built through an engine:
+//
+//	-source "rmat:scale=18,factor=16,seed=1" -transform "sym;paperweights;compress"
+
+// specArgs holds the parsed key=value arguments of one spec element.
+type specArgs map[string]string
+
+// only rejects argument keys outside the element's allowlist, so a typo
+// ("scal=18") fails loudly instead of silently building a default-sized
+// graph.
+func (a specArgs) only(kind string, keys ...string) error {
+	for k := range a {
+		ok := false
+		for _, allowed := range keys {
+			if k == allowed {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("gbbs: spec %q does not accept argument %q (allowed: %s)", kind, k, strings.Join(keys, ", "))
+		}
+	}
+	return nil
+}
+
+func (a specArgs) int(key string, def int) (int, error) {
+	v, ok := a[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("gbbs: spec argument %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+func (a specArgs) uint64(key string, def uint64) (uint64, error) {
+	v, ok := a[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("gbbs: spec argument %s=%q is not an unsigned integer", key, v)
+	}
+	return n, nil
+}
+
+func (a specArgs) float(key string, def float64) (float64, error) {
+	v, ok := a[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("gbbs: spec argument %s=%q is not a number", key, v)
+	}
+	return f, nil
+}
+
+func (a specArgs) bool(key string, def bool) (bool, error) {
+	v, ok := a[key]
+	if !ok {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("gbbs: spec argument %s=%q is not a bool", key, v)
+	}
+	return b, nil
+}
+
+// parseSpecElement splits "kind:k1=v1,k2=v2" (the args part optional).
+func parseSpecElement(spec string) (string, specArgs, error) {
+	kind, rest, hasArgs := strings.Cut(spec, ":")
+	kind = strings.TrimSpace(kind)
+	if kind == "" {
+		return "", nil, fmt.Errorf("gbbs: empty spec element %q", spec)
+	}
+	args := specArgs{}
+	if hasArgs && strings.TrimSpace(rest) != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			k = strings.TrimSpace(k)
+			if !ok || k == "" {
+				return "", nil, fmt.Errorf("gbbs: spec argument %q is not key=value", kv)
+			}
+			args[k] = strings.TrimSpace(v)
+		}
+	}
+	return kind, args, nil
+}
+
+// sourceArgKeys is the per-kind argument allowlist of ParseSource; keys
+// outside it are rejected rather than silently ignored.
+var sourceArgKeys = map[string][]string{
+	"rmat":     {"scale", "factor", "seed"},
+	"torus":    {"side"},
+	"er":       {"n", "m", "seed"},
+	"ba":       {"n", "k", "seed"},
+	"ws":       {"n", "k", "p", "seed"},
+	"grid":     {"side"},
+	"path":     {"n"},
+	"cycle":    {"n"},
+	"star":     {"n"},
+	"complete": {"n"},
+	"tree":     {"n"},
+	"file":     {"path", "sym"},
+	"bin":      {"path"},
+}
+
+// ParseSource parses a source spec of the form "kind:key=val,...". Kinds
+// and their arguments (all optional, with defaults):
+//
+//	rmat:scale=16,factor=16,seed=1     R-MAT power-law generator
+//	torus:side=32                      3D torus (one direction per dim)
+//	er:n=65536,m=1048576,seed=1        Erdős–Rényi random edges
+//	ba:n=65536,k=16,seed=1             Barabási–Albert preferential attachment
+//	ws:n=65536,k=16,p=0.1,seed=1       Watts–Strogatz small world
+//	grid:side=32                       2D grid
+//	path:n=1024  cycle:n=1024  star:n=1024  complete:n=64  tree:n=1023
+//	file:path=g.adj,sym=true           (Weighted)AdjacencyGraph text file
+//	bin:path=g.bin                     compact binary graph file
+func ParseSource(spec string) (GraphSource, error) {
+	kind, args, err := parseSpecElement(spec)
+	if err != nil {
+		return nil, err
+	}
+	if keys, ok := sourceArgKeys[kind]; ok {
+		if err := args.only(kind, keys...); err != nil {
+			return nil, err
+		}
+	}
+	fail := func(err error) (GraphSource, error) { return nil, err }
+	switch kind {
+	case "rmat":
+		scale, err := args.int("scale", 16)
+		if err != nil {
+			return fail(err)
+		}
+		factor, err := args.int("factor", 16)
+		if err != nil {
+			return fail(err)
+		}
+		seed, err := args.uint64("seed", 1)
+		if err != nil {
+			return fail(err)
+		}
+		return RMAT(scale, factor, seed), nil
+	case "torus":
+		side, err := args.int("side", 32)
+		if err != nil {
+			return fail(err)
+		}
+		return Torus(side), nil
+	case "er":
+		n, err := args.int("n", 1<<16)
+		if err != nil {
+			return fail(err)
+		}
+		m, err := args.int("m", 1<<20)
+		if err != nil {
+			return fail(err)
+		}
+		seed, err := args.uint64("seed", 1)
+		if err != nil {
+			return fail(err)
+		}
+		return Random(n, m, seed), nil
+	case "ba":
+		n, err := args.int("n", 1<<16)
+		if err != nil {
+			return fail(err)
+		}
+		k, err := args.int("k", 16)
+		if err != nil {
+			return fail(err)
+		}
+		seed, err := args.uint64("seed", 1)
+		if err != nil {
+			return fail(err)
+		}
+		return Preferential(n, k, seed), nil
+	case "ws":
+		n, err := args.int("n", 1<<16)
+		if err != nil {
+			return fail(err)
+		}
+		k, err := args.int("k", 16)
+		if err != nil {
+			return fail(err)
+		}
+		p, err := args.float("p", 0.1)
+		if err != nil {
+			return fail(err)
+		}
+		seed, err := args.uint64("seed", 1)
+		if err != nil {
+			return fail(err)
+		}
+		return SmallWorld(n, k, p, seed), nil
+	case "grid":
+		side, err := args.int("side", 32)
+		if err != nil {
+			return fail(err)
+		}
+		return Grid(side), nil
+	case "path", "cycle", "star", "complete", "tree":
+		n, err := args.int("n", 1024)
+		if err != nil {
+			return fail(err)
+		}
+		switch kind {
+		case "path":
+			return Path(n), nil
+		case "cycle":
+			return Cycle(n), nil
+		case "star":
+			return Star(n), nil
+		case "complete":
+			return Complete(n), nil
+		default:
+			return Tree(n), nil
+		}
+	case "file":
+		path := args["path"]
+		if path == "" {
+			return fail(fmt.Errorf("gbbs: source %q needs path=", kind))
+		}
+		sym, err := args.bool("sym", true)
+		if err != nil {
+			return fail(err)
+		}
+		return AdjacencyFile(path, sym), nil
+	case "bin":
+		path := args["path"]
+		if path == "" {
+			return fail(fmt.Errorf("gbbs: source %q needs path=", kind))
+		}
+		return BinaryFile(path), nil
+	default:
+		return fail(fmt.Errorf("gbbs: unknown source kind %q", kind))
+	}
+}
+
+// transformArgKeys is the per-kind argument allowlist of ParseTransforms.
+var transformArgKeys = map[string][]string{
+	"sym":            {},
+	"selfloops":      {},
+	"multi":          {},
+	"notranspose":    {},
+	"weights":        {"max", "seed"},
+	"paperweights":   {"seed"},
+	"degree-relabel": {},
+	"compress":       {"block"},
+}
+
+// ParseTransforms parses a semicolon-separated transform spec; each element
+// is "kind" or "kind:key=val,...":
+//
+//	sym                         Symmetrize
+//	selfloops                   KeepSelfLoops
+//	multi                       KeepDuplicates
+//	notranspose                 SkipTranspose
+//	weights:max=8,seed=1        UniformWeights
+//	paperweights:seed=1         PaperWeights
+//	degree-relabel              RelabelByDegree
+//	compress:block=64           EncodeCompressed
+//
+// An empty spec returns no transforms.
+func ParseTransforms(spec string) ([]Transform, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var out []Transform
+	for _, elem := range strings.Split(spec, ";") {
+		if strings.TrimSpace(elem) == "" {
+			continue
+		}
+		kind, args, err := parseSpecElement(elem)
+		if err != nil {
+			return nil, err
+		}
+		if keys, ok := transformArgKeys[kind]; ok {
+			if err := args.only(kind, keys...); err != nil {
+				return nil, err
+			}
+		}
+		switch kind {
+		case "sym":
+			out = append(out, Symmetrize())
+		case "selfloops":
+			out = append(out, KeepSelfLoops())
+		case "multi":
+			out = append(out, KeepDuplicates())
+		case "notranspose":
+			out = append(out, SkipTranspose())
+		case "weights":
+			maxW, err := args.int("max", 8)
+			if err != nil {
+				return nil, err
+			}
+			seed, err := args.uint64("seed", 1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, UniformWeights(int32(maxW), seed))
+		case "paperweights":
+			seed, err := args.uint64("seed", 1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PaperWeights(seed))
+		case "degree-relabel":
+			out = append(out, RelabelByDegree())
+		case "compress":
+			block, err := args.int("block", 0)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, EncodeCompressed(block))
+		default:
+			return nil, fmt.Errorf("gbbs: unknown transform %q", kind)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package gbbs_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/gbbs"
+)
+
+func TestParseSourceKinds(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // String() of the parsed source
+	}{
+		{"rmat:scale=10,factor=8,seed=3", "rmat(scale=10,factor=8,seed=3)"},
+		{"rmat", "rmat(scale=16,factor=16,seed=1)"},
+		{"torus:side=12", "torus(side=12)"},
+		{"er:n=100,m=500,seed=2", "er(n=100,m=500,seed=2)"},
+		{"ba:n=100,k=3,seed=2", "ba(n=100,k=3,seed=2)"},
+		{"ws:n=100,k=4,p=0.25,seed=2", "ws(n=100,k=4,p=0.25,seed=2)"},
+		{"grid:side=7", "grid(side=7)"},
+		{"path:n=9", "path(n=9)"},
+		{"cycle:n=9", "cycle(n=9)"},
+		{"star:n=9", "star(n=9)"},
+		{"complete:n=9", "complete(n=9)"},
+		{"tree:n=15", "tree(n=15)"},
+		{"file:path=g.adj,sym=false", "file(g.adj,symmetric=false)"},
+		{"bin:path=g.bin", "bin(g.bin)"},
+	}
+	for _, c := range cases {
+		src, err := gbbs.ParseSource(c.spec)
+		if err != nil {
+			t.Errorf("ParseSource(%q): %v", c.spec, err)
+			continue
+		}
+		if src.String() != c.want {
+			t.Errorf("ParseSource(%q) = %s, want %s", c.spec, src, c.want)
+		}
+	}
+}
+
+func TestParseSourceErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"unknown",
+		"rmat:scale=abc",
+		"rmat:scale",
+		"file",          // missing path
+		"bin:path=",     // empty path
+		"er:seed=-1",    // negative unsigned
+		"ws:p=notanum",  // bad float
+		"file:sym=huh",  // bad bool (and missing path)
+		"torus:side=xx", // bad int
+		"rmat:scal=18",  // typo'd key must fail, not fall back to defaults
+		"torus:scale=4", // key from another kind
+	} {
+		if _, err := gbbs.ParseSource(spec); err == nil {
+			t.Errorf("ParseSource(%q) should fail", spec)
+		}
+	}
+}
+
+func TestParseTransforms(t *testing.T) {
+	tfs, err := gbbs.ParseTransforms("sym;paperweights:seed=5;compress:block=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tfs) != 3 {
+		t.Fatalf("got %d transforms, want 3", len(tfs))
+	}
+	joined := make([]string, len(tfs))
+	for i, tf := range tfs {
+		joined[i] = tf.String()
+	}
+	got := strings.Join(joined, " ")
+	want := "sym paperweights(seed=5) compress(block=32)"
+	if got != want {
+		t.Fatalf("transforms = %q, want %q", got, want)
+	}
+
+	if tfs, err := gbbs.ParseTransforms("  "); err != nil || tfs != nil {
+		t.Fatalf("blank spec: %v, %v", tfs, err)
+	}
+	for _, spec := range []string{"bogus", "weights:max=abc", "compress:block=x", "sym:n=4", "compress:blok=8"} {
+		if _, err := gbbs.ParseTransforms(spec); err == nil {
+			t.Errorf("ParseTransforms(%q) should fail", spec)
+		}
+	}
+}
+
+func TestParsedSpecBuilds(t *testing.T) {
+	src, err := gbbs.ParseSource("er:n=500,m=3000,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tfs, err := gbbs.ParseTransforms("sym;weights:max=4,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gbbs.New().BuildCSR(context.Background(), src, tfs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 || !g.Symmetric() || !g.Weighted() {
+		t.Fatalf("spec build: n=%d sym=%v weighted=%v", g.N(), g.Symmetric(), g.Weighted())
+	}
+}

@@ -19,10 +19,20 @@ import (
 	"time"
 
 	"repro/gbbs"
-	"repro/internal/compress"
-	"repro/internal/gen"
 	"repro/internal/graph"
 )
+
+// buildGraph materializes one benchmark input through a dedicated build
+// engine (full hardware parallelism; inputs are deterministic in the seed,
+// so the thread count cannot change what is measured). Panics on build
+// errors: benchmark inputs are programmer-specified.
+func buildGraph(src gbbs.GraphSource, transforms ...gbbs.Transform) graph.Graph {
+	g, err := gbbs.New().Build(context.Background(), src, transforms...)
+	if err != nil {
+		panic(fmt.Sprintf("bench: building %s: %v", src, err))
+	}
+	return g
+}
 
 // Algo is one benchmark problem of the paper's suite: the registry key it
 // dispatches through, its Table 2/4/5 row label, and the input variant it
@@ -71,19 +81,20 @@ type Input struct {
 }
 
 // MakeRMATInput builds an RMAT-based input at the given scale, in the
-// requested representation.
+// requested representation, through the engine-scoped build pipeline.
 func MakeRMATInput(name string, scale, edgeFactor int, compressed bool, seed uint64) Input {
-	sym := gen.BuildRMAT(scale, edgeFactor, true, true, seed)
-	dir := gen.BuildRMAT(scale, edgeFactor, false, false, seed)
-	in := Input{Name: name, Weighted: true}
+	symT := []gbbs.Transform{gbbs.Symmetrize(), gbbs.PaperWeights(seed)}
+	var dirT []gbbs.Transform
 	if compressed {
-		in.Sym = compress.FromCSR(sym, 0)
-		in.Dir = compress.FromCSR(dir, 0)
-	} else {
-		in.Sym = sym
-		in.Dir = dir
+		symT = append(symT, gbbs.EncodeCompressed(0))
+		dirT = append(dirT, gbbs.EncodeCompressed(0))
 	}
-	return in
+	return Input{
+		Name:     name,
+		Sym:      buildGraph(gbbs.RMAT(scale, edgeFactor, seed), symT...),
+		Dir:      buildGraph(gbbs.RMAT(scale, edgeFactor, seed), dirT...),
+		Weighted: true,
+	}
 }
 
 // MakeTorusInput builds the 3D-Torus input (symmetric only; the paper marks
@@ -91,7 +102,7 @@ func MakeRMATInput(name string, scale, edgeFactor int, compressed bool, seed uin
 func MakeTorusInput(side int, seed uint64) Input {
 	return Input{
 		Name:     fmt.Sprintf("3D-Torus (side=%d)", side),
-		Sym:      gen.BuildTorus3D(side, true, seed),
+		Sym:      buildGraph(gbbs.Torus(side), gbbs.Symmetrize(), gbbs.PaperWeights(seed)),
 		Weighted: true,
 	}
 }

@@ -6,9 +6,9 @@ import (
 	"runtime"
 	"time"
 
+	"repro/gbbs"
 	"repro/internal/compress"
 	"repro/internal/core"
-	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/ligra"
 	"repro/internal/parallel"
@@ -86,7 +86,7 @@ func Table5(w io.Writer, c Config) {
 // (see DESIGN.md).
 func Table6(w io.Writer, c Config) {
 	c = c.norm()
-	g := gen.BuildRMAT(c.Scale, 16, true, true, c.Seed+66)
+	g := buildGraph(gbbs.RMAT(c.Scale, 16, c.Seed+66), gbbs.Symmetrize(), gbbs.PaperWeights(c.Seed+66))
 	sched := parallel.New(c.Threads)
 
 	fmt.Fprintf(w, "Table 6: optimization ablations on RMAT scale %d (n=%d m=%d), %d threads\n",
@@ -190,11 +190,11 @@ func Table3(w io.Writer, c Config) {
 		dir  graph.Graph
 	}
 	entries := []entry{
-		{"LiveJournal-sim", gen.BuildRMAT(c.Scale-2, 14, true, false, c.Seed+1), gen.BuildRMAT(c.Scale-2, 14, false, false, c.Seed+1)},
-		{"com-Orkut-sim", gen.BuildRMAT(c.Scale-3, 60, true, false, c.Seed+2), nil},
-		{"Twitter-sim", gen.BuildRMAT(c.Scale-1, 28, true, false, c.Seed+3), gen.BuildRMAT(c.Scale-1, 28, false, false, c.Seed+3)},
-		{"3D-Torus", gen.BuildTorus3D(1<<uint((c.Scale-1)/3), false, c.Seed+4), nil},
-		{"Hyperlink2012-sim", gen.BuildRMAT(c.Scale, 16, true, false, c.Seed+7), gen.BuildRMAT(c.Scale, 16, false, false, c.Seed+7)},
+		{"LiveJournal-sim", buildGraph(gbbs.RMAT(c.Scale-2, 14, c.Seed+1), gbbs.Symmetrize()), buildGraph(gbbs.RMAT(c.Scale-2, 14, c.Seed+1))},
+		{"com-Orkut-sim", buildGraph(gbbs.RMAT(c.Scale-3, 60, c.Seed+2), gbbs.Symmetrize()), nil},
+		{"Twitter-sim", buildGraph(gbbs.RMAT(c.Scale-1, 28, c.Seed+3), gbbs.Symmetrize()), buildGraph(gbbs.RMAT(c.Scale-1, 28, c.Seed+3))},
+		{"3D-Torus", buildGraph(gbbs.Torus(1<<uint((c.Scale-1)/3)), gbbs.Symmetrize()), nil},
+		{"Hyperlink2012-sim", buildGraph(gbbs.RMAT(c.Scale, 16, c.Seed+7), gbbs.Symmetrize()), buildGraph(gbbs.RMAT(c.Scale, 16, c.Seed+7))},
 	}
 	fmt.Fprintln(w, "Table 3 / Tables 8-13: graph inventory and statistics")
 	for _, e := range entries {
@@ -227,7 +227,7 @@ func Figure1(w io.Writer, c Config) {
 		{"Graph Coloring", func(g graph.Graph) { core.Coloring(sched, g, c.Seed) }},
 	}
 	for side := 8; side <= maxSide; side *= 2 {
-		g := gen.BuildTorus3D(side, false, c.Seed)
+		g := buildGraph(gbbs.Torus(side), gbbs.Symmetrize())
 		for _, a := range algos {
 			start := time.Now()
 			a.f(g)
@@ -248,15 +248,15 @@ func CompressionReport(w io.Writer, c Config) {
 	fmt.Fprintf(w, "%-22s %12s %12s %14s %12s\n", "graph", "vertices", "edges", "bytes/edge", "vs 4B raw")
 	for _, e := range []struct {
 		name string
-		g    *graph.CSR
+		src  gbbs.GraphSource
 	}{
-		{"Hyperlink2012-sim", gen.BuildRMAT(c.Scale, 16, true, false, c.Seed+7)},
-		{"3D-Torus", gen.BuildTorus3D(1<<uint((c.Scale-1)/3), false, c.Seed)},
-		{"ER-random", gen.BuildErdosRenyi(1<<uint(c.Scale-1), 1<<uint(c.Scale+2), true, false, c.Seed)},
+		{"Hyperlink2012-sim", gbbs.RMAT(c.Scale, 16, c.Seed+7)},
+		{"3D-Torus", gbbs.Torus(1 << uint((c.Scale-1)/3))},
+		{"ER-random", gbbs.Random(1<<uint(c.Scale-1), 1<<uint(c.Scale+2), c.Seed)},
 	} {
-		cg := compress.FromCSR(e.g, 0)
+		cg := buildGraph(e.src, gbbs.Symmetrize(), gbbs.EncodeCompressed(0)).(*compress.Graph)
 		fmt.Fprintf(w, "%-22s %12d %12d %14.2f %11.1fx\n",
-			e.name, e.g.N(), e.g.M(), cg.BytesPerEdge(), 4/cg.BytesPerEdge())
+			e.name, cg.N(), cg.M(), cg.BytesPerEdge(), 4/cg.BytesPerEdge())
 	}
 	fmt.Fprintln(w)
 }

@@ -34,19 +34,23 @@ type Graph struct {
 	inG       *Graph // transpose for directed graphs; nil when symmetric
 }
 
-// FromCSR compresses a CSR graph. blockSize <= 0 selects DefaultBlockSize.
-func FromCSR(g *graph.CSR, blockSize int) *Graph {
+// FromCSR compresses a CSR graph on scheduler s. blockSize <= 0 selects
+// DefaultBlockSize. s.Poll() is checked between the encoding phases so a
+// compression on a context-attached scheduler aborts promptly after
+// cancellation.
+func FromCSR(s *parallel.Scheduler, g *graph.CSR, blockSize int) *Graph {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
-	out := encodeDirection(g.N(), blockSize, g.Weighted(),
+	out := encodeDirection(s, g.N(), blockSize, g.Weighted(),
 		func(v uint32) []uint32 { return g.OutNghSlice(v) },
 		func(v uint32) []int32 { return g.OutWeightSlice(v) })
 	out.symmetric = g.Symmetric()
 	out.m = g.M()
 	if !g.Symmetric() {
+		s.Poll()
 		tr := g.Transposed()
-		in := encodeDirection(g.N(), blockSize, g.Weighted(),
+		in := encodeDirection(s, g.N(), blockSize, g.Weighted(),
 			func(v uint32) []uint32 { return tr.OutNghSlice(v) },
 			func(v uint32) []int32 { return tr.OutWeightSlice(v) })
 		in.symmetric = false
@@ -63,7 +67,7 @@ func FromCSR(g *graph.CSR, blockSize int) *Graph {
 // "encoded in the parallel-byte format in O(m) work". deg must match the
 // number of neighbors emit produces; neighbors must be emitted in sorted
 // order. emit is called twice per vertex (measuring pass, encoding pass).
-func FromFunc(n int, symmetric bool, blockSize int, deg func(v uint32) int, emit func(v uint32, add func(u uint32, w int32))) *Graph {
+func FromFunc(s *parallel.Scheduler, n int, symmetric bool, blockSize int, deg func(v uint32) int, emit func(v uint32, add func(u uint32, w int32))) *Graph {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
@@ -75,7 +79,7 @@ func FromFunc(n int, symmetric bool, blockSize int, deg func(v uint32) int, emit
 	g := &Graph{n: n, weighted: false, blockSize: blockSize, symmetric: symmetric}
 	g.degrees = make([]int32, n)
 	sizes := make([]int64, n)
-	parallel.ForRange(n, 64, func(lo, hi int) {
+	s.ForRange(n, 64, func(lo, hi int) {
 		var buf []uint32
 		for v := lo; v < hi; v++ {
 			buf = collect(uint32(v), buf)
@@ -84,11 +88,12 @@ func FromFunc(n int, symmetric bool, blockSize int, deg func(v uint32) int, emit
 		}
 	})
 	g.offsets = make([]int64, n+1)
-	total := prims.Scan(parallel.Default, sizes, g.offsets[:n])
+	total := prims.Scan(s, sizes, g.offsets[:n])
 	g.offsets[n] = total
 	g.data = make([]byte, total)
 	m := 0
-	parallel.ForRange(n, 64, func(lo, hi int) {
+	s.Poll()
+	s.ForRange(n, 64, func(lo, hi int) {
 		var buf []uint32
 		for v := lo; v < hi; v++ {
 			buf = collect(uint32(v), buf)
@@ -106,11 +111,12 @@ func FromFunc(n int, symmetric bool, blockSize int, deg func(v uint32) int, emit
 
 // encodeDirection builds one direction of the compressed graph with a
 // size-measuring pass, a scan, and a parallel encoding pass.
-func encodeDirection(n, blockSize int, weighted bool, nghs func(uint32) []uint32, wts func(uint32) []int32) *Graph {
+func encodeDirection(s *parallel.Scheduler, n, blockSize int, weighted bool, nghs func(uint32) []uint32, wts func(uint32) []int32) *Graph {
 	g := &Graph{n: n, weighted: weighted, blockSize: blockSize}
 	g.degrees = make([]int32, n)
 	sizes := make([]int64, n)
-	parallel.ForRange(n, 64, func(lo, hi int) {
+	s.Poll()
+	s.ForRange(n, 64, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			ns := nghs(uint32(v))
 			var ws []int32
@@ -122,10 +128,11 @@ func encodeDirection(n, blockSize int, weighted bool, nghs func(uint32) []uint32
 		}
 	})
 	g.offsets = make([]int64, n+1)
-	total := prims.Scan(parallel.Default, sizes, g.offsets[:n])
+	total := prims.Scan(s, sizes, g.offsets[:n])
 	g.offsets[n] = total
 	g.data = make([]byte, total)
-	parallel.ForRange(n, 64, func(lo, hi int) {
+	s.Poll()
+	s.ForRange(n, 64, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			ns := nghs(uint32(v))
 			if len(ns) == 0 {
@@ -197,13 +204,6 @@ func encodeVertex(buf []byte, v uint32, ns []uint32, ws []int32, bs int) {
 		// corrupt neighboring regions via append reallocation.
 		panic("compress: encoded size mismatch")
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // N returns the number of vertices.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 func TestVarintRoundTrip(t *testing.T) {
@@ -90,24 +91,24 @@ func equalGraphs(t *testing.T, name string, csr *graph.CSR, cg *Graph) {
 
 func TestFromCSRRoundTrip(t *testing.T) {
 	cases := map[string]*graph.CSR{
-		"rmat-sym":  gen.BuildRMAT(10, 8, true, false, 3),
-		"rmat-dir":  gen.BuildRMAT(9, 8, false, false, 3),
-		"torus":     gen.BuildTorus3D(6, false, 3),
-		"weighted":  gen.BuildRMAT(9, 6, true, true, 4),
-		"wdirected": gen.BuildErdosRenyi(500, 3000, false, true, 4),
-		"empty":     graph.FromEdgeList(10, &graph.EdgeList{N: 10}, graph.BuildOptions{Symmetrize: true}),
-		"star":      graph.FromEdgeList(500, gen.Star(500), graph.BuildOptions{Symmetrize: true}),
+		"rmat-sym":  gen.BuildRMAT(parallel.Default, 10, 8, true, false, 3),
+		"rmat-dir":  gen.BuildRMAT(parallel.Default, 9, 8, false, false, 3),
+		"torus":     gen.BuildTorus3D(parallel.Default, 6, false, 3),
+		"weighted":  gen.BuildRMAT(parallel.Default, 9, 6, true, true, 4),
+		"wdirected": gen.BuildErdosRenyi(parallel.Default, 500, 3000, false, true, 4),
+		"empty":     graph.FromEdgeList(parallel.Default, 10, &graph.EdgeList{N: 10}, graph.BuildOptions{Symmetrize: true}),
+		"star":      graph.FromEdgeList(parallel.Default, 500, gen.Star(500), graph.BuildOptions{Symmetrize: true}),
 	}
 	for name, csr := range cases {
 		for _, bs := range []int{1, 3, 64, 1024} {
-			equalGraphs(t, name, csr, FromCSR(csr, bs))
+			equalGraphs(t, name, csr, FromCSR(parallel.Default, csr, bs))
 		}
 	}
 }
 
 func TestOutRangeMatchesSlice(t *testing.T) {
-	csr := gen.BuildRMAT(9, 10, true, false, 7)
-	cg := FromCSR(csr, 16)
+	csr := gen.BuildRMAT(parallel.Default, 9, 10, true, false, 7)
+	cg := FromCSR(parallel.Default, csr, 16)
 	for v := uint32(0); int(v) < csr.N(); v++ {
 		d := csr.OutDeg(v)
 		for _, r := range [][2]int{{0, d}, {1, d - 1}, {d / 3, 2 * d / 3}, {0, 1}, {d, d}} {
@@ -135,8 +136,8 @@ func TestOutRangeMatchesSlice(t *testing.T) {
 }
 
 func TestOutRangeEarlyExit(t *testing.T) {
-	csr := graph.FromEdgeList(200, gen.Star(200), graph.BuildOptions{Symmetrize: true})
-	cg := FromCSR(csr, 8)
+	csr := graph.FromEdgeList(parallel.Default, 200, gen.Star(200), graph.BuildOptions{Symmetrize: true})
+	cg := FromCSR(parallel.Default, csr, 8)
 	count := 0
 	cg.OutRange(0, 0, 150, func(u uint32, _ int32) bool {
 		count++
@@ -148,8 +149,8 @@ func TestOutRangeEarlyExit(t *testing.T) {
 }
 
 func TestTransposeDirected(t *testing.T) {
-	csr := gen.BuildRMAT(8, 6, false, false, 9)
-	cg := FromCSR(csr, 0)
+	csr := gen.BuildRMAT(parallel.Default, 8, 6, false, false, 9)
+	cg := FromCSR(parallel.Default, csr, 0)
 	tr := cg.Transpose()
 	for v := uint32(0); int(v) < csr.N(); v++ {
 		var got []uint32
@@ -159,7 +160,7 @@ func TestTransposeDirected(t *testing.T) {
 		}
 	}
 	// Symmetric transpose is identity.
-	sg := FromCSR(gen.BuildTorus3D(4, false, 1), 0)
+	sg := FromCSR(parallel.Default, gen.BuildTorus3D(parallel.Default, 4, false, 1), 0)
 	if sg.Transpose() != graph.Graph(sg) {
 		t.Fatal("symmetric transpose should be the same graph")
 	}
@@ -168,8 +169,8 @@ func TestTransposeDirected(t *testing.T) {
 func TestCompressionRatio(t *testing.T) {
 	// Sorted difference coding of a local-order graph must beat the 4
 	// bytes/edge of uncompressed uint32 adjacency.
-	csr := gen.BuildTorus3D(20, false, 1)
-	cg := FromCSR(csr, 0)
+	csr := gen.BuildTorus3D(parallel.Default, 20, false, 1)
+	cg := FromCSR(parallel.Default, csr, 0)
 	if bpe := cg.BytesPerEdge(); bpe >= 4 {
 		t.Fatalf("torus bytes/edge = %.2f, want < 4", bpe)
 	}
@@ -179,9 +180,9 @@ func TestCompressionRatio(t *testing.T) {
 }
 
 func TestFromFuncMatchesFromCSR(t *testing.T) {
-	csr := gen.BuildRMAT(9, 8, true, false, 13)
-	direct := FromCSR(csr, 16)
-	viaFunc := FromFunc(csr.N(), true, 16,
+	csr := gen.BuildRMAT(parallel.Default, 9, 8, true, false, 13)
+	direct := FromCSR(parallel.Default, csr, 16)
+	viaFunc := FromFunc(parallel.Default, csr.N(), true, 16,
 		func(v uint32) int { return csr.OutDeg(v) },
 		func(v uint32, add func(u uint32, w int32)) {
 			csr.OutNgh(v, func(u uint32, w int32) bool { add(u, w); return true })
@@ -199,7 +200,7 @@ func TestFromFuncMatchesFromCSR(t *testing.T) {
 func TestFromFuncFiltered(t *testing.T) {
 	// Build the degree-ordered directed graph the way TC does and verify
 	// edge count halves (every undirected edge kept once).
-	csr := gen.BuildRMAT(8, 8, true, false, 14)
+	csr := gen.BuildRMAT(parallel.Default, 8, 8, true, false, 14)
 	keep := func(v, u uint32) bool {
 		du, dv := csr.OutDeg(u), csr.OutDeg(v)
 		if dv != du {
@@ -207,7 +208,7 @@ func TestFromFuncFiltered(t *testing.T) {
 		}
 		return v < u
 	}
-	dg := FromFunc(csr.N(), false, 0,
+	dg := FromFunc(parallel.Default, csr.N(), false, 0,
 		func(v uint32) int {
 			d := 0
 			csr.OutNgh(v, func(u uint32, _ int32) bool {
@@ -232,8 +233,8 @@ func TestFromFuncFiltered(t *testing.T) {
 }
 
 func TestCompressedEarlyExitOutNgh(t *testing.T) {
-	csr := gen.BuildTorus3D(4, false, 1)
-	cg := FromCSR(csr, 2)
+	csr := gen.BuildTorus3D(parallel.Default, 4, false, 1)
+	cg := FromCSR(parallel.Default, csr, 2)
 	count := 0
 	cg.OutNgh(0, func(u uint32, _ int32) bool {
 		count++

@@ -58,7 +58,7 @@ func TestMISPrefixEqualsRootset(t *testing.T) {
 }
 
 func TestMISPrefixIsMaximalIndependent(t *testing.T) {
-	g := gen.BuildErdosRenyi(1000, 5000, true, false, 31)
+	g := gen.BuildErdosRenyi(parallel.Default, 1000, 5000, true, false, 31)
 	in := MISPrefix(parallel.Default, g, 3)
 	for v := 0; v < g.N(); v++ {
 		hasSet := false
@@ -126,8 +126,8 @@ func TestNextPow2AtLeast(t *testing.T) {
 
 func TestDeltaSteppingPathGraph(t *testing.T) {
 	// High-diameter sanity: many buckets, light-edge chains.
-	el := gen.WithRandomWeights(gen.Path(2000), 7, 5)
-	g := graph.FromEdgeList(2000, el, graph.BuildOptions{Symmetrize: true})
+	el := gen.WithRandomWeights(parallel.Default, gen.Path(2000), 7, 5)
+	g := graph.FromEdgeList(parallel.Default, 2000, el, graph.BuildOptions{Symmetrize: true})
 	want := seqref.Dijkstra(g, 0)
 	got := DeltaStepping(parallel.Default, g, 0, 2)
 	for v := range want {

@@ -194,7 +194,7 @@ func Biconnectivity(s *parallel.Scheduler, g graph.Graph, beta float64, seed uin
 
 	// Connectivity of G with critical edges removed yields the per-vertex
 	// labels of the query structure.
-	filtered := graph.FromAdjacency(n, true,
+	filtered := graph.FromAdjacency(s, n, true,
 		func(v uint32) int {
 			d := 0
 			g.OutNgh(v, func(u uint32, _ int32) bool {

@@ -86,7 +86,7 @@ func TestBiconnectivityKnownShapes(t *testing.T) {
 		}, 1},
 	}
 	for _, c := range cases {
-		g := graph.FromEdgeList(c.el.N, c.el, graph.BuildOptions{Symmetrize: true})
+		g := graph.FromEdgeList(parallel.Default, c.el.N, c.el, graph.BuildOptions{Symmetrize: true})
 		b := Biconnectivity(parallel.Default, g, 0.2, 3)
 		if got := NumBiccLabels(parallel.Default, g, b); got != c.want {
 			t.Fatalf("%s: %d BCCs want %d", c.name, got, c.want)
@@ -100,7 +100,7 @@ func TestBiconnectivityKnownShapes(t *testing.T) {
 
 func TestBiconnectivityRandomGraphsProperty(t *testing.T) {
 	for seed := uint64(0); seed < 6; seed++ {
-		g := gen.BuildErdosRenyi(150, 300, true, false, 2000+seed)
+		g := gen.BuildErdosRenyi(parallel.Default, 150, 300, true, false, 2000+seed)
 		want := seqref.BCC(g)
 		got := biccEdgePartition(g, Biconnectivity(parallel.Default, g, 0.2, seed))
 		if !samePartitionMaps(want, got) {
@@ -110,7 +110,7 @@ func TestBiconnectivityRandomGraphsProperty(t *testing.T) {
 }
 
 func TestNumBiccLabelsCountsDistinct(t *testing.T) {
-	g := graph.FromEdgeList(4, gen.Path(4), graph.BuildOptions{Symmetrize: true})
+	g := graph.FromEdgeList(parallel.Default, 4, gen.Path(4), graph.BuildOptions{Symmetrize: true})
 	b := Biconnectivity(parallel.Default, g, 0.2, 1)
 	if got := NumBiccLabels(parallel.Default, g, b); got != 3 {
 		t.Fatalf("path4 has %d BCCs want 3", got)

@@ -31,7 +31,7 @@ func Connectivity(s *parallel.Scheduler, g graph.Graph, beta float64, seed uint6
 	if el.Len() == 0 {
 		return labels
 	}
-	gc := graph.FromEdgeList(k, el, graph.BuildOptions{Symmetrize: true})
+	gc := graph.FromEdgeList(s, k, el, graph.BuildOptions{Symmetrize: true})
 	sub := Connectivity(s, gc, beta, xrand.SplitMix64(seed))
 	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {

@@ -15,8 +15,8 @@ import (
 // produce identical results on the parallel-byte representation.
 
 func TestAlgorithmsAgreeOnCompressedSymmetric(t *testing.T) {
-	csr := gen.BuildRMAT(10, 8, true, false, 77)
-	cg := compress.FromCSR(csr, 0)
+	csr := gen.BuildRMAT(parallel.Default, 10, 8, true, false, 77)
+	cg := compress.FromCSR(parallel.Default, csr, 0)
 
 	if a, b := BFS(parallel.Default, csr, 0), BFS(parallel.Default, cg, 0); !equalU32(a, b) {
 		t.Fatal("BFS differs on compressed")
@@ -72,8 +72,8 @@ func TestAlgorithmsAgreeOnCompressedSymmetric(t *testing.T) {
 }
 
 func TestAlgorithmsAgreeOnCompressedWeighted(t *testing.T) {
-	csr := gen.BuildRMAT(10, 8, true, true, 78)
-	cg := compress.FromCSR(csr, 0)
+	csr := gen.BuildRMAT(parallel.Default, 10, 8, true, true, 78)
+	cg := compress.FromCSR(parallel.Default, csr, 0)
 	if a, b := WeightedBFS(parallel.Default, csr, 0), WeightedBFS(parallel.Default, cg, 0); !equalU32(a, b) {
 		t.Fatal("wBFS differs on compressed")
 	}
@@ -92,8 +92,8 @@ func TestAlgorithmsAgreeOnCompressedWeighted(t *testing.T) {
 }
 
 func TestAlgorithmsAgreeOnCompressedDirected(t *testing.T) {
-	csr := gen.BuildErdosRenyi(800, 3000, false, false, 79)
-	cg := compress.FromCSR(csr, 0)
+	csr := gen.BuildErdosRenyi(parallel.Default, 800, 3000, false, false, 79)
+	cg := compress.FromCSR(parallel.Default, csr, 0)
 	a := SCC(parallel.Default, csr, 3, SCCOpts{})
 	b := SCC(parallel.Default, cg, 3, SCCOpts{})
 	if !seqref.SamePartition(a, b) {

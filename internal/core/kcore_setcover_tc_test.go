@@ -131,7 +131,7 @@ func TestTriangleCountKnownValues(t *testing.T) {
 }
 
 func TestTriangleCountLargerRMAT(t *testing.T) {
-	g := gen.BuildRMAT(11, 8, true, false, 50)
+	g := gen.BuildRMAT(parallel.Default, 11, 8, true, false, 50)
 	want := seqref.Triangles(g)
 	got := TriangleCount(parallel.Default, g)
 	if got != want {

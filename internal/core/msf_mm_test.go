@@ -58,7 +58,7 @@ func TestMSFIsSpanningForest(t *testing.T) {
 
 func TestMSFLargeTriggersFiltering(t *testing.T) {
 	// Dense enough that m >> 3n: the filtering path runs.
-	g := gen.BuildErdosRenyi(500, 30000, true, true, 77)
+	g := gen.BuildErdosRenyi(parallel.Default, 500, 30000, true, true, 77)
 	eu, ev, ew := extractEdges(parallel.Default, g, true)
 	wantW, wantCount := seqref.Kruskal(g.N(), eu, ev, ew)
 	forest, gotW := MSF(parallel.Default, g)
@@ -113,7 +113,7 @@ func TestMaximalMatchingEqualsSequentialGreedy(t *testing.T) {
 }
 
 func TestMaximalMatchingFilteringPath(t *testing.T) {
-	g := gen.BuildErdosRenyi(400, 20000, true, false, 88)
+	g := gen.BuildErdosRenyi(parallel.Default, 400, 20000, true, false, 88)
 	match := MaximalMatching(parallel.Default, g, 5)
 	if !MatchingIsValid(g, match) || !MatchingIsMaximal(parallel.Default, g, match) {
 		t.Fatal("filtered matching broken")

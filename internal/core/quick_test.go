@@ -28,7 +28,7 @@ func quickGraph(raw []uint16, weighted bool) *graph.CSR {
 		w := int32(raw[i]%9) + 1
 		el.Add(u, v, w)
 	}
-	return graph.FromEdgeList(n, el, graph.BuildOptions{Symmetrize: true})
+	return graph.FromEdgeList(parallel.Default, n, el, graph.BuildOptions{Symmetrize: true})
 }
 
 func quickCfg() *quick.Config { return &quick.Config{MaxCount: 60} }
@@ -168,7 +168,7 @@ func TestQuickSCCAgainstTarjan(t *testing.T) {
 		for i := 0; i+1 < len(raw); i += 2 {
 			el.Add(uint32(raw[i])%n, uint32(raw[i+1])%n, 1)
 		}
-		g := graph.FromEdgeList(n, el, graph.BuildOptions{})
+		g := graph.FromEdgeList(parallel.Default, n, el, graph.BuildOptions{})
 		return seqref.SamePartition(seqref.SCC(g), SCC(parallel.Default, g, seed, SCCOpts{Beta: 1.5}))
 	}, quickCfg())
 	if err != nil {

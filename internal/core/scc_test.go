@@ -40,7 +40,7 @@ func TestSCCTrimDisabled(t *testing.T) {
 func TestSCCSingleGiantComponent(t *testing.T) {
 	// A directed cycle over n vertices is one SCC; exercises the
 	// first-phase single-pivot path.
-	g := graph.FromEdgeList(1000, gen.Cycle(1000), graph.BuildOptions{})
+	g := graph.FromEdgeList(parallel.Default, 1000, gen.Cycle(1000), graph.BuildOptions{})
 	got := SCC(parallel.Default, g, 5, SCCOpts{})
 	for v := 1; v < 1000; v++ {
 		if got[v] != got[0] {
@@ -63,7 +63,7 @@ func TestSCCDAGAllSingletons(t *testing.T) {
 
 func TestSCCRandomDigraphsProperty(t *testing.T) {
 	for seed := uint64(0); seed < 8; seed++ {
-		g := gen.BuildErdosRenyi(200, 500, false, false, 1000+seed)
+		g := gen.BuildErdosRenyi(parallel.Default, 200, 500, false, false, 1000+seed)
 		want := seqref.SCC(g)
 		got := SCC(parallel.Default, g, seed, SCCOpts{Beta: 1.5})
 		if !seqref.SamePartition(want, got) {

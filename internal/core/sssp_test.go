@@ -121,7 +121,7 @@ func TestBellmanFordNegativeWeightsNoCycle(t *testing.T) {
 		V: []uint32{1, 2, 1, 3},
 		W: []int32{5, 2, -4, 1},
 	}
-	g := graph.FromEdgeList(4, el, graph.BuildOptions{})
+	g := graph.FromEdgeList(parallel.Default, 4, el, graph.BuildOptions{})
 	dist, neg := BellmanFord(parallel.Default, g, 0)
 	if neg {
 		t.Fatal("false negative-cycle report")
@@ -142,7 +142,7 @@ func TestBellmanFordNegativeCycle(t *testing.T) {
 		V: []uint32{1, 2, 1, 3},
 		W: []int32{1, -2, 1, 1},
 	}
-	g := graph.FromEdgeList(5, el, graph.BuildOptions{})
+	g := graph.FromEdgeList(parallel.Default, 5, el, graph.BuildOptions{})
 	dist, neg := BellmanFord(parallel.Default, g, 0)
 	if !neg {
 		t.Fatal("missed negative cycle")
@@ -186,7 +186,7 @@ func TestBCDirected(t *testing.T) {
 
 func TestBCKnownValues(t *testing.T) {
 	// Path 0-1-2-3: from source 0, dependencies are 1->2, 2->1, 3->0.
-	g := graph.FromEdgeList(4, gen.Path(4), graph.BuildOptions{Symmetrize: true})
+	g := graph.FromEdgeList(parallel.Default, 4, gen.Path(4), graph.BuildOptions{Symmetrize: true})
 	got := BC(parallel.Default, g, 0)
 	want := []float64{0, 2, 1, 0}
 	for v := range want {

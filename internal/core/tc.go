@@ -48,9 +48,9 @@ func TriangleCount(s *parallel.Scheduler, g graph.Graph) int64 {
 	}
 	var dg graph.Graph
 	if _, isCompressed := g.(*compress.Graph); isCompressed {
-		dg = compress.FromFunc(n, false, 0, dgDeg, dgEmit)
+		dg = compress.FromFunc(s, n, false, 0, dgDeg, dgEmit)
 	} else {
-		dg = graph.FromAdjacency(n, false, dgDeg, dgEmit)
+		dg = graph.FromAdjacency(s, n, false, dgDeg, dgEmit)
 	}
 	// Sum |N+(u) ∩ N+(v)| over directed edges (u, v).
 	bounds := s.Blocks(n, 0)

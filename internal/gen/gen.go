@@ -3,7 +3,9 @@
 // stand in for the social networks and web crawls (LiveJournal, com-Orkut,
 // Twitter, ClueWeb, Hyperlink), and 3-dimensional tori reproduce the paper's
 // high-diameter 3D-Torus family (§6, Figure 1). All generators are
-// deterministic in their seed.
+// deterministic in their seed and independent of the scheduler's thread
+// count; parallel generators take an explicit *parallel.Scheduler so a
+// gbbs.Engine can generate inputs on its own thread budget.
 package gen
 
 import (
@@ -17,12 +19,12 @@ import (
 // Torus3D returns one directed edge per dimension per vertex of a
 // side×side×side 3-torus (wrap-around); building with Symmetrize yields the
 // paper's 6-regular 3D-Torus.
-func Torus3D(side int) *graph.EdgeList {
+func Torus3D(s *parallel.Scheduler, side int) *graph.EdgeList {
 	n := side * side * side
 	el := &graph.EdgeList{N: n}
 	el.U = make([]uint32, 3*n)
 	el.V = make([]uint32, 3*n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			x := v % side
 			y := (v / side) % side
@@ -42,14 +44,14 @@ func Torus3D(side int) *graph.EdgeList {
 // drawn from the R-MAT distribution with the standard (0.57, 0.19, 0.19,
 // 0.05) quadrant probabilities, which produces the skewed power-law degree
 // distributions of social networks and web graphs.
-func RMAT(scale, edgeFactor int, seed uint64) *graph.EdgeList {
+func RMAT(s *parallel.Scheduler, scale, edgeFactor int, seed uint64) *graph.EdgeList {
 	n := 1 << uint(scale)
 	m := n * edgeFactor
 	el := &graph.EdgeList{N: n}
 	el.U = make([]uint32, m)
 	el.V = make([]uint32, m)
 	const a, b, c = 0.57, 0.19, 0.19
-	parallel.ForRange(m, 0, func(lo, hi int) {
+	s.ForRange(m, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var u, v uint32
 			for l := 0; l < scale; l++ {
@@ -75,11 +77,11 @@ func RMAT(scale, edgeFactor int, seed uint64) *graph.EdgeList {
 
 // ErdosRenyi returns m uniformly random directed edges over n vertices
 // (multi-edges and self-loops possible; the builder removes them).
-func ErdosRenyi(n, m int, seed uint64) *graph.EdgeList {
+func ErdosRenyi(s *parallel.Scheduler, n, m int, seed uint64) *graph.EdgeList {
 	el := &graph.EdgeList{N: n}
 	el.U = make([]uint32, m)
 	el.V = make([]uint32, m)
-	parallel.ForRange(m, 0, func(lo, hi int) {
+	s.ForRange(m, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			el.U[i] = uint32(xrand.Uniform(seed, 2*uint64(i), uint64(n)))
 			el.V[i] = uint32(xrand.Uniform(seed, 2*uint64(i)+1, uint64(n)))
@@ -155,13 +157,13 @@ func BinaryTree(n int) *graph.EdgeList {
 
 // WithRandomWeights attaches uniform random integer weights in [1, maxW] to
 // el and returns it. The paper draws weights uniformly from [1, log n).
-func WithRandomWeights(el *graph.EdgeList, maxW int32, seed uint64) *graph.EdgeList {
+func WithRandomWeights(s *parallel.Scheduler, el *graph.EdgeList, maxW int32, seed uint64) *graph.EdgeList {
 	if maxW < 1 {
 		maxW = 1
 	}
 	m := el.Len()
 	el.W = make([]int32, m)
-	parallel.ForRange(m, 0, func(lo, hi int) {
+	s.ForRange(m, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			el.W[i] = 1 + int32(xrand.Uniform(seed^0xabcdef, uint64(i), uint64(maxW)))
 		}
@@ -179,31 +181,32 @@ func PaperWeight(n int) int32 {
 	return w
 }
 
-// BuildRMAT generates and builds an RMAT graph. symmetric selects the
-// "-Sym" (symmetrized) variant; weighted attaches paper-style weights.
-func BuildRMAT(scale, edgeFactor int, symmetric, weighted bool, seed uint64) *graph.CSR {
-	el := RMAT(scale, edgeFactor, seed)
+// BuildRMAT generates and builds an RMAT graph on scheduler s. symmetric
+// selects the "-Sym" (symmetrized) variant; weighted attaches paper-style
+// weights.
+func BuildRMAT(s *parallel.Scheduler, scale, edgeFactor int, symmetric, weighted bool, seed uint64) *graph.CSR {
+	el := RMAT(s, scale, edgeFactor, seed)
 	if weighted {
-		WithRandomWeights(el, PaperWeight(el.N), seed)
+		WithRandomWeights(s, el, PaperWeight(el.N), seed)
 	}
-	return graph.FromEdgeList(el.N, el, graph.BuildOptions{Symmetrize: symmetric})
+	return graph.FromEdgeList(s, el.N, el, graph.BuildOptions{Symmetrize: symmetric})
 }
 
 // BuildTorus3D generates and builds the symmetric 3D torus on side^3
 // vertices; weighted attaches paper-style weights.
-func BuildTorus3D(side int, weighted bool, seed uint64) *graph.CSR {
-	el := Torus3D(side)
+func BuildTorus3D(s *parallel.Scheduler, side int, weighted bool, seed uint64) *graph.CSR {
+	el := Torus3D(s, side)
 	if weighted {
-		WithRandomWeights(el, PaperWeight(el.N), seed)
+		WithRandomWeights(s, el, PaperWeight(el.N), seed)
 	}
-	return graph.FromEdgeList(el.N, el, graph.BuildOptions{Symmetrize: true})
+	return graph.FromEdgeList(s, el.N, el, graph.BuildOptions{Symmetrize: true})
 }
 
 // BuildErdosRenyi generates and builds a uniform random graph.
-func BuildErdosRenyi(n, m int, symmetric, weighted bool, seed uint64) *graph.CSR {
-	el := ErdosRenyi(n, m, seed)
+func BuildErdosRenyi(s *parallel.Scheduler, n, m int, symmetric, weighted bool, seed uint64) *graph.CSR {
+	el := ErdosRenyi(s, n, m, seed)
 	if weighted {
-		WithRandomWeights(el, PaperWeight(n), seed)
+		WithRandomWeights(s, el, PaperWeight(n), seed)
 	}
-	return graph.FromEdgeList(n, el, graph.BuildOptions{Symmetrize: symmetric})
+	return graph.FromEdgeList(s, n, el, graph.BuildOptions{Symmetrize: symmetric})
 }

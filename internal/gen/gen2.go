@@ -47,15 +47,15 @@ func BarabasiAlbert(n, k int, seed uint64) *graph.EdgeList {
 // WattsStrogatz generates a small-world graph: a ring lattice where each
 // vertex connects to its k nearest clockwise neighbors, with each edge
 // rewired to a uniform random endpoint with probability p. Deterministic in
-// the seed and generated in parallel.
-func WattsStrogatz(n, k int, p float64, seed uint64) *graph.EdgeList {
+// the seed and generated in parallel on scheduler s.
+func WattsStrogatz(s *parallel.Scheduler, n, k int, p float64, seed uint64) *graph.EdgeList {
 	if k < 1 {
 		k = 1
 	}
 	el := &graph.EdgeList{N: n}
 	el.U = make([]uint32, n*k)
 	el.V = make([]uint32, n*k)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			for j := 1; j <= k; j++ {
 				i := v*k + j - 1
@@ -71,20 +71,22 @@ func WattsStrogatz(n, k int, p float64, seed uint64) *graph.EdgeList {
 	return el
 }
 
-// BuildBarabasiAlbert generates and builds a preferential-attachment graph.
-func BuildBarabasiAlbert(n, k int, weighted bool, seed uint64) *graph.CSR {
+// BuildBarabasiAlbert generates and builds a preferential-attachment graph
+// on scheduler s.
+func BuildBarabasiAlbert(s *parallel.Scheduler, n, k int, weighted bool, seed uint64) *graph.CSR {
 	el := BarabasiAlbert(n, k, seed)
 	if weighted {
-		WithRandomWeights(el, PaperWeight(n), seed)
+		WithRandomWeights(s, el, PaperWeight(n), seed)
 	}
-	return graph.FromEdgeList(el.N, el, graph.BuildOptions{Symmetrize: true})
+	return graph.FromEdgeList(s, el.N, el, graph.BuildOptions{Symmetrize: true})
 }
 
-// BuildWattsStrogatz generates and builds a small-world graph.
-func BuildWattsStrogatz(n, k int, p float64, weighted bool, seed uint64) *graph.CSR {
-	el := WattsStrogatz(n, k, p, seed)
+// BuildWattsStrogatz generates and builds a small-world graph on scheduler
+// s.
+func BuildWattsStrogatz(s *parallel.Scheduler, n, k int, p float64, weighted bool, seed uint64) *graph.CSR {
+	el := WattsStrogatz(s, n, k, p, seed)
 	if weighted {
-		WithRandomWeights(el, PaperWeight(n), seed)
+		WithRandomWeights(s, el, PaperWeight(n), seed)
 	}
-	return graph.FromEdgeList(n, el, graph.BuildOptions{Symmetrize: true})
+	return graph.FromEdgeList(s, n, el, graph.BuildOptions{Symmetrize: true})
 }

@@ -4,11 +4,12 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 func TestTorus3DIsSixRegular(t *testing.T) {
 	side := 5
-	g := BuildTorus3D(side, false, 1)
+	g := BuildTorus3D(parallel.Default, side, false, 1)
 	n := side * side * side
 	if g.N() != n {
 		t.Fatalf("N = %d want %d", g.N(), n)
@@ -25,7 +26,7 @@ func TestTorus3DIsSixRegular(t *testing.T) {
 
 func TestTorus3DSmallSidesDegenerate(t *testing.T) {
 	// side=2 wraps onto the same neighbor twice; dedup shrinks degrees.
-	g := BuildTorus3D(2, false, 1)
+	g := BuildTorus3D(parallel.Default, 2, false, 1)
 	if g.N() != 8 {
 		t.Fatalf("N = %d", g.N())
 	}
@@ -37,7 +38,7 @@ func TestTorus3DSmallSidesDegenerate(t *testing.T) {
 }
 
 func TestRMATShape(t *testing.T) {
-	g := BuildRMAT(12, 8, true, false, 7)
+	g := BuildRMAT(parallel.Default, 12, 8, true, false, 7)
 	n := 1 << 12
 	if g.N() != n {
 		t.Fatalf("N = %d", g.N())
@@ -53,9 +54,9 @@ func TestRMATShape(t *testing.T) {
 }
 
 func TestRMATDeterministicInSeed(t *testing.T) {
-	a := RMAT(8, 4, 3)
-	b := RMAT(8, 4, 3)
-	c := RMAT(8, 4, 4)
+	a := RMAT(parallel.Default, 8, 4, 3)
+	b := RMAT(parallel.Default, 8, 4, 3)
+	c := RMAT(parallel.Default, 8, 4, 4)
 	if a.Len() != b.Len() {
 		t.Fatal("same seed different sizes")
 	}
@@ -78,7 +79,7 @@ func TestRMATDeterministicInSeed(t *testing.T) {
 }
 
 func TestErdosRenyi(t *testing.T) {
-	g := BuildErdosRenyi(1000, 5000, true, false, 11)
+	g := BuildErdosRenyi(parallel.Default, 1000, 5000, true, false, 11)
 	if g.N() != 1000 {
 		t.Fatalf("N = %d", g.N())
 	}
@@ -88,23 +89,23 @@ func TestErdosRenyi(t *testing.T) {
 }
 
 func TestSmallGenerators(t *testing.T) {
-	if g := graph.FromEdgeList(16, Path(16), graph.BuildOptions{Symmetrize: true}); g.M() != 30 {
+	if g := graph.FromEdgeList(parallel.Default, 16, Path(16), graph.BuildOptions{Symmetrize: true}); g.M() != 30 {
 		t.Fatalf("path M = %d", g.M())
 	}
-	if g := graph.FromEdgeList(16, Cycle(16), graph.BuildOptions{Symmetrize: true}); g.M() != 32 {
+	if g := graph.FromEdgeList(parallel.Default, 16, Cycle(16), graph.BuildOptions{Symmetrize: true}); g.M() != 32 {
 		t.Fatalf("cycle M = %d", g.M())
 	}
-	if g := graph.FromEdgeList(16, Star(16), graph.BuildOptions{Symmetrize: true}); g.OutDeg(0) != 15 {
+	if g := graph.FromEdgeList(parallel.Default, 16, Star(16), graph.BuildOptions{Symmetrize: true}); g.OutDeg(0) != 15 {
 		t.Fatal("star center degree wrong")
 	}
-	if g := graph.FromEdgeList(6, Complete(6), graph.BuildOptions{Symmetrize: true}); g.M() != 30 {
+	if g := graph.FromEdgeList(parallel.Default, 6, Complete(6), graph.BuildOptions{Symmetrize: true}); g.M() != 30 {
 		t.Fatalf("complete M = %d", g.M())
 	}
-	if g := graph.FromEdgeList(15, BinaryTree(15), graph.BuildOptions{Symmetrize: true}); g.OutDeg(0) != 2 {
+	if g := graph.FromEdgeList(parallel.Default, 15, BinaryTree(15), graph.BuildOptions{Symmetrize: true}); g.OutDeg(0) != 2 {
 		t.Fatal("tree root degree wrong")
 	}
 	side := 4
-	g := graph.FromEdgeList(side*side, Grid2D(side), graph.BuildOptions{Symmetrize: true})
+	g := graph.FromEdgeList(parallel.Default, side*side, Grid2D(side), graph.BuildOptions{Symmetrize: true})
 	if g.OutDeg(0) != 2 || g.OutDeg(uint32(side+1)) != 4 {
 		t.Fatalf("grid degrees corner=%d interior=%d", g.OutDeg(0), g.OutDeg(uint32(side+1)))
 	}
@@ -112,7 +113,7 @@ func TestSmallGenerators(t *testing.T) {
 
 func TestWithRandomWeights(t *testing.T) {
 	el := Path(100)
-	WithRandomWeights(el, 5, 9)
+	WithRandomWeights(parallel.Default, el, 5, 9)
 	if !el.Weighted() {
 		t.Fatal("weights not attached")
 	}

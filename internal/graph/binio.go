@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/parallel"
 )
 
 // Binary graph format: a compact serialization of CSR graphs, the practical
@@ -68,8 +70,8 @@ func WriteBinary(w io.Writer, g *CSR) error {
 }
 
 // ReadBinary parses the binary graph format. Directed graphs get their
-// transpose rebuilt.
-func ReadBinary(r io.Reader) (*CSR, error) {
+// transpose rebuilt on scheduler s.
+func ReadBinary(s *parallel.Scheduler, r io.Reader) (*CSR, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -126,22 +128,7 @@ func ReadBinary(r io.Reader) (*CSR, error) {
 	}
 	g := &CSR{n: n, offsets: offsets, edges: edges, weights: weights, symmetric: symmetric}
 	if !symmetric {
-		el := &EdgeList{N: n}
-		el.U = make([]uint32, m)
-		el.V = make([]uint32, m)
-		if weighted {
-			el.W = make([]int32, m)
-		}
-		for v := 0; v < n; v++ {
-			for i := offsets[v]; i < offsets[v+1]; i++ {
-				el.U[i] = uint32(v)
-				el.V[i] = edges[i]
-				if weighted {
-					el.W[i] = weights[i]
-				}
-			}
-		}
-		return FromEdgeList(n, el, BuildOptions{KeepDuplicates: true, KeepSelfLoops: true}), nil
+		return rebuildWithTranspose(s, g), nil
 	}
 	return g, nil
 }

@@ -4,16 +4,18 @@ import (
 	"bytes"
 	"slices"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 func TestBinaryRoundTripSymmetricWeighted(t *testing.T) {
 	el := &EdgeList{N: 5, U: []uint32{0, 1, 2, 3}, V: []uint32{1, 2, 3, 4}, W: []int32{3, 1, 4, 1}}
-	g := FromEdgeList(5, el, BuildOptions{Symmetrize: true})
+	g := FromEdgeList(parallel.Default, 5, el, BuildOptions{Symmetrize: true})
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, g); err != nil {
 		t.Fatal(err)
 	}
-	h, err := ReadBinary(&buf)
+	h, err := ReadBinary(parallel.Default, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,12 +32,12 @@ func TestBinaryRoundTripSymmetricWeighted(t *testing.T) {
 
 func TestBinaryRoundTripDirected(t *testing.T) {
 	el := &EdgeList{N: 4, U: []uint32{0, 0, 1, 2}, V: []uint32{1, 2, 2, 0}}
-	g := FromEdgeList(4, el, BuildOptions{})
+	g := FromEdgeList(parallel.Default, 4, el, BuildOptions{})
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, g); err != nil {
 		t.Fatal(err)
 	}
-	h, err := ReadBinary(&buf)
+	h, err := ReadBinary(parallel.Default, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func TestBinaryRoundTripDirected(t *testing.T) {
 }
 
 func TestBinaryRejectsCorruption(t *testing.T) {
-	g := FromEdgeList(3, &EdgeList{N: 3, U: []uint32{0, 1}, V: []uint32{1, 2}}, BuildOptions{Symmetrize: true})
+	g := FromEdgeList(parallel.Default, 3, &EdgeList{N: 3, U: []uint32{0, 1}, V: []uint32{1, 2}}, BuildOptions{Symmetrize: true})
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, g); err != nil {
 		t.Fatal(err)
@@ -66,7 +68,7 @@ func TestBinaryRejectsCorruption(t *testing.T) {
 		good[:len(good)-3], // truncated edges
 	}
 	for i, c := range cases {
-		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+		if _, err := ReadBinary(parallel.Default, bytes.NewReader(c)); err == nil {
 			t.Fatalf("case %d: corrupt input accepted", i)
 		}
 	}
@@ -76,18 +78,18 @@ func TestBinaryRejectsCorruption(t *testing.T) {
 	bad[len(bad)-3] = 0xff
 	bad[len(bad)-2] = 0xff
 	bad[len(bad)-1] = 0xff
-	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+	if _, err := ReadBinary(parallel.Default, bytes.NewReader(bad)); err == nil {
 		t.Fatal("out-of-range edge accepted")
 	}
 }
 
 func TestBinaryEmptyGraph(t *testing.T) {
-	g := FromEdgeList(7, &EdgeList{N: 7}, BuildOptions{Symmetrize: true})
+	g := FromEdgeList(parallel.Default, 7, &EdgeList{N: 7}, BuildOptions{Symmetrize: true})
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, g); err != nil {
 		t.Fatal(err)
 	}
-	h, err := ReadBinary(&buf)
+	h, err := ReadBinary(parallel.Default, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

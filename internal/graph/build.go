@@ -23,10 +23,13 @@ type BuildOptions struct {
 	SkipInEdges bool
 }
 
-// FromEdgeList builds a CSR graph over n vertices from el. It runs in
-// O(m log n) work (radix sort dominated) and polylogarithmic depth, and is
-// how all generator and I/O paths construct graphs.
-func FromEdgeList(n int, el *EdgeList, opt BuildOptions) *CSR {
+// FromEdgeList builds a CSR graph over n vertices from el on scheduler s. It
+// runs in O(m log n) work (radix sort dominated) and polylogarithmic depth,
+// and is how all generator and I/O paths construct graphs. The build is
+// phased (pack keys, sort, filter, lay out offsets, transpose), and s.Poll()
+// is checked between phases so a build on a context-attached scheduler
+// aborts promptly after cancellation.
+func FromEdgeList(s *parallel.Scheduler, n int, el *EdgeList, opt BuildOptions) *CSR {
 	m0 := el.Len()
 	m := m0
 	if opt.Symmetrize {
@@ -37,7 +40,8 @@ func FromEdgeList(n int, el *EdgeList, opt BuildOptions) *CSR {
 	if el.Weighted() {
 		wts = make([]uint32, m)
 	}
-	parallel.ForRange(m0, 0, func(lo, hi int) {
+	s.Poll()
+	s.ForRange(m0, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			keys[i] = uint64(el.U[i])<<32 | uint64(el.V[i])
 			if wts != nil {
@@ -51,8 +55,8 @@ func FromEdgeList(n int, el *EdgeList, opt BuildOptions) *CSR {
 			}
 		}
 	})
-	sortBits := 32 + prims.BitsFor(uint64(maxInt(n-1, 0)))
-	offsets, edges, weights := buildAdj(n, keys, wts, sortBits, opt)
+	sortBits := 32 + prims.BitsFor(uint64(max(n-1, 0)))
+	offsets, edges, weights := buildAdj(s, n, keys, wts, sortBits, opt)
 	g := &CSR{
 		n:         n,
 		offsets:   offsets,
@@ -62,13 +66,14 @@ func FromEdgeList(n int, el *EdgeList, opt BuildOptions) *CSR {
 	}
 	if !g.symmetric && !opt.SkipInEdges {
 		// Transpose the kept edges: swap endpoint halves and rebuild.
+		s.Poll()
 		mk := len(edges)
 		tkeys := make([]uint64, mk)
 		var twts []uint32
 		if weights != nil {
 			twts = make([]uint32, mk)
 		}
-		parallel.For(n, 256, func(v int) {
+		s.For(n, 256, func(v int) {
 			lo, hi := offsets[v], offsets[v+1]
 			for i := lo; i < hi; i++ {
 				tkeys[i] = uint64(edges[i])<<32 | uint64(uint32(v))
@@ -81,18 +86,19 @@ func FromEdgeList(n int, el *EdgeList, opt BuildOptions) *CSR {
 		topt := opt
 		topt.KeepDuplicates = true
 		topt.KeepSelfLoops = true
-		g.inOffsets, g.inEdges, g.inWeights = buildAdj(n, tkeys, twts, sortBits, topt)
+		g.inOffsets, g.inEdges, g.inWeights = buildAdj(s, n, tkeys, twts, sortBits, topt)
 	}
 	return g
 }
 
 // buildAdj sorts packed (u<<32|v) keys, applies self-loop/duplicate
 // filtering, and lays out CSR offsets and neighbor arrays.
-func buildAdj(n int, keys []uint64, wts []uint32, sortBits int, opt BuildOptions) ([]int64, []uint32, []int32) {
+func buildAdj(s *parallel.Scheduler, n int, keys []uint64, wts []uint32, sortBits int, opt BuildOptions) ([]int64, []uint32, []int32) {
+	s.Poll()
 	if wts != nil {
-		prims.RadixSortPairs(parallel.Default, keys, wts, sortBits)
+		prims.RadixSortPairs(s, keys, wts, sortBits)
 	} else {
-		prims.RadixSortU64(parallel.Default, keys, sortBits)
+		prims.RadixSortU64(s, keys, sortBits)
 	}
 	m := len(keys)
 	keep := func(i int) bool {
@@ -105,7 +111,8 @@ func buildAdj(n int, keys []uint64, wts []uint32, sortBits int, opt BuildOptions
 		}
 		return true
 	}
-	kept := prims.PackIndex(parallel.Default, m, keep)
+	s.Poll()
+	kept := prims.PackIndex(s, m, keep)
 	mk := len(kept)
 	edges := make([]uint32, mk)
 	srcs := make([]uint32, mk)
@@ -113,7 +120,7 @@ func buildAdj(n int, keys []uint64, wts []uint32, sortBits int, opt BuildOptions
 	if wts != nil {
 		weights = make([]int32, mk)
 	}
-	parallel.ForRange(mk, 0, func(lo, hi int) {
+	s.ForRange(mk, 0, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			i := int(kept[j])
 			k := keys[i]
@@ -135,18 +142,19 @@ func buildAdj(n int, keys []uint64, wts []uint32, sortBits int, opt BuildOptions
 			}
 		}
 	})
-	offsets := fillOffsets(n, srcs, mk)
+	offsets := fillOffsets(s, n, srcs, mk)
 	return offsets, edges, weights
 }
 
 // fillOffsets computes CSR offsets from the sorted source array: offsets[u]
 // is the first adjacency index whose source is >= u.
-func fillOffsets(n int, srcs []uint32, m int) []int64 {
+func fillOffsets(s *parallel.Scheduler, n int, srcs []uint32, m int) []int64 {
 	offsets := make([]int64, n+1)
 	if m == 0 {
 		return offsets
 	}
-	parallel.ForRange(m, 0, func(lo, hi int) {
+	s.Poll()
+	s.ForRange(m, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			u := srcs[i]
 			if i == 0 {
@@ -169,22 +177,24 @@ func fillOffsets(n int, srcs []uint32, m int) []int64 {
 }
 
 // FromAdjacency builds a CSR graph directly from per-vertex neighbor
-// functions, used by code that transforms one graph into another (e.g.
-// triangle counting's degree-ordered direction step). deg must match the
-// number of neighbors emit produces for each vertex; neighbors must be
-// emitted in sorted order for algorithms relying on sorted adjacency.
-func FromAdjacency(n int, symmetric bool, deg func(v uint32) int, emit func(v uint32, add func(u uint32, w int32))) *CSR {
+// functions on scheduler s, used by code that transforms one graph into
+// another (e.g. triangle counting's degree-ordered direction step). deg must
+// match the number of neighbors emit produces for each vertex; neighbors
+// must be emitted in sorted order for algorithms relying on sorted
+// adjacency.
+func FromAdjacency(s *parallel.Scheduler, n int, symmetric bool, deg func(v uint32) int, emit func(v uint32, add func(u uint32, w int32))) *CSR {
 	degs := make([]int64, n)
-	parallel.ForRange(n, 0, func(lo, hi int) {
+	s.ForRange(n, 0, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			degs[v] = int64(deg(uint32(v)))
 		}
 	})
 	offsets := make([]int64, n+1)
-	total := prims.Scan(parallel.Default, degs, offsets[:n])
+	total := prims.Scan(s, degs, offsets[:n])
 	offsets[n] = total
 	edges := make([]uint32, total)
-	parallel.For(n, 64, func(v int) {
+	s.Poll()
+	s.For(n, 64, func(v int) {
 		i := offsets[v]
 		emit(uint32(v), func(u uint32, _ int32) {
 			edges[i] = u
@@ -192,11 +202,4 @@ func FromAdjacency(n int, symmetric bool, deg func(v uint32) int, emit func(v ui
 		})
 	})
 	return &CSR{n: n, offsets: offsets, edges: edges, symmetric: symmetric}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/parallel"
 )
 
 // This file implements the text adjacency-graph format used by Ligra and the
@@ -65,8 +67,9 @@ func WriteAdjacency(w io.Writer, g *CSR) error {
 
 // ReadAdjacency parses an adjacency-graph stream into a CSR graph. symmetric
 // declares whether the file stores a symmetric graph (the format itself does
-// not record this); for directed graphs the transpose is rebuilt.
-func ReadAdjacency(r io.Reader, symmetric bool) (*CSR, error) {
+// not record this); for directed graphs the transpose is rebuilt on
+// scheduler s.
+func ReadAdjacency(s *parallel.Scheduler, r io.Reader, symmetric bool) (*CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	sc.Split(bufio.ScanWords)
@@ -151,24 +154,32 @@ func ReadAdjacency(r io.Reader, symmetric bool) (*CSR, error) {
 	}
 	g := &CSR{n: n, offsets: offsets, edges: edges, weights: weights, symmetric: symmetric}
 	if !symmetric {
-		// Rebuild through the edge-list path to get the transpose; keep the
-		// file's adjacency as-is (it may intentionally contain duplicates).
-		el := &EdgeList{N: n}
-		el.U = make([]uint32, m)
-		el.V = make([]uint32, m)
-		if weighted {
-			el.W = make([]int32, m)
-		}
-		for v := 0; v < n; v++ {
-			for i := offsets[v]; i < offsets[v+1]; i++ {
+		return rebuildWithTranspose(s, g), nil
+	}
+	return g, nil
+}
+
+// rebuildWithTranspose rebuilds a transpose-less directed CSR through the
+// edge-list path so in-edges become available, keeping the stored adjacency
+// as-is (it may intentionally contain duplicates or self-loops).
+func rebuildWithTranspose(s *parallel.Scheduler, g *CSR) *CSR {
+	n, m := g.n, len(g.edges)
+	el := &EdgeList{N: n}
+	el.U = make([]uint32, m)
+	el.V = make([]uint32, m)
+	if g.weights != nil {
+		el.W = make([]int32, m)
+	}
+	s.ForRange(n, 0, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for i := g.offsets[v]; i < g.offsets[v+1]; i++ {
 				el.U[i] = uint32(v)
-				el.V[i] = edges[i]
-				if weighted {
-					el.W[i] = weights[i]
+				el.V[i] = g.edges[i]
+				if g.weights != nil {
+					el.W[i] = g.weights[i]
 				}
 			}
 		}
-		return FromEdgeList(n, el, BuildOptions{KeepDuplicates: true, KeepSelfLoops: true}), nil
-	}
-	return g, nil
+	})
+	return FromEdgeList(s, n, el, BuildOptions{KeepDuplicates: true, KeepSelfLoops: true})
 }

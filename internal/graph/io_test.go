@@ -5,16 +5,18 @@ import (
 	"slices"
 	"strings"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 func TestAdjacencyRoundTripUnweighted(t *testing.T) {
 	el := &EdgeList{N: 4, U: []uint32{0, 0, 1, 2}, V: []uint32{1, 2, 2, 0}}
-	g := FromEdgeList(4, el, BuildOptions{})
+	g := FromEdgeList(parallel.Default, 4, el, BuildOptions{})
 	var buf bytes.Buffer
 	if err := WriteAdjacency(&buf, g); err != nil {
 		t.Fatal(err)
 	}
-	h, err := ReadAdjacency(&buf, false)
+	h, err := ReadAdjacency(parallel.Default, &buf, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,12 +35,12 @@ func TestAdjacencyRoundTripUnweighted(t *testing.T) {
 
 func TestAdjacencyRoundTripWeighted(t *testing.T) {
 	el := &EdgeList{N: 3, U: []uint32{0, 1, 2}, V: []uint32{1, 2, 0}, W: []int32{4, 5, 6}}
-	g := FromEdgeList(3, el, BuildOptions{})
+	g := FromEdgeList(parallel.Default, 3, el, BuildOptions{})
 	var buf bytes.Buffer
 	if err := WriteAdjacency(&buf, g); err != nil {
 		t.Fatal(err)
 	}
-	h, err := ReadAdjacency(&buf, false)
+	h, err := ReadAdjacency(parallel.Default, &buf, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,12 +56,12 @@ func TestAdjacencyRoundTripWeighted(t *testing.T) {
 
 func TestAdjacencyRoundTripSymmetric(t *testing.T) {
 	el := &EdgeList{N: 3, U: []uint32{0, 1}, V: []uint32{1, 2}}
-	g := FromEdgeList(3, el, BuildOptions{Symmetrize: true})
+	g := FromEdgeList(parallel.Default, 3, el, BuildOptions{Symmetrize: true})
 	var buf bytes.Buffer
 	if err := WriteAdjacency(&buf, g); err != nil {
 		t.Fatal(err)
 	}
-	h, err := ReadAdjacency(&buf, true)
+	h, err := ReadAdjacency(parallel.Default, &buf, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +80,7 @@ func TestReadAdjacencyErrors(t *testing.T) {
 		"AdjacencyGraph\n-1\n0\n",            // negative n
 	}
 	for i, c := range cases {
-		if _, err := ReadAdjacency(strings.NewReader(c), false); err == nil {
+		if _, err := ReadAdjacency(parallel.Default, strings.NewReader(c), false); err == nil {
 			t.Fatalf("case %d: expected error", i)
 		}
 	}

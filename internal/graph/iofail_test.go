@@ -3,6 +3,8 @@ package graph
 import (
 	"errors"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 // failWriter errors after accepting limit bytes, injecting mid-stream write
@@ -32,7 +34,7 @@ func testGraphForIO() *CSR {
 	for i := 0; i < 99; i++ {
 		el.Add(uint32(i), uint32(i+1), int32(i%7+1))
 	}
-	return FromEdgeList(100, el, BuildOptions{Symmetrize: true})
+	return FromEdgeList(parallel.Default, 100, el, BuildOptions{Symmetrize: true})
 }
 
 func TestWriteAdjacencyPropagatesWriteErrors(t *testing.T) {

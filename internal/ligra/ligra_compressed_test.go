@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/gen"
+	"repro/internal/parallel"
 )
 
 // EdgeMap must behave identically over the compressed representation,
@@ -12,8 +13,8 @@ import (
 // compressed vertices across logical blocks.
 
 func TestEdgeMapModesAgreeOnCompressed(t *testing.T) {
-	csr := gen.BuildRMAT(10, 10, true, false, 21)
-	cg := compress.FromCSR(csr, 16) // small blocks exercise multi-block vertices
+	csr := gen.BuildRMAT(parallel.Default, 10, 10, true, false, 21)
+	cg := compress.FromCSR(parallel.Default, csr, 16) // small blocks exercise multi-block vertices
 	base := bfsLevels(csr, 0, Opts{NoDense: true, NoBlocked: true})
 	for name, opt := range map[string]Opts{
 		"blocked": {NoDense: true},
@@ -31,7 +32,7 @@ func TestEdgeMapModesAgreeOnCompressed(t *testing.T) {
 }
 
 func TestTrafficCounterShrinksWithBlocked(t *testing.T) {
-	csr := gen.BuildRMAT(12, 10, true, true, 22)
+	csr := gen.BuildRMAT(parallel.Default, 12, 10, true, true, 22)
 	run := func(opt Opts) int64 {
 		Traffic.Store(0)
 		bfsLevels(csr, 0, opt)

@@ -90,9 +90,9 @@ func bfsLevels(g graph.Graph, src uint32, opt Opts) []uint32 {
 
 func TestEdgeMapModesAgree(t *testing.T) {
 	graphs := map[string]graph.Graph{
-		"rmat":  gen.BuildRMAT(10, 8, true, false, 5),
-		"torus": gen.BuildTorus3D(7, false, 5),
-		"er":    gen.BuildErdosRenyi(2000, 8000, true, false, 5),
+		"rmat":  gen.BuildRMAT(parallel.Default, 10, 8, true, false, 5),
+		"torus": gen.BuildTorus3D(parallel.Default, 7, false, 5),
+		"er":    gen.BuildErdosRenyi(parallel.Default, 2000, 8000, true, false, 5),
 	}
 	for name, g := range graphs {
 		base := bfsLevels(g, 0, Opts{NoDense: true, NoBlocked: true}) // flat sparse only
@@ -117,7 +117,7 @@ func TestEdgeMapDirectedUsesInEdgesForDense(t *testing.T) {
 	// Directed path 0->1->2->3; dense pull must still follow out-direction
 	// semantics via in-edges.
 	el := &graph.EdgeList{N: 4, U: []uint32{0, 1, 2}, V: []uint32{1, 2, 3}}
-	g := graph.FromEdgeList(4, el, graph.BuildOptions{})
+	g := graph.FromEdgeList(parallel.Default, 4, el, graph.BuildOptions{})
 	lv := bfsLevels(g, 0, Opts{DenseThreshold: 1 << 30})
 	want := []uint32{0, 1, 2, 3}
 	if !slices.Equal(lv, want) {
@@ -126,7 +126,7 @@ func TestEdgeMapDirectedUsesInEdgesForDense(t *testing.T) {
 }
 
 func TestEdgeMapEmptyFrontier(t *testing.T) {
-	g := gen.BuildTorus3D(3, false, 1)
+	g := gen.BuildTorus3D(parallel.Default, 3, false, 1)
 	out := EdgeMap(parallel.Default, g, Empty(g.N()),
 		func(s, d uint32, w int32) bool { return true },
 		func(d uint32) bool { return true }, Opts{})
@@ -136,7 +136,7 @@ func TestEdgeMapEmptyFrontier(t *testing.T) {
 }
 
 func TestEdgeMapNoOutput(t *testing.T) {
-	g := gen.BuildTorus3D(3, false, 1)
+	g := gen.BuildTorus3D(parallel.Default, 3, false, 1)
 	touched := make([]uint32, g.N())
 	out := EdgeMap(parallel.Default, g, Single(g.N(), 0),
 		func(s, d uint32, w int32) bool {
@@ -159,7 +159,7 @@ func TestEdgeMapNoOutput(t *testing.T) {
 
 func TestEdgeMapWeightsArriveAtUpdate(t *testing.T) {
 	el := &graph.EdgeList{N: 3, U: []uint32{0, 0}, V: []uint32{1, 2}, W: []int32{7, 9}}
-	g := graph.FromEdgeList(3, el, graph.BuildOptions{})
+	g := graph.FromEdgeList(parallel.Default, 3, el, graph.BuildOptions{})
 	var w1, w2 int32
 	EdgeMap(parallel.Default, g, Single(3, 0),
 		func(s, d uint32, w int32) bool {
@@ -177,7 +177,7 @@ func TestEdgeMapWeightsArriveAtUpdate(t *testing.T) {
 }
 
 func TestEdgeMapCondSkips(t *testing.T) {
-	g := gen.BuildTorus3D(4, false, 1)
+	g := gen.BuildTorus3D(parallel.Default, 4, false, 1)
 	out := EdgeMap(parallel.Default, g, Single(g.N(), 0),
 		func(s, d uint32, w int32) bool { return true },
 		func(d uint32) bool { return false }, Opts{})
@@ -191,7 +191,7 @@ func TestEdgeMapBlockedHighDegreeSplit(t *testing.T) {
 	// single-vertex path of edgeMapBlocked.
 	n := 3 * emBlockSize
 	el := gen.Star(n)
-	g := graph.FromEdgeList(n, el, graph.BuildOptions{Symmetrize: true})
+	g := graph.FromEdgeList(parallel.Default, n, el, graph.BuildOptions{Symmetrize: true})
 	visited := make([]uint32, n)
 	visited[0] = 1
 	out := EdgeMap(parallel.Default, g, Single(n, 0),

@@ -11,7 +11,7 @@ import (
 )
 
 func TestComputeSymTorus(t *testing.T) {
-	g := gen.BuildTorus3D(5, false, 1)
+	g := gen.BuildTorus3D(parallel.Default, 5, false, 1)
 	s := ComputeSym(parallel.Default, "torus", g, Options{Seed: 1})
 	if s.N != 125 || s.M != 750 {
 		t.Fatalf("sizes N=%d M=%d", s.N, s.M)
@@ -35,7 +35,7 @@ func TestComputeSymTorus(t *testing.T) {
 }
 
 func TestComputeDirCycle(t *testing.T) {
-	g := graph.FromEdgeList(50, gen.Cycle(50), graph.BuildOptions{})
+	g := graph.FromEdgeList(parallel.Default, 50, gen.Cycle(50), graph.BuildOptions{})
 	s := ComputeDir(parallel.Default, "cycle", g, Options{Seed: 2})
 	if s.NumSCC != 1 || s.LargestSCC != 50 {
 		t.Fatalf("SCC: %d largest %d", s.NumSCC, s.LargestSCC)
@@ -46,7 +46,7 @@ func TestComputeDirCycle(t *testing.T) {
 }
 
 func TestWriteTableContainsRows(t *testing.T) {
-	g := gen.BuildTorus3D(4, false, 1)
+	g := gen.BuildTorus3D(parallel.Default, 4, false, 1)
 	s := ComputeSym(parallel.Default, "t", g, Options{Seed: 3})
 	var buf bytes.Buffer
 	WriteTable(&buf, s, false)
@@ -57,7 +57,7 @@ func TestWriteTableContainsRows(t *testing.T) {
 		}
 	}
 	var dbuf bytes.Buffer
-	sd := ComputeDir(parallel.Default, "d", graph.FromEdgeList(10, gen.Cycle(10), graph.BuildOptions{}), Options{Seed: 3})
+	sd := ComputeDir(parallel.Default, "d", graph.FromEdgeList(parallel.Default, 10, gen.Cycle(10), graph.BuildOptions{}), Options{Seed: 3})
 	WriteTable(&dbuf, sd, true)
 	if !strings.Contains(dbuf.String(), "Strongly Connected") {
 		t.Fatal("directed table missing SCC row")
@@ -65,7 +65,7 @@ func TestWriteTableContainsRows(t *testing.T) {
 }
 
 func TestSkipTriangles(t *testing.T) {
-	g := gen.BuildRMAT(8, 6, true, false, 4)
+	g := gen.BuildRMAT(parallel.Default, 8, 6, true, false, 4)
 	s := ComputeSym(parallel.Default, "r", g, Options{Seed: 1, SkipTriangles: true})
 	if s.Triangles != 0 {
 		t.Fatal("triangles computed despite skip")
