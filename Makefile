@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench build-isolation clean
+.PHONY: all build test race vet fmt fmt-check bench build-isolation serve smoke-serve clean
 
 all: build test
 
@@ -21,6 +21,15 @@ race:
 build-isolation:
 	$(GO) vet ./internal/graph/... ./internal/gen/... ./internal/compress/... ./gbbs/...
 	$(GO) test -race ./internal/graph/... ./internal/gen/... ./internal/compress/... ./gbbs/...
+
+# Run the HTTP serving daemon (see cmd/gbbs-serve -h for flags).
+serve:
+	$(GO) run ./cmd/gbbs-serve
+
+# Boot the daemon, curl /healthz and POST /v1/run twice, assert the second
+# response is a graph-cache hit. Mirrors the CI smoke step.
+smoke-serve:
+	./scripts/smoke-serve.sh
 
 vet:
 	$(GO) vet ./...

@@ -22,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -49,6 +50,7 @@ func main() {
 	threads := flag.Int("threads", 0, "worker threads (0 = all CPUs)")
 	timeout := flag.Duration("timeout", 0, "abort the build+run after this long (0 = no limit)")
 	compressed := flag.Bool("compressed", false, "run on the parallel-byte compressed representation")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout (the same encoding the serve API returns)")
 	flag.Parse()
 
 	if *list {
@@ -143,6 +145,20 @@ func main() {
 	fmt.Fprintf(os.Stderr, "graph: %s n=%d m=%d weighted=%v symmetric=%v threads=%d built in %v\n",
 		source, g.N(), g.M(), g.Weighted(), g.Symmetric(), eng.Threads(),
 		res.BuildElapsed.Round(time.Microsecond))
+	if *jsonOut {
+		// One JSON object on stdout, encoded exactly as the serving layer's
+		// "result" field (Result's canonical JSON form).
+		out := struct {
+			Algorithm string      `json:"algorithm"`
+			Result    gbbs.Result `json:"result"`
+		}{Algorithm: a.Name, Result: res}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatalf("encoding result: %v", err)
+		}
+		return
+	}
 	if detail, ok := res.Value.(fmt.Stringer); ok {
 		fmt.Println(detail)
 	}

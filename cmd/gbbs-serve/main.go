@@ -1,0 +1,106 @@
+// gbbs-serve is the benchmark's serving daemon: an HTTP JSON API that runs
+// declarative graph requests (source spec + transforms + algorithm name +
+// thread budget + deadline, one serializable object) on per-request engines,
+// against graphs cached and shared across requests.
+//
+// Usage:
+//
+//	gbbs-serve -addr :8080 -threads 16 -cache-mb 1024 -timeout 60s
+//
+// Endpoints (see package repro/gbbs/serve):
+//
+//	POST /v1/run         execute a run request
+//	GET  /v1/algorithms  list the registry
+//	GET  /v1/cache       graph-cache contents and hit/miss counters
+//	GET  /healthz        liveness and admission state
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/run -d '{"source":"rmat:16",
+//	  "transforms":["symmetrize"],"algorithm":"bfs","threads":4,
+//	  "timeout_ms":5000}'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: listeners close, in
+// flight requests drain (bounded by -drain), then pending cache builds are
+// aborted.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/gbbs/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	threads := flag.Int("threads", runtime.NumCPU(), "total worker-thread budget across concurrent requests")
+	cacheMB := flag.Int64("cache-mb", 1024, "graph cache budget in MiB (0 disables retention)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline when timeout_ms is absent")
+	maxScale := flag.Int("max-scale", 24, "reject generator specs above this scale (0 = no guard)")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+	flag.Parse()
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB == 0 {
+		cacheBytes = -1
+	}
+	srv := serve.New(serve.Config{
+		MaxThreads:     *threads,
+		CacheBytes:     cacheBytes,
+		DefaultTimeout: *timeout,
+		MaxSourceScale: *maxScale,
+	})
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(srv),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		srv.Close()
+	}()
+
+	log.Printf("gbbs-serve listening on %s (threads=%d cache=%dMiB timeout=%v)",
+		*addr, *threads, *cacheMB, *timeout)
+	if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("gbbs-serve stopped")
+}
+
+// statusWriter records the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// logRequests writes one access-log line per request.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		log.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -26,19 +26,30 @@
 // Engine.Run); requests may carry a declarative input (Request.Input, a
 // source plus transforms) that the engine builds before dispatch. Both CLI
 // drivers dispatch exclusively through the registry, so a package that
-// registers a new algorithm is immediately runnable from cmd/gbbs-run and
-// listed by `gbbs-run -list`.
+// registers a new algorithm is immediately runnable from cmd/gbbs-run,
+// listed by `gbbs-run -list`, and served by the HTTP daemon.
 //
 // The older package-level free functions (gbbs.BFS, gbbs.RMATGraph,
 // gbbs.SetThreads, ...) remain working but deprecated; they delegate to a
 // process-wide default scheduler.
+//
+// # Serving layer
+//
+// The repro/gbbs/serve subpackage and the cmd/gbbs-serve daemon expose the
+// whole stack over HTTP: POST /v1/run executes one declarative request —
+// source spec, transforms, algorithm name, thread budget, deadline, a
+// single JSON object — on a per-request engine. Built graphs stay resident
+// in a cache keyed by canonical spec (concurrent identical requests share
+// one build; entries are evicted LRU by approximate byte size), and an
+// admission limiter caps the total worker threads of concurrently running
+// requests so one tenant cannot starve the rest.
 //
 // # Harness
 //
 // The benchmark harness in cmd/gbbs-bench regenerates every table and
 // figure of the paper's evaluation (its 15-problem suite is derived from
 // the registry's paper-row metadata), and the testing.B benchmarks in
-// bench_test.go mirror it. See README.md for the architecture overview,
-// DESIGN.md for the system inventory and experiment index, and
-// EXPERIMENTS.md for paper-vs-measured results.
+// bench_test.go mirror it. See ARCHITECTURE.md for the layer map, the
+// scheduler-isolation invariant, the build-pipeline phases and the request
+// lifecycle through the server, with file pointers into each layer.
 package repro

@@ -56,7 +56,7 @@ func (v statsText) String() string {
 
 func init() {
 	register(Algorithm{
-		Name: "bfs", Description: "breadth-first search hop distances from -src",
+		Name: "bfs", Description: "breadth-first search: hop distances from a source; O(m) work, O(diam·log n) depth",
 		NeedsSource: true, PaperRow: "Breadth-First Search (BFS)", PaperOrder: 1,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		dist := core.BFS(s, req.Graph, req.Source)
@@ -64,7 +64,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "wbfs", Description: "integral-weight SSSP (weighted BFS / Julienne)",
+		Name: "wbfs", Description: "integral-weight SSSP via bucketed weighted BFS (Julienne); O(m) expected work",
 		NeedsSource: true, NeedsWeights: true,
 		PaperRow: "Integral-Weight SSSP (weighted BFS)", PaperOrder: 2,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
@@ -73,7 +73,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "deltastepping", Description: "positive-weight SSSP via Meyer-Sanders Δ-stepping",
+		Name: "deltastepping", Description: "positive-weight SSSP via Meyer-Sanders Δ-stepping (the paper's GAP comparator)",
 		NeedsSource: true, NeedsWeights: true,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		dist := core.DeltaStepping(s, req.Graph, req.Source, int32(req.optInt("delta", 0)))
@@ -81,7 +81,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "bellmanford", Description: "general-weight SSSP with negative-cycle detection",
+		Name: "bellmanford", Description: "general-weight SSSP with negative-cycle detection; O(diam·m) work",
 		NeedsSource: true, NeedsWeights: true,
 		PaperRow: "General-Weight SSSP (Bellman-Ford)", PaperOrder: 3,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
@@ -96,7 +96,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "bc", Description: "single-source betweenness centrality dependencies",
+		Name: "bc", Description: "single-source betweenness-centrality dependency scores; O(m) work, O(diam·log n) depth",
 		NeedsSource: true, PaperRow: "Single-Source Betweenness Centrality (BC)", PaperOrder: 4,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		dep := core.BC(s, req.Graph, req.Source)
@@ -110,7 +110,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "ldd", Description: "low-diameter decomposition with parameter beta",
+		Name: "ldd", Description: "(2β, O(log n/β))-low-diameter decomposition (Miller-Peng-Xu); O(m) expected work",
 		PaperRow: "Low-Diameter Decomposition (LDD)", PaperOrder: 5,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		labels := core.LDD(s, req.Graph, req.optFloat("beta", 0.2), req.seed(e))
@@ -119,7 +119,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "cc", Description: "connected components of a symmetric graph",
+		Name: "cc", Description: "connected-component labels via LDD contraction; O(m) expected work, O(log³ n) depth w.h.p.",
 		PaperRow: "Connectivity", PaperOrder: 6,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		labels := core.Connectivity(s, req.Graph, req.optFloat("beta", 0.2), req.seed(e))
@@ -128,14 +128,14 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "spanforest", Description: "rooted spanning forest (parents, levels, roots)",
+		Name: "spanforest", Description: "rooted spanning forest (parents, levels, roots) from connectivity's contraction tree",
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		parent, _, roots := core.SpanningForest(s, req.Graph, req.optFloat("beta", 0.2), req.seed(e))
 		return Result{Summary: fmt.Sprintf("%d trees, %d forest edges", len(roots), core.ForestEdgeCount(s, parent)), Value: parent}
 	})
 
 	register(Algorithm{
-		Name: "bicc", Description: "Tarjan-Vishkin biconnectivity labels",
+		Name: "bicc", Description: "biconnected-component labels via Tarjan-Vishkin; O(m) expected work",
 		PaperRow: "Biconnectivity", PaperOrder: 7,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		b := core.Biconnectivity(s, req.Graph, req.optFloat("beta", 0.2), req.seed(e))
@@ -143,7 +143,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "scc", Description: "strongly connected components of a directed graph",
+		Name: "scc", Description: "strongly connected components via randomized multi-source reachability; O(m·log n) expected work",
 		Directed: true, PaperRow: "Strongly Connected Components (SCC)", PaperOrder: 8,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		labels := core.SCC(s, req.Graph, req.seed(e), SCCOpts{})
@@ -152,7 +152,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "msf", Description: "minimum spanning forest of a weighted graph",
+		Name: "msf", Description: "minimum spanning forest via parallel Borůvka; O(m·log n) work",
 		NeedsWeights: true, PaperRow: "Minimum Spanning Forest (MSF)", PaperOrder: 9,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		forest, w := core.MSF(s, req.Graph)
@@ -160,7 +160,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "mis", Description: "maximal independent set (rootset-based)",
+		Name: "mis", Description: "maximal independent set, greedy over a random permutation (rootset-based); O(m) expected work",
 		PaperRow: "Maximal Independent Set (MIS)", PaperOrder: 10,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		in := core.MIS(s, req.Graph, req.seed(e))
@@ -174,7 +174,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "misprefix", Description: "maximal independent set (prefix-based baseline)",
+		Name: "misprefix", Description: "maximal independent set, prefix-based baseline the paper compares against",
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		in := core.MISPrefix(s, req.Graph, req.seed(e))
 		c := 0
@@ -187,7 +187,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "mm", Description: "maximal matching over a random edge permutation",
+		Name: "mm", Description: "maximal matching, greedy over a random edge permutation; O(m) expected work",
 		PaperRow: "Maximal Matching (MM)", PaperOrder: 11,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		match := core.MaximalMatching(s, req.Graph, req.seed(e))
@@ -195,7 +195,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "coloring", Description: "(Δ+1)-coloring with Jones-Plassmann LLF",
+		Name: "coloring", Description: "(Δ+1)-vertex-coloring via Jones-Plassmann under the LLF heuristic",
 		PaperRow: "Graph Coloring", PaperOrder: 12,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		colors := core.Coloring(s, req.Graph, req.seed(e))
@@ -203,14 +203,14 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "coloring-lf", Description: "(Δ+1)-coloring with the largest-degree-first heuristic",
+		Name: "coloring-lf", Description: "(Δ+1)-vertex-coloring via Jones-Plassmann under the largest-degree-first heuristic",
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		colors := core.ColoringLF(s, req.Graph, req.seed(e))
 		return Result{Summary: fmt.Sprintf("%d colors", core.NumColors(s, colors)), Value: colors}
 	})
 
 	register(Algorithm{
-		Name: "kcore", Description: "exact k-core decomposition (work-efficient histogram)",
+		Name: "kcore", Description: "exact coreness of every vertex via work-efficient bucketed peeling; O(m+n) expected work",
 		PaperRow: "k-core", PaperOrder: 13,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		coreness, rho := core.KCore(s, req.Graph, 0)
@@ -218,21 +218,21 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "kcore-faa", Description: "k-core via fetch-and-add (Table 6 ablation baseline)",
+		Name: "kcore-faa", Description: "k-core peeling with fetch-and-add updates (the paper's Table 6 ablation baseline)",
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		coreness, rho := core.KCoreFetchAndAdd(s, req.Graph)
 		return Result{Summary: fmt.Sprintf("kmax=%d rho=%d", core.Degeneracy(s, coreness), rho), Value: coreness}
 	})
 
 	register(Algorithm{
-		Name: "approxkcore", Description: "approximate k-core (corenesses rounded to powers of two)",
+		Name: "approxkcore", Description: "approximate coreness rounded to powers of two (Slota et al., Table 7 comparator)",
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		coreness := core.ApproxKCore(s, req.Graph)
 		return Result{Summary: fmt.Sprintf("kmax=%d (approx)", core.Degeneracy(s, coreness)), Value: coreness}
 	})
 
 	register(Algorithm{
-		Name: "setcover", Description: "O(log n)-approximate set cover with parameter eps",
+		Name: "setcover", Description: "O(log n)-approximation of set cover where the set of v covers N(v); O(m) expected work",
 		PaperRow: "Approximate Set Cover", PaperOrder: 14,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		cover := core.ApproxSetCover(s, req.Graph, req.optFloat("eps", 0.01), req.seed(e))
@@ -240,7 +240,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "tc", Description: "triangle count of a symmetric graph",
+		Name: "tc", Description: "triangle count of a symmetric graph via sorted intersection; O(m^1.5) work",
 		PaperRow: "Triangle Counting (TC)", PaperOrder: 15,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		count := core.TriangleCount(s, req.Graph)
@@ -248,7 +248,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "stats", Description: "per-graph statistics suite (Tables 3, 8-13)",
+		Name: "stats", Description: "undirected-graph statistics suite behind the paper's Tables 3 and 8-13",
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		gs := stats.ComputeSym(s, "input", req.Graph, StatsOptions{Seed: req.seed(e)})
 		return Result{
@@ -258,7 +258,7 @@ func init() {
 	})
 
 	register(Algorithm{
-		Name: "stats-dir", Description: "directed-graph statistics (SCCs, directed diameter)",
+		Name: "stats-dir", Description: "directed-graph statistics (SCC structure, directed diameter)",
 		Directed: true,
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
 		gs := stats.ComputeDir(s, "input", req.Graph, StatsOptions{Seed: req.seed(e)})

@@ -1,0 +1,20 @@
+package gbbs_test
+
+import (
+	"testing"
+
+	"repro/internal/doccheck"
+)
+
+// TestExportedIdentifiersDocumented enforces the documentation bar on the
+// public gbbs package: every exported identifier must carry a godoc
+// comment. Fails listing the undocumented ones.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	missing, err := doccheck.Missing(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range missing {
+		t.Errorf("undocumented exported identifier: %s", m)
+	}
+}

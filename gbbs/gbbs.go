@@ -4,18 +4,31 @@
 //
 // It exposes:
 //
-//   - graph construction as an engine-scoped pipeline: GraphSource
-//     describes where a graph comes from (edge lists, the RMAT / torus /
-//     Erdős–Rényi / preferential-attachment / small-world generators,
-//     adjacency and binary file readers), Transform describes what happens
-//     to it (Symmetrize, weight assignment, relabelling, parallel-byte
-//     compression), and Engine.Build materializes the pipeline;
+//   - engines (Engine, New): isolated execution scopes owning a private
+//     scheduler, a thread budget and a seed, on which everything below
+//     runs;
+//   - graph construction as an engine-scoped pipeline (see Build):
+//     GraphSource describes where a graph comes from (edge lists, the
+//     RMAT / torus / Erdős–Rényi / preferential-attachment / small-world
+//     generators, adjacency and binary file readers), Transform describes
+//     what happens to it (Symmetrize, weight assignment, relabelling,
+//     parallel-byte compression), and Engine.Build materializes the
+//     pipeline;
 //   - the benchmark's 15 theoretically-efficient parallel algorithms with
 //     the work/depth bounds of the paper's Table 1, as methods on Engine;
 //   - a registry (Register, Algorithms, Lookup) for dispatching algorithms
 //     by name with uniform Request/Result types, including declarative
-//     inputs (Request.Input) built through the engine;
+//     inputs (Request.Input) built through the engine, and a stable JSON
+//     encoding of Result shared by the CLI and the HTTP serving layer;
+//   - a textual spec language (ParseSource, ParseTransforms) describing
+//     sources and transforms on command lines and over the wire;
 //   - the statistics suite behind the paper's Tables 3 and 8–13.
+//
+// The HTTP serving layer in the repro/gbbs/serve subpackage builds on all
+// of this: it accepts whole tenant requests — input spec, algorithm name,
+// thread budget, deadline — as single JSON objects, executes them on
+// per-request engines, and keeps engine-built graphs resident in a
+// spec-keyed cache.
 //
 // # Engines
 //
@@ -43,6 +56,19 @@
 // All algorithms accept any Graph (uncompressed CSR or compressed); both
 // algorithms and builds are deterministic for a fixed seed, independent of
 // the thread count.
+//
+// # Declarative specs
+//
+// ParseSource and ParseTransforms turn compact strings into the same source
+// and transform values the constructors produce, so an input can live in a
+// flag, a config file, or a JSON request body:
+//
+//	src, _ := gbbs.ParseSource("rmat:scale=18,factor=16")
+//	tfs, _ := gbbs.ParseTransforms("symmetrize;paper-weights:1;compress")
+//
+// Parsed sources render canonically via String (every argument spelled
+// out), which is how the serving layer's graph cache recognizes two
+// spellings of the same input.
 //
 // # Legacy free functions
 //

@@ -36,7 +36,9 @@ type Request struct {
 // -source/-transform specs (see ParseSource, ParseTransforms); programmatic
 // callers compose it from the source and transform constructors.
 type InputSpec struct {
-	Source     GraphSource
+	// Source declares where the graph's raw material comes from.
+	Source GraphSource
+	// Transforms are the build-pipeline steps applied to the source.
 	Transforms []Transform
 }
 
@@ -48,44 +50,60 @@ func (r Request) seed(e *Engine) uint64 {
 	return e.seed
 }
 
-// optFloat reads a float64 option with a default.
+// optFloat reads a float64 option with a default. Ints are accepted too, so
+// Opts composed in Go ({"beta": 0.2}) and decoded from JSON behave the same.
 func (r Request) optFloat(key string, def float64) float64 {
 	if v, ok := r.Opts[key]; ok {
-		if f, ok := v.(float64); ok {
+		switch f := v.(type) {
+		case float64:
 			return f
+		case int:
+			return float64(f)
 		}
 	}
 	return def
 }
 
-// optInt reads an int option with a default.
+// optInt reads an int option with a default. Float values are accepted and
+// truncated, because JSON decoding (the serving layer's Opts) delivers every
+// number as float64.
 func (r Request) optInt(key string, def int) int {
 	if v, ok := r.Opts[key]; ok {
-		if i, ok := v.(int); ok {
+		switch i := v.(type) {
+		case int:
 			return i
+		case float64:
+			return int(i)
 		}
 	}
 	return def
 }
 
 // Result is the uniform output of a registry-dispatched algorithm run.
+//
+// Result has a stable JSON form shared by `gbbs-run -json` and the serving
+// layer's POST /v1/run responses: summary, value (omitted when nil), and
+// the elapsed times as integer nanoseconds (elapsed_ns, build_elapsed_ns).
+// The graph itself is never serialized — the serving layer reports its
+// shape (n, m, weighted, symmetric) separately.
 type Result struct {
 	// Summary is a one-line human-readable account of the output (matching
 	// the figures the paper's driver prints).
-	Summary string
+	Summary string `json:"summary"`
 	// Value is the algorithm's raw output (e.g. []uint32 distances for bfs,
 	// []WEdge for msf, GraphStats for stats). Its dynamic type is documented
 	// per algorithm.
-	Value any
+	Value any `json:"value,omitempty"`
 	// Elapsed is the wall-clock running time of the algorithm itself
 	// (excluding graph loading), filled in by Engine.Run.
-	Elapsed time.Duration
+	Elapsed time.Duration `json:"elapsed_ns"`
 	// Graph is the graph the run executed on: Request.Graph when given,
-	// otherwise the graph built from Request.Input.
-	Graph Graph
+	// otherwise the graph built from Request.Input. It is excluded from the
+	// JSON form.
+	Graph Graph `json:"-"`
 	// BuildElapsed is the wall-clock time Engine.Build spent materializing
 	// Request.Input; zero when Request.Graph was supplied directly.
-	BuildElapsed time.Duration
+	BuildElapsed time.Duration `json:"build_elapsed_ns,omitempty"`
 }
 
 // Algorithm describes one registered algorithm: CLI-facing metadata plus the
@@ -104,9 +122,10 @@ type Algorithm struct {
 	// symmetrized ones).
 	Directed bool
 	// PaperRow, when non-empty, is this algorithm's row label in the
-	// paper's Tables 2/4/5; PaperOrder is its row position. The bench
-	// harness derives its 15-problem suite from these.
-	PaperRow   string
+	// paper's Tables 2/4/5. The bench harness derives its 15-problem suite
+	// from these.
+	PaperRow string
+	// PaperOrder is the algorithm's row position within the paper's tables.
 	PaperOrder int
 	// Run executes the algorithm on engine e. Implementations fill
 	// Result.Summary and Result.Value; Engine.Run fills Result.Elapsed.

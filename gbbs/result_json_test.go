@@ -1,0 +1,79 @@
+package gbbs_test
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/gbbs"
+)
+
+// TestResultJSONRoundTrip pins the stable serialized form of Result shared
+// by `gbbs-run -json` and the serving layer: field names, nanosecond
+// durations, omitted graph, and lossless round-tripping at the JSON level.
+func TestResultJSONRoundTrip(t *testing.T) {
+	eng := gbbs.New(gbbs.WithThreads(2))
+	src, err := gbbs.ParseSource("torus:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background(), "bfs", gbbs.Request{
+		Input: &gbbs.InputSpec{Source: src, Transforms: []gbbs.Transform{gbbs.Symmetrize()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(data, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"summary", "value", "elapsed_ns", "build_elapsed_ns"} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("Result JSON missing %q: %s", key, data)
+		}
+	}
+	if _, ok := fields["Graph"]; ok {
+		t.Errorf("Result JSON must not serialize the graph: %s", data)
+	}
+
+	var back gbbs.Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal into Result: %v", err)
+	}
+	if back.Summary != res.Summary || back.Elapsed != res.Elapsed || back.BuildElapsed != res.BuildElapsed {
+		t.Fatalf("round trip changed scalars: %+v vs %+v", back, res)
+	}
+	// Value's dynamic type generalizes under JSON ([]uint32 -> []any), so
+	// compare at the JSON level: a second marshal must be byte-identical.
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("re-marshal not stable:\n%s\nvs\n%s", again, data)
+	}
+}
+
+// TestResultJSONOmitsEmpty checks the omitempty behavior of the optional
+// fields so minimal results stay minimal on the wire.
+func TestResultJSONOmitsEmpty(t *testing.T) {
+	data, err := json.Marshal(gbbs.Result{Summary: "s", Elapsed: 5 * time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(data, &fields); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{"summary": "s", "elapsed_ns": float64(5)}
+	if !reflect.DeepEqual(fields, want) {
+		t.Fatalf("minimal Result JSON = %v, want %v", fields, want)
+	}
+}

@@ -1,0 +1,19 @@
+package serve_test
+
+import (
+	"testing"
+
+	"repro/internal/doccheck"
+)
+
+// TestExportedIdentifiersDocumented enforces the documentation bar on the
+// serving layer: every exported identifier must carry a godoc comment.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	missing, err := doccheck.Missing(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range missing {
+		t.Errorf("undocumented exported identifier: %s", m)
+	}
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Limiter is the server's admission controller: a context-aware weighted
+// semaphore over worker threads. Every request acquires as many units as the
+// engine it is about to create has workers, so the total number of worker
+// goroutines running algorithms at any moment never exceeds the configured
+// capacity — one tenant asking for many threads queues instead of starving
+// the schedulers of everyone else.
+//
+// Waiters are served strictly FIFO: a large request at the head of the queue
+// blocks later small ones rather than being starved by them.
+type Limiter struct {
+	capacity int
+
+	mu      sync.Mutex
+	inUse   int
+	waiters list.List // of *limiterWaiter, front = oldest
+}
+
+// limiterWaiter is one queued Acquire; ready is closed when the grant
+// happens (under the limiter's lock).
+type limiterWaiter struct {
+	n     int
+	ready chan struct{}
+}
+
+// NewLimiter returns a limiter over capacity worker threads. capacity < 1
+// selects 1.
+func NewLimiter(capacity int) *Limiter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Limiter{capacity: capacity}
+}
+
+// Capacity reports the total worker-thread budget.
+func (l *Limiter) Capacity() int { return l.capacity }
+
+// InUse reports the worker threads currently admitted.
+func (l *Limiter) InUse() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inUse
+}
+
+// Acquire admits n worker threads, blocking while the budget is exhausted
+// until ctx is done. n larger than the total capacity fails immediately
+// (it could never be admitted); callers clamp requests to Capacity first.
+// A successful Acquire must be paired with exactly one Release(n).
+func (l *Limiter) Acquire(ctx context.Context, n int) error {
+	if n < 1 {
+		n = 1
+	}
+	if n > l.capacity {
+		return fmt.Errorf("serve: request for %d threads exceeds the server's budget of %d", n, l.capacity)
+	}
+	l.mu.Lock()
+	if l.waiters.Len() == 0 && l.inUse+n <= l.capacity {
+		l.inUse += n
+		l.mu.Unlock()
+		return nil
+	}
+	w := &limiterWaiter{n: n, ready: make(chan struct{})}
+	elem := l.waiters.PushBack(w)
+	l.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation: give the units back (which
+			// may admit the next waiter) and still report the context error.
+			l.mu.Unlock()
+			l.Release(n)
+		default:
+			l.waiters.Remove(elem)
+			// A departing head waiter may have been the only thing blocking
+			// smaller waiters behind it: re-run the admission scan.
+			l.admitLocked()
+			l.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// Release returns n worker threads to the budget and admits as many queued
+// waiters (in FIFO order) as now fit.
+func (l *Limiter) Release(n int) {
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock()
+	l.inUse -= n
+	if l.inUse < 0 {
+		l.mu.Unlock()
+		panic("serve: Limiter.Release without a matching Acquire")
+	}
+	l.admitLocked()
+	l.mu.Unlock()
+}
+
+// admitLocked grants queued waiters in FIFO order while they fit. Called
+// with the lock held whenever capacity frees up or the queue head changes.
+func (l *Limiter) admitLocked() {
+	for e := l.waiters.Front(); e != nil; {
+		w := e.Value.(*limiterWaiter)
+		if l.inUse+w.n > l.capacity {
+			break // strict FIFO: never skip the head waiter
+		}
+		next := e.Next()
+		l.waiters.Remove(e)
+		l.inUse += w.n
+		close(w.ready)
+		e = next
+	}
+}

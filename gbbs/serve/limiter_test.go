@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterAccounting(t *testing.T) {
+	l := NewLimiter(8)
+	if l.Capacity() != 8 || l.InUse() != 0 {
+		t.Fatalf("fresh limiter: capacity=%d inUse=%d", l.Capacity(), l.InUse())
+	}
+	if err := l.Acquire(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.InUse(); got != 8 {
+		t.Fatalf("inUse = %d, want 8", got)
+	}
+	l.Release(5)
+	l.Release(3)
+	if got := l.InUse(); got != 0 {
+		t.Fatalf("inUse after release = %d, want 0", got)
+	}
+}
+
+func TestLimiterRejectsOversizedRequest(t *testing.T) {
+	l := NewLimiter(4)
+	if err := l.Acquire(context.Background(), 5); err == nil {
+		t.Fatal("Acquire beyond capacity should fail immediately")
+	}
+}
+
+func TestLimiterBlocksUntilRelease(t *testing.T) {
+	l := NewLimiter(4)
+	if err := l.Acquire(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		if err := l.Acquire(context.Background(), 3); err != nil {
+			t.Error(err)
+		}
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second Acquire(3) should block at capacity 4")
+	case <-time.After(50 * time.Millisecond):
+	}
+	l.Release(3)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("waiter not admitted after Release")
+	}
+	l.Release(3)
+}
+
+func TestLimiterCancelWhileWaiting(t *testing.T) {
+	l := NewLimiter(2)
+	if err := l.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := l.Acquire(ctx, 1); err != context.DeadlineExceeded {
+		t.Fatalf("cancelled Acquire = %v, want DeadlineExceeded", err)
+	}
+	l.Release(2)
+	// The cancelled waiter must not have leaked units.
+	if err := l.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	l.Release(2)
+	if got := l.InUse(); got != 0 {
+		t.Fatalf("inUse = %d, want 0", got)
+	}
+}
+
+func TestLimiterFIFO(t *testing.T) {
+	l := NewLimiter(4)
+	if err := l.Acquire(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Stagger enqueueing so the queue order is deterministic.
+			time.Sleep(time.Duration(i) * 30 * time.Millisecond)
+			if err := l.Acquire(context.Background(), 4); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			l.Release(4)
+		}(i)
+	}
+	close(start)
+	time.Sleep(150 * time.Millisecond) // let all three queue up
+	l.Release(4)
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order = %v, want FIFO [0 1 2]", order)
+		}
+	}
+}
+
+func TestLimiterCancelledHeadAdmitsSmallerWaiters(t *testing.T) {
+	l := NewLimiter(4)
+	if err := l.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Head waiter wants the whole budget and cannot fit; a smaller waiter
+	// that would fit queues behind it.
+	headCtx, cancelHead := context.WithCancel(context.Background())
+	headBlocked := make(chan error, 1)
+	go func() { headBlocked <- l.Acquire(headCtx, 4) }()
+	time.Sleep(20 * time.Millisecond) // let the head enqueue first
+	smallDone := make(chan error, 1)
+	go func() { smallDone <- l.Acquire(context.Background(), 2) }()
+	select {
+	case err := <-smallDone:
+		t.Fatalf("small waiter admitted past the FIFO head: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Cancelling the head must admit the small waiter without any Release.
+	cancelHead()
+	if err := <-headBlocked; err != context.Canceled {
+		t.Fatalf("head waiter err = %v", err)
+	}
+	select {
+	case err := <-smallDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("small waiter not admitted after the blocking head cancelled")
+	}
+	l.Release(2)
+	l.Release(2)
+	if got := l.InUse(); got != 0 {
+		t.Fatalf("inUse = %d, want 0", got)
+	}
+}
+
+func TestLimiterConcurrentChurn(t *testing.T) {
+	l := NewLimiter(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := 1 + i%4
+			if err := l.Acquire(context.Background(), n); err != nil {
+				t.Error(err)
+				return
+			}
+			if got := l.InUse(); got > l.Capacity() {
+				t.Errorf("inUse %d exceeds capacity %d", got, l.Capacity())
+			}
+			l.Release(n)
+		}(i)
+	}
+	wg.Wait()
+	if got := l.InUse(); got != 0 {
+		t.Fatalf("inUse after churn = %d, want 0", got)
+	}
+}

@@ -1,0 +1,469 @@
+// Package serve is the HTTP serving layer of the gbbs engine: a JSON API
+// that executes declarative graph requests — source spec, transforms,
+// algorithm name, thread budget, deadline — on per-request engines, against
+// graphs cached and shared across tenants.
+//
+// A request is one serializable object (see RunRequest). Its input is the
+// textual spec language of gbbs.ParseSource / gbbs.ParseTransforms, its
+// algorithm any name in the gbbs registry, and its execution is bounded by
+// a thread budget (admitted by the server's Limiter, so concurrent tenants
+// cannot oversubscribe the machine) and a deadline (a context the engine
+// checks between rounds). Built graphs are kept resident in a Cache keyed
+// by canonical spec, with singleflight deduplication of concurrent
+// identical builds and LRU eviction by approximate byte size.
+//
+// Endpoints:
+//
+//	POST /v1/run         run a RunRequest, returning a RunResponse
+//	GET  /v1/algorithms  list registered algorithms with descriptions
+//	GET  /v1/cache       cache entries, sizes, hit/miss/eviction counters
+//	GET  /healthz        liveness, uptime and admission-limiter state
+//
+// The package is net/http based: Server implements http.Handler, so it can
+// be mounted under any mux or served directly (see cmd/gbbs-serve).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/gbbs"
+)
+
+// maxRequestBytes caps a /v1/run body; a RunRequest is a few hundred bytes
+// even with a generous opts map, so 1 MiB is far beyond any legitimate use.
+const maxRequestBytes = 1 << 20
+
+// Config tunes a Server; the zero value selects sensible defaults.
+type Config struct {
+	// MaxThreads caps the total worker threads of concurrently running
+	// requests (the admission limiter's capacity). 0 selects
+	// runtime.NumCPU(). A request asking for more threads than this is
+	// clamped to it.
+	MaxThreads int
+	// CacheBytes is the graph cache's approximate byte budget. 0 selects
+	// 1 GiB; negative disables retention (in-flight builds still dedup).
+	CacheBytes int64
+	// DefaultTimeout bounds requests that do not set timeout_ms. 0 selects
+	// 60s.
+	DefaultTimeout time.Duration
+	// MaxSourceScale S rejects generator specs implying more than 2^S
+	// vertices or 32·2^S directed edges (counting edge multipliers like
+	// the rmat factor, er's m and complete's n²). 0 disables the guard.
+	// It exists so a public endpoint cannot be asked for a terabyte build.
+	MaxSourceScale int
+}
+
+// Server runs declarative graph requests over HTTP. Create it with New,
+// mount it as an http.Handler, and Close it at shutdown to abort any
+// builds still in flight.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	limiter *Limiter
+	mux     *http.ServeMux
+	started time.Time
+
+	buildCtx  context.Context
+	stopBuild context.CancelFunc
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.MaxThreads <= 0 {
+		cfg.MaxThreads = runtime.NumCPU()
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 1 << 30
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 60 * time.Second
+	}
+	buildCtx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		cache:     NewCache(buildCtx, cfg.CacheBytes),
+		limiter:   NewLimiter(cfg.MaxThreads),
+		mux:       http.NewServeMux(),
+		started:   time.Now(),
+		buildCtx:  buildCtx,
+		stopBuild: stop,
+	}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP dispatches to the server's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Cache exposes the server's graph cache (for stats or explicit Clear).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Limiter exposes the server's admission limiter.
+func (s *Server) Limiter() *Limiter { return s.limiter }
+
+// Close aborts in-flight cache builds. In-flight HTTP requests fail with
+// their build's cancellation error; call it after the http.Server has
+// drained.
+func (s *Server) Close() { s.stopBuild() }
+
+// RunRequest is the wire form of one declarative run: everything a tenant
+// request needs, as one JSON object.
+//
+//	{"source": "rmat:16", "transforms": ["symmetrize"], "algorithm": "bfs",
+//	 "threads": 4, "timeout_ms": 5000}
+type RunRequest struct {
+	// Source is a gbbs.ParseSource spec ("rmat:scale=18", "file:g.adj").
+	Source string `json:"source"`
+	// Transforms are gbbs.ParseTransforms specs, one or more per element
+	// (each element may itself be semicolon-separated).
+	Transforms []string `json:"transforms,omitempty"`
+	// Algorithm is the registry name to dispatch ("bfs", "cc", ...).
+	Algorithm string `json:"algorithm"`
+	// Src is the source vertex for SSSP/BC-style algorithms.
+	Src uint32 `json:"src,omitempty"`
+	// Threads is the engine's worker count; 0 selects the server's
+	// per-request default, and values above the server budget are clamped.
+	Threads int `json:"threads,omitempty"`
+	// TimeoutMS bounds the whole request (admission wait + build wait +
+	// run) in milliseconds; 0 selects the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Seed overrides the engine seed when non-zero.
+	Seed uint64 `json:"seed,omitempty"`
+	// Opts carries algorithm-specific parameters (gbbs.Request.Opts).
+	Opts map[string]any `json:"opts,omitempty"`
+	// IncludeValue returns the algorithm's full output value (which is
+	// O(n) numbers for most algorithms) instead of only the summary.
+	IncludeValue bool `json:"include_value,omitempty"`
+}
+
+// GraphInfo describes the graph a run executed on.
+type GraphInfo struct {
+	// N is the vertex count.
+	N int `json:"n"`
+	// M is the stored directed-edge count.
+	M int `json:"m"`
+	// Weighted reports whether edges carry weights.
+	Weighted bool `json:"weighted"`
+	// Symmetric reports whether the graph is stored symmetrically.
+	Symmetric bool `json:"symmetric"`
+	// ApproxBytes is the cache's size estimate for the graph.
+	ApproxBytes int64 `json:"approx_bytes"`
+}
+
+// RunResponse is the wire form of a successful run.
+type RunResponse struct {
+	// Algorithm echoes the dispatched registry name.
+	Algorithm string `json:"algorithm"`
+	// Spec is the canonical cache key of the input ("rmat(scale=16,...)|sym"),
+	// under which repeated requests hit the graph cache.
+	Spec string `json:"spec"`
+	// Cache is "hit" when the graph came from the cache (including joining
+	// an in-flight build), "miss" when this request triggered the build.
+	Cache string `json:"cache"`
+	// Threads is the admitted worker count the run used.
+	Threads int `json:"threads"`
+	// Graph describes the input graph.
+	Graph GraphInfo `json:"graph"`
+	// Result is the algorithm's result in gbbs.Result's JSON form (value
+	// omitted unless the request set include_value).
+	Result gbbs.Result `json:"result"`
+}
+
+// ErrorResponse is the wire form of any non-2xx response.
+type ErrorResponse struct {
+	// Error is a human-readable description of what was rejected.
+	Error string `json:"error"`
+}
+
+// AlgorithmInfo is one entry of GET /v1/algorithms.
+type AlgorithmInfo struct {
+	// Name is the registry key to put in RunRequest.Algorithm.
+	Name string `json:"name"`
+	// Description is the algorithm's one-line registry description.
+	Description string `json:"description"`
+	// NeedsSource marks algorithms that read RunRequest.Src.
+	NeedsSource bool `json:"needs_source,omitempty"`
+	// NeedsWeights marks algorithms requiring a weighted input.
+	NeedsWeights bool `json:"needs_weights,omitempty"`
+	// Directed marks algorithms that want the directed input variant.
+	Directed bool `json:"directed,omitempty"`
+	// PaperRow is the algorithm's row label in the paper's tables, when it
+	// is part of the paper's 15-problem suite.
+	PaperRow string `json:"paper_row,omitempty"`
+}
+
+// HealthResponse is the wire form of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok" whenever the server answers.
+	Status string `json:"status"`
+	// UptimeMS is milliseconds since the server was created.
+	UptimeMS int64 `json:"uptime_ms"`
+	// ThreadsInUse is the admission limiter's currently admitted units.
+	ThreadsInUse int `json:"threads_in_use"`
+	// ThreadCapacity is the admission limiter's total budget.
+	ThreadCapacity int `json:"thread_capacity"`
+	// Goroutines is runtime.NumGoroutine, a cheap load signal.
+	Goroutines int `json:"goroutines"`
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a failed write
+}
+
+// writeError writes an ErrorResponse.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:         "ok",
+		UptimeMS:       time.Since(s.started).Milliseconds(),
+		ThreadsInUse:   s.limiter.InUse(),
+		ThreadCapacity: s.limiter.Capacity(),
+		Goroutines:     runtime.NumGoroutine(),
+	})
+}
+
+// handleAlgorithms implements GET /v1/algorithms.
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	algos := gbbs.Algorithms()
+	out := make([]AlgorithmInfo, 0, len(algos))
+	for _, a := range algos {
+		out = append(out, AlgorithmInfo{
+			Name:         a.Name,
+			Description:  a.Description,
+			NeedsSource:  a.NeedsSource,
+			NeedsWeights: a.NeedsWeights,
+			Directed:     a.Directed,
+			PaperRow:     a.PaperRow,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCache implements GET /v1/cache.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cache.Stats())
+}
+
+// parsedRun is a RunRequest after validation: resolved algorithm, parsed
+// specs, canonical cache key, effective thread count and timeout.
+type parsedRun struct {
+	req        RunRequest
+	algo       gbbs.Algorithm
+	source     gbbs.GraphSource
+	transforms []gbbs.Transform
+	key        string
+	threads    int
+	timeout    time.Duration
+}
+
+// parseRun validates the wire request. It returns a non-nil *parsedRun or
+// writes the error response itself and returns nil.
+func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
+	// A RunRequest is a few hundred bytes; cap the body so one client
+	// cannot buffer gigabytes of JSON into the process.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req RunRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return nil
+		}
+		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return nil
+	}
+	a, ok := gbbs.Lookup(req.Algorithm)
+	if !ok {
+		if req.Algorithm == "" {
+			writeError(w, http.StatusBadRequest, "missing \"algorithm\"")
+		} else {
+			writeError(w, http.StatusNotFound, "unknown algorithm %q (GET /v1/algorithms lists the registry)", req.Algorithm)
+		}
+		return nil
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "missing \"source\"")
+		return nil
+	}
+	source, err := gbbs.ParseSource(req.Source)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad source spec: %v", err)
+		return nil
+	}
+	var transforms []gbbs.Transform
+	for _, spec := range req.Transforms {
+		tfs, err := gbbs.ParseTransforms(spec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad transform spec: %v", err)
+			return nil
+		}
+		transforms = append(transforms, tfs...)
+	}
+	if err := s.checkScale(source); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil
+	}
+
+	threads := req.Threads
+	if threads <= 0 {
+		threads = min(runtime.NumCPU(), s.cfg.MaxThreads)
+	}
+	threads = min(threads, s.cfg.MaxThreads)
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	return &parsedRun{
+		req:        req,
+		algo:       a,
+		source:     source,
+		transforms: transforms,
+		key:        cacheKey(source, transforms),
+		threads:    threads,
+		timeout:    timeout,
+	}
+}
+
+// cacheKey renders the canonical cache key of a parsed input: the source's
+// canonical String joined with each transform's, so every spelling of the
+// same spec ("rmat:16", "rmat:scale=16,factor=16") shares one cache entry.
+func cacheKey(source gbbs.GraphSource, transforms []gbbs.Transform) string {
+	parts := make([]string, 0, len(transforms)+1)
+	parts = append(parts, source.String())
+	for _, t := range transforms {
+		parts = append(parts, t.String())
+	}
+	return strings.Join(parts, "|")
+}
+
+// handleRun implements POST /v1/run: validate, admit threads, fetch or
+// build the graph, dispatch through the registry, encode the result.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	p := s.parseRun(w, r)
+	if p == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
+	defer cancel()
+
+	// Admission: the request's whole execution — including the build it may
+	// start — runs on an engine with p.threads workers, so that is what it
+	// must be admitted for. The grant is held until the run finishes; a
+	// build outliving a departed waiter (deadline hit mid-build) can briefly
+	// run past the cap, bounded by one build per key.
+	if err := s.limiter.Acquire(ctx, p.threads); err != nil {
+		s.writeRunError(w, p, err)
+		return
+	}
+	defer s.limiter.Release(p.threads)
+
+	eng := newEngine(p)
+	g, hit, err := s.cache.GetOrBuild(ctx, p.key, func(buildCtx context.Context) (gbbs.Graph, error) {
+		return eng.Build(buildCtx, p.source, p.transforms...)
+	})
+	if err != nil {
+		s.writeRunError(w, p, err)
+		return
+	}
+
+	res, err := eng.Run(ctx, p.algo.Name, gbbs.Request{
+		Graph:  g,
+		Source: p.req.Src,
+		Seed:   p.req.Seed,
+		Opts:   p.req.Opts,
+	})
+	if err != nil {
+		s.writeRunError(w, p, err)
+		return
+	}
+	if !p.req.IncludeValue {
+		res.Value = nil
+	}
+	res.Graph = nil
+	cacheState := "miss"
+	if hit {
+		cacheState = "hit"
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Algorithm: p.algo.Name,
+		Spec:      p.key,
+		Cache:     cacheState,
+		Threads:   p.threads,
+		Graph: GraphInfo{
+			N:           g.N(),
+			M:           g.M(),
+			Weighted:    g.Weighted(),
+			Symmetric:   g.Symmetric(),
+			ApproxBytes: approxGraphBytes(g),
+		},
+		Result: res,
+	})
+}
+
+// newEngine builds the per-request engine for a parsed run.
+func newEngine(p *parsedRun) *gbbs.Engine {
+	opts := []gbbs.Option{gbbs.WithThreads(p.threads)}
+	if p.req.Seed != 0 {
+		opts = append(opts, gbbs.WithSeed(p.req.Seed))
+	}
+	return gbbs.New(opts...)
+}
+
+// writeRunError maps an execution error to a status code: deadline expiry
+// to 504, cancellation (client gone or server shutdown) to 503, anything
+// else — validation errors from the registry, build failures — to 400.
+func (s *Server) writeRunError(w http.ResponseWriter, p *parsedRun, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "%s: deadline exceeded after %v", p.algo.Name, p.timeout)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "%s: canceled: %v", p.algo.Name, err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// checkScale enforces Config.MaxSourceScale S via gbbs.SizeHint: the
+// declared vertex count may not exceed 2^S and the declared directed edge
+// count may not exceed 32·2^S (twice the default R-MAT edge factor), so
+// neither a huge n nor a huge edge multiplier (rmat factor, er m, ba/ws k,
+// complete's n²) can slip past the guard. Sources without a size hint
+// (file readers, custom SourceFunc values) are exempt — operators control
+// what is on disk.
+func (s *Server) checkScale(source gbbs.GraphSource) error {
+	if s.cfg.MaxSourceScale <= 0 {
+		return nil
+	}
+	n, m, ok := gbbs.SizeHint(source)
+	if !ok {
+		return nil
+	}
+	scale := min(s.cfg.MaxSourceScale, 57)
+	maxN := int64(1) << uint(scale)
+	maxM := 32 * maxN
+	if n > maxN || m > maxM {
+		return fmt.Errorf("serve: source %s declares n=%d m=%d, exceeding the server's size guard (max 2^%d vertices, %d edges)",
+			source, n, m, s.cfg.MaxSourceScale, maxM)
+	}
+	return nil
+}

@@ -1,0 +1,383 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/gbbs/serve"
+)
+
+// newTestServer starts an httptest server around a serve.Server with small,
+// test-friendly limits.
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// postRun posts a raw JSON body to /v1/run and decodes the response into
+// out, returning the HTTP status.
+func postRun(t *testing.T, ts *httptest.Server, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decoding %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// getJSON decodes a GET endpoint into out.
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 2})
+	var h serve.HealthResponse
+	if status := getJSON(t, ts, "/healthz", &h); status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if h.Status != "ok" || h.ThreadCapacity != 2 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestAlgorithmsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	var algos []serve.AlgorithmInfo
+	if status := getJSON(t, ts, "/v1/algorithms", &algos); status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	byName := map[string]serve.AlgorithmInfo{}
+	for _, a := range algos {
+		if a.Description == "" {
+			t.Errorf("algorithm %q has no description", a.Name)
+		}
+		byName[a.Name] = a
+	}
+	if !byName["bfs"].NeedsSource || byName["bfs"].PaperRow == "" {
+		t.Fatalf("bfs metadata = %+v", byName["bfs"])
+	}
+	if !byName["scc"].Directed || !byName["msf"].NeedsWeights {
+		t.Fatalf("scc/msf metadata wrong: %+v / %+v", byName["scc"], byName["msf"])
+	}
+}
+
+func TestRunAndCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 4})
+	body := `{"source":"rmat:12","transforms":["symmetrize"],"algorithm":"bfs","threads":2,"timeout_ms":30000}`
+
+	var first serve.RunResponse
+	if status := postRun(t, ts, body, &first); status != http.StatusOK {
+		t.Fatalf("first run status = %d (%+v)", status, first)
+	}
+	if first.Cache != "miss" {
+		t.Fatalf("first run cache = %q, want miss", first.Cache)
+	}
+	if first.Result.Summary == "" || first.Graph.N != 1<<12 || !first.Graph.Symmetric {
+		t.Fatalf("first run = %+v", first)
+	}
+	if first.Result.Value != nil {
+		t.Fatalf("value returned without include_value: %v", first.Result.Value)
+	}
+
+	var second serve.RunResponse
+	if status := postRun(t, ts, body, &second); status != http.StatusOK {
+		t.Fatalf("second run status = %d", status)
+	}
+	if second.Cache != "hit" {
+		t.Fatalf("second identical run cache = %q, want hit", second.Cache)
+	}
+	if second.Result.BuildElapsed != 0 {
+		t.Fatalf("cache hit reported a build time: %v", second.Result.BuildElapsed)
+	}
+	if second.Spec != first.Spec {
+		t.Fatalf("canonical specs differ: %q vs %q", second.Spec, first.Spec)
+	}
+
+	var cs serve.CacheStats
+	if status := getJSON(t, ts, "/v1/cache", &cs); status != http.StatusOK {
+		t.Fatalf("cache status = %d", status)
+	}
+	if cs.Misses != 1 || cs.Hits != 1 || len(cs.Entries) != 1 {
+		t.Fatalf("cache stats = %+v, want 1 miss, 1 hit, 1 entry", cs)
+	}
+	if cs.Entries[0].Spec != first.Spec || cs.Entries[0].Bytes <= 0 {
+		t.Fatalf("cache entry = %+v", cs.Entries[0])
+	}
+}
+
+func TestRunSpellingsShareCacheEntry(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 4})
+	spellings := []string{
+		`{"source":"rmat:12","transforms":["symmetrize"],"algorithm":"cc"}`,
+		`{"source":"rmat:scale=12","transforms":["sym"],"algorithm":"cc"}`,
+		`{"source":"rmat:scale=12,factor=16,seed=1","transforms":["sym"],"algorithm":"bfs"}`,
+	}
+	for i, body := range spellings {
+		var resp serve.RunResponse
+		if status := postRun(t, ts, body, &resp); status != http.StatusOK {
+			t.Fatalf("run %d status = %d", i, status)
+		}
+		want := "miss"
+		if i > 0 {
+			want = "hit"
+		}
+		if resp.Cache != want {
+			t.Fatalf("spelling %d cache = %q, want %q", i, resp.Cache, want)
+		}
+	}
+}
+
+func TestRunIncludeValue(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 2})
+	var resp serve.RunResponse
+	body := `{"source":"path:50","transforms":["symmetrize"],"algorithm":"bfs","include_value":true}`
+	if status := postRun(t, ts, body, &resp); status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	vals, ok := resp.Result.Value.([]any)
+	if !ok || len(vals) != 50 {
+		t.Fatalf("value = %T (%v), want 50 distances", resp.Result.Value, resp.Result.Value)
+	}
+}
+
+func TestRunOptsAreForwarded(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 2})
+	// JSON numbers arrive as float64; the registry's option readers must
+	// still see eps. A crazily large eps yields a different (tiny) cover
+	// than the default would — here we just assert the request succeeds.
+	var resp serve.RunResponse
+	body := `{"source":"rmat:10","transforms":["symmetrize"],"algorithm":"setcover","opts":{"eps":0.5}}`
+	if status := postRun(t, ts, body, &resp); status != http.StatusOK {
+		t.Fatalf("status = %d (%+v)", status, resp)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	var e serve.ErrorResponse
+	status := postRun(t, ts, `{"source":"path:10","algorithm":"pagerank"}`, &e)
+	if status != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", status)
+	}
+	if e.Error == "" {
+		t.Fatal("missing error body")
+	}
+}
+
+func TestRunBadSpecs(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	cases := []string{
+		`{"algorithm":"bfs"}`,                                                // missing source
+		`{"source":"","algorithm":"bfs"}`,                                    // empty source
+		`{"source":"warp:9","algorithm":"bfs"}`,                              // unknown kind
+		`{"source":"rmat:scale=abc","algorithm":"bfs"}`,                      // bad argument
+		`{"source":"rmat:scal=12","algorithm":"bfs"}`,                        // typo'd key
+		`{"source":"path:10","transforms":["frobnicate"],"algorithm":"bfs"}`, // bad transform
+		`{"source":"path:10","algorithm":"bfs","bogus_field":1}`,             // unknown field
+		`{not json`, // malformed body
+		`{"source":"path:10","algorithm":"wbfs"}`,                // weights required
+		`{"source":"path:10","algorithm":"bfs","src":99}`,        // src out of range
+		`{"source":"er:n=100,m=-1","algorithm":"cc"}`,            // negative size
+		`{"source":"rmat:scale=10,factor=-1","algorithm":"bfs"}`, // negative multiplier
+	}
+	for _, body := range cases {
+		var e serve.ErrorResponse
+		if status := postRun(t, ts, body, &e); status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", body, status)
+		} else if e.Error == "" {
+			t.Errorf("%s: missing error body", body)
+		}
+	}
+}
+
+func TestRunBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	big := fmt.Sprintf(`{"source":"path:10","algorithm":"bfs","opts":{"x":"%s"}}`,
+		strings.Repeat("a", 2<<20))
+	var e serve.ErrorResponse
+	if status := postRun(t, ts, big, &e); status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("2MiB body status = %d, want 413", status)
+	}
+}
+
+func TestRunMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRunDeadlineExceeded(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 4})
+	// A 1ms deadline cannot survive an rmat:17 build: the request times out
+	// while waiting (the detached build finishes and is cached anyway).
+	var e serve.ErrorResponse
+	body := `{"source":"rmat:17","transforms":["symmetrize"],"algorithm":"bfs","threads":2,"timeout_ms":1}`
+	if status := postRun(t, ts, body, &e); status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%+v), want 504", status, e)
+	}
+	if e.Error == "" {
+		t.Fatal("missing error body")
+	}
+}
+
+func TestRunSizeGuard(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxSourceScale: 14})
+	oversized := []string{
+		`{"source":"rmat:20","algorithm":"bfs"}`,                        // vertex count
+		`{"source":"rmat:scale=10,factor=100000000","algorithm":"bfs"}`, // edge multiplier
+		`{"source":"er:n=1024,m=999999999999","algorithm":"bfs"}`,       // explicit edge count
+		`{"source":"ba:n=16384,k=1000000","algorithm":"bfs"}`,           // attachment degree
+		`{"source":"complete:100000","algorithm":"bfs"}`,                // quadratic edges
+		`{"source":"torus:1000","algorithm":"bfs"}`,                     // cubic vertices
+	}
+	for _, body := range oversized {
+		var e serve.ErrorResponse
+		if status := postRun(t, ts, body, &e); status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 from the size guard", body, status)
+		}
+	}
+	var resp serve.RunResponse
+	if status := postRun(t, ts, `{"source":"rmat:12","transforms":["sym"],"algorithm":"bfs"}`, &resp); status != http.StatusOK {
+		t.Fatalf("in-budget source status = %d", status)
+	}
+}
+
+// TestConcurrentIdenticalRequestsBuildOnce is the acceptance check for the
+// cache's singleflight behavior end to end: concurrent duplicate requests
+// trigger exactly one build.
+func TestConcurrentIdenticalRequestsBuildOnce(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 16})
+	body := `{"source":"rmat:13","transforms":["symmetrize"],"algorithm":"cc","threads":1,"timeout_ms":60000}`
+
+	const clients = 8
+	var wg sync.WaitGroup
+	misses := make([]bool, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp serve.RunResponse
+			if status := postRun(t, ts, body, &resp); status != http.StatusOK {
+				t.Errorf("client %d: status %d", i, status)
+				return
+			}
+			misses[i] = resp.Cache == "miss"
+		}(i)
+	}
+	wg.Wait()
+
+	missCount := 0
+	for _, m := range misses {
+		if m {
+			missCount++
+		}
+	}
+	if missCount != 1 {
+		t.Fatalf("%d of %d concurrent identical requests reported a miss, want exactly 1", missCount, clients)
+	}
+	var cs serve.CacheStats
+	getJSON(t, ts, "/v1/cache", &cs)
+	if cs.Misses != 1 || cs.Hits != clients-1 || len(cs.Entries) != 1 {
+		t.Fatalf("cache stats after concurrent duplicates = %+v", cs)
+	}
+}
+
+// TestEvictionUnderSmallBudget runs distinct inputs through a server whose
+// cache holds roughly one graph, and checks the older entries fall out.
+func TestEvictionUnderSmallBudget(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 4, CacheBytes: 40_000})
+	for _, n := range []int{2000, 2001, 2002} {
+		body := fmt.Sprintf(`{"source":"path:%d","transforms":["symmetrize"],"algorithm":"cc"}`, n)
+		var resp serve.RunResponse
+		if status := postRun(t, ts, body, &resp); status != http.StatusOK {
+			t.Fatalf("path:%d status = %d", n, status)
+		}
+	}
+	var cs serve.CacheStats
+	getJSON(t, ts, "/v1/cache", &cs)
+	if cs.Evictions < 2 {
+		t.Fatalf("evictions = %d, want >= 2 (stats: %+v)", cs.Evictions, cs)
+	}
+	if len(cs.Entries) != 1 || cs.SizeBytes > cs.BudgetBytes {
+		t.Fatalf("entries = %+v size=%d budget=%d", cs.Entries, cs.SizeBytes, cs.BudgetBytes)
+	}
+}
+
+// TestThreadClampAndAdmission checks that an over-budget thread request is
+// clamped rather than rejected, and that admission serializes two
+// whole-budget requests without deadlock.
+func TestThreadClampAndAdmission(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 2})
+	body := `{"source":"path:500","transforms":["symmetrize"],"algorithm":"bfs","threads":64}`
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var resp serve.RunResponse
+			if status := postRun(t, ts, body, &resp); status != http.StatusOK {
+				t.Errorf("status = %d", status)
+				return
+			}
+			if resp.Threads != 2 {
+				t.Errorf("threads = %d, want clamped to 2", resp.Threads)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestHealthzAfterLoad(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{MaxThreads: 4})
+	var resp serve.RunResponse
+	if status := postRun(t, ts, `{"source":"path:100","transforms":["sym"],"algorithm":"bfs"}`, &resp); status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	var h serve.HealthResponse
+	getJSON(t, ts, "/healthz", &h)
+	if h.ThreadsInUse != 0 {
+		t.Fatalf("threads still admitted after requests drained: %+v", h)
+	}
+	if s.Limiter().InUse() != 0 {
+		t.Fatal("limiter leaked units")
+	}
+}

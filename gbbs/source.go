@@ -3,6 +3,7 @@ package gbbs
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/gen"
@@ -77,9 +78,13 @@ func SourceFunc(name string, f func(b *Builder) (*EdgeList, error)) GraphSource 
 }
 
 // elSource wraps a function producing an edge list on the build scheduler.
+// hintN/hintM carry the vertex and directed-edge counts the source's
+// parameters imply, reported through SizeHint before anything is built.
 type elSource struct {
-	name string
-	gen  func(s *parallel.Scheduler) *graph.EdgeList
+	name  string
+	hintN int64
+	hintM int64
+	gen   func(s *parallel.Scheduler) *graph.EdgeList
 }
 
 func (g *elSource) String() string { return g.name }
@@ -88,13 +93,59 @@ func (g *elSource) load(s *parallel.Scheduler) (*graph.EdgeList, *graph.CSR, err
 	return g.gen(s), nil, nil
 }
 
+func (g *elSource) sizeHint() (int64, int64, bool) { return g.hintN, g.hintM, true }
+
+// sizeHinter is the optional interface of sources that can declare their
+// output size before building; see SizeHint.
+type sizeHinter interface {
+	sizeHint() (n, m int64, ok bool)
+}
+
+// SizeHint reports the vertex and directed-edge counts src declares before
+// anything is generated or read: exact for Edges and Prebuilt, the
+// parameter-implied counts for the generators (pre-dedup, saturating at
+// MaxInt64 for absurd parameters). ok is false for sources whose size is
+// unknowable upfront (file and stream readers, SourceFunc). Admission
+// layers use it to reject oversized builds before paying for them.
+func SizeHint(src GraphSource) (n, m int64, ok bool) {
+	if h, hinted := src.(sizeHinter); hinted {
+		return h.sizeHint()
+	}
+	return 0, 0, false
+}
+
+// satShift returns 2^k saturating at MaxInt64.
+func satShift(k int) int64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= 63 {
+		return math.MaxInt64
+	}
+	return 1 << uint(k)
+}
+
+// satMul multiplies non-negative counts saturating at MaxInt64 (negative
+// inputs clamp to 0: every hint is a size).
+func satMul(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
 // Edges returns a source over an in-memory edge list (el.N vertices). The
 // build works on a copy, so el is never modified: one Edges source can be
 // built repeatedly (or by several engines concurrently) even with mutating
 // transforms like Relabel or UniformWeights in the pipeline.
 func Edges(el *EdgeList) GraphSource {
 	return &elSource{
-		name: fmt.Sprintf("edges(n=%d,m=%d)", el.N, el.Len()),
+		name:  fmt.Sprintf("edges(n=%d,m=%d)", el.N, el.Len()),
+		hintN: int64(max(el.N, 0)),
+		hintM: int64(max(el.Len(), 0)),
 		gen: func(s *parallel.Scheduler) *graph.EdgeList {
 			return graph.CopyEdgeList(s, el)
 		},
@@ -106,9 +157,12 @@ func Edges(el *EdgeList) GraphSource {
 // social networks and web crawls. Compose with Symmetrize for the "-Sym"
 // variants.
 func RMAT(scale, edgeFactor int, seed uint64) GraphSource {
+	n := satShift(scale)
 	return &elSource{
-		name: fmt.Sprintf("rmat(scale=%d,factor=%d,seed=%d)", scale, edgeFactor, seed),
-		gen:  func(s *parallel.Scheduler) *graph.EdgeList { return gen.RMAT(s, scale, edgeFactor, seed) },
+		name:  fmt.Sprintf("rmat(scale=%d,factor=%d,seed=%d)", scale, edgeFactor, seed),
+		hintN: n,
+		hintM: satMul(n, int64(edgeFactor)),
+		gen:   func(s *parallel.Scheduler) *graph.EdgeList { return gen.RMAT(s, scale, edgeFactor, seed) },
 	}
 }
 
@@ -116,9 +170,12 @@ func RMAT(scale, edgeFactor int, seed uint64) GraphSource {
 // directed edge per dimension per vertex); with Symmetrize it yields the
 // paper's 6-regular high-diameter 3D-Torus.
 func Torus(side int) GraphSource {
+	n := satMul(satMul(int64(side), int64(side)), int64(side))
 	return &elSource{
-		name: fmt.Sprintf("torus(side=%d)", side),
-		gen:  func(s *parallel.Scheduler) *graph.EdgeList { return gen.Torus3D(s, side) },
+		name:  fmt.Sprintf("torus(side=%d)", side),
+		hintN: n,
+		hintM: satMul(3, n),
+		gen:   func(s *parallel.Scheduler) *graph.EdgeList { return gen.Torus3D(s, side) },
 	}
 }
 
@@ -127,8 +184,10 @@ func Torus(side int) GraphSource {
 // default build).
 func Random(n, m int, seed uint64) GraphSource {
 	return &elSource{
-		name: fmt.Sprintf("er(n=%d,m=%d,seed=%d)", n, m, seed),
-		gen:  func(s *parallel.Scheduler) *graph.EdgeList { return gen.ErdosRenyi(s, n, m, seed) },
+		name:  fmt.Sprintf("er(n=%d,m=%d,seed=%d)", n, m, seed),
+		hintN: int64(max(n, 0)),
+		hintM: int64(max(m, 0)),
+		gen:   func(s *parallel.Scheduler) *graph.EdgeList { return gen.ErdosRenyi(s, n, m, seed) },
 	}
 }
 
@@ -137,8 +196,10 @@ func Random(n, m int, seed uint64) GraphSource {
 // component.
 func Preferential(n, k int, seed uint64) GraphSource {
 	return &elSource{
-		name: fmt.Sprintf("ba(n=%d,k=%d,seed=%d)", n, k, seed),
-		gen:  func(*parallel.Scheduler) *graph.EdgeList { return gen.BarabasiAlbert(n, k, seed) },
+		name:  fmt.Sprintf("ba(n=%d,k=%d,seed=%d)", n, k, seed),
+		hintN: int64(max(n, 0)),
+		hintM: satMul(int64(n), int64(k)),
+		gen:   func(*parallel.Scheduler) *graph.EdgeList { return gen.BarabasiAlbert(n, k, seed) },
 	}
 }
 
@@ -147,56 +208,71 @@ func Preferential(n, k int, seed uint64) GraphSource {
 // p.
 func SmallWorld(n, k int, p float64, seed uint64) GraphSource {
 	return &elSource{
-		name: fmt.Sprintf("ws(n=%d,k=%d,p=%g,seed=%d)", n, k, p, seed),
-		gen:  func(s *parallel.Scheduler) *graph.EdgeList { return gen.WattsStrogatz(s, n, k, p, seed) },
+		name:  fmt.Sprintf("ws(n=%d,k=%d,p=%g,seed=%d)", n, k, p, seed),
+		hintN: int64(max(n, 0)),
+		hintM: satMul(int64(n), int64(k)),
+		gen:   func(s *parallel.Scheduler) *graph.EdgeList { return gen.WattsStrogatz(s, n, k, p, seed) },
 	}
 }
 
 // Grid returns a side×side grid (no wrap-around), one edge direction.
 func Grid(side int) GraphSource {
+	n := satMul(int64(side), int64(side))
 	return &elSource{
-		name: fmt.Sprintf("grid(side=%d)", side),
-		gen:  func(*parallel.Scheduler) *graph.EdgeList { return gen.Grid2D(side) },
+		name:  fmt.Sprintf("grid(side=%d)", side),
+		hintN: n,
+		hintM: satMul(2, n),
+		gen:   func(*parallel.Scheduler) *graph.EdgeList { return gen.Grid2D(side) },
 	}
 }
 
 // Path returns a path over n vertices.
 func Path(n int) GraphSource {
 	return &elSource{
-		name: fmt.Sprintf("path(n=%d)", n),
-		gen:  func(*parallel.Scheduler) *graph.EdgeList { return gen.Path(n) },
+		name:  fmt.Sprintf("path(n=%d)", n),
+		hintN: int64(max(n, 0)),
+		hintM: int64(max(n-1, 0)),
+		gen:   func(*parallel.Scheduler) *graph.EdgeList { return gen.Path(n) },
 	}
 }
 
 // Cycle returns a cycle over n vertices.
 func Cycle(n int) GraphSource {
 	return &elSource{
-		name: fmt.Sprintf("cycle(n=%d)", n),
-		gen:  func(*parallel.Scheduler) *graph.EdgeList { return gen.Cycle(n) },
+		name:  fmt.Sprintf("cycle(n=%d)", n),
+		hintN: int64(max(n, 0)),
+		hintM: int64(max(n, 0)),
+		gen:   func(*parallel.Scheduler) *graph.EdgeList { return gen.Cycle(n) },
 	}
 }
 
 // Star returns a star: vertex 0 connected to every other vertex.
 func Star(n int) GraphSource {
 	return &elSource{
-		name: fmt.Sprintf("star(n=%d)", n),
-		gen:  func(*parallel.Scheduler) *graph.EdgeList { return gen.Star(n) },
+		name:  fmt.Sprintf("star(n=%d)", n),
+		hintN: int64(max(n, 0)),
+		hintM: int64(max(n-1, 0)),
+		gen:   func(*parallel.Scheduler) *graph.EdgeList { return gen.Star(n) },
 	}
 }
 
 // Complete returns the complete graph on n vertices (one edge direction).
 func Complete(n int) GraphSource {
 	return &elSource{
-		name: fmt.Sprintf("complete(n=%d)", n),
-		gen:  func(*parallel.Scheduler) *graph.EdgeList { return gen.Complete(n) },
+		name:  fmt.Sprintf("complete(n=%d)", n),
+		hintN: int64(max(n, 0)),
+		hintM: satMul(int64(n), int64(n-1)) / 2,
+		gen:   func(*parallel.Scheduler) *graph.EdgeList { return gen.Complete(n) },
 	}
 }
 
 // Tree returns a complete binary tree over n vertices.
 func Tree(n int) GraphSource {
 	return &elSource{
-		name: fmt.Sprintf("tree(n=%d)", n),
-		gen:  func(*parallel.Scheduler) *graph.EdgeList { return gen.BinaryTree(n) },
+		name:  fmt.Sprintf("tree(n=%d)", n),
+		hintN: int64(max(n, 0)),
+		hintM: int64(max(n-1, 0)),
+		gen:   func(*parallel.Scheduler) *graph.EdgeList { return gen.BinaryTree(n) },
 	}
 }
 
@@ -206,18 +282,27 @@ func Tree(n int) GraphSource {
 //	cg, err := eng.Build(ctx, gbbs.Prebuilt(g), gbbs.EncodeCompressed(0))
 func Prebuilt(g *CSR) GraphSource {
 	return &csrSource{
-		name: fmt.Sprintf("prebuilt(n=%d,m=%d)", g.N(), g.M()),
-		read: func(*parallel.Scheduler) (*graph.CSR, error) { return g, nil },
+		name:  fmt.Sprintf("prebuilt(n=%d,m=%d)", g.N(), g.M()),
+		hintN: int64(g.N()),
+		hintM: int64(g.M()),
+		hint:  true,
+		read:  func(*parallel.Scheduler) (*graph.CSR, error) { return g, nil },
 	}
 }
 
 // csrSource materializes a CSR directly (readers and prebuilt graphs).
+// hint is true only for Prebuilt, whose size is known without reading.
 type csrSource struct {
-	name string
-	read func(s *parallel.Scheduler) (*graph.CSR, error)
+	name  string
+	hintN int64
+	hintM int64
+	hint  bool
+	read  func(s *parallel.Scheduler) (*graph.CSR, error)
 }
 
 func (c *csrSource) String() string { return c.name }
+
+func (c *csrSource) sizeHint() (int64, int64, bool) { return c.hintN, c.hintM, c.hint }
 
 func (c *csrSource) load(s *parallel.Scheduler) (*graph.EdgeList, *graph.CSR, error) {
 	g, err := c.read(s)

@@ -43,6 +43,12 @@ func (a specArgs) int(key string, def int) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("gbbs: spec argument %s=%q is not an integer", key, v)
 	}
+	// Every integer spec argument is a size, multiplier or block length: a
+	// negative value is never meaningful, and letting one through hands
+	// make() a negative length deep inside a generator.
+	if n < 0 {
+		return 0, fmt.Errorf("gbbs: spec argument %s=%q must not be negative", key, v)
+	}
 	return n, nil
 }
 
@@ -82,8 +88,12 @@ func (a specArgs) bool(key string, def bool) (bool, error) {
 	return b, nil
 }
 
-// parseSpecElement splits "kind:k1=v1,k2=v2" (the args part optional).
-func parseSpecElement(spec string) (string, specArgs, error) {
+// parseSpecElement splits "kind:k1=v1,k2=v2" (the args part optional). One
+// bare argument without "=" is allowed as positional shorthand for the
+// kind's primary argument ("rmat:18" ≡ "rmat:scale=18"): primary maps each
+// kind to the key the bare value binds to; kinds outside the map reject
+// positional arguments.
+func parseSpecElement(spec string, primary map[string]string) (string, specArgs, error) {
 	kind, rest, hasArgs := strings.Cut(spec, ":")
 	kind = strings.TrimSpace(kind)
 	if kind == "" {
@@ -91,16 +101,46 @@ func parseSpecElement(spec string) (string, specArgs, error) {
 	}
 	args := specArgs{}
 	if hasArgs && strings.TrimSpace(rest) != "" {
-		for _, kv := range strings.Split(rest, ",") {
+		for i, kv := range strings.Split(rest, ",") {
 			k, v, ok := strings.Cut(kv, "=")
 			k = strings.TrimSpace(k)
-			if !ok || k == "" {
+			if !ok {
+				key, allowed := primary[kind]
+				if i != 0 || !allowed {
+					return "", nil, fmt.Errorf("gbbs: spec argument %q is not key=value", kv)
+				}
+				args[key] = strings.TrimSpace(kv)
+				continue
+			}
+			if k == "" {
 				return "", nil, fmt.Errorf("gbbs: spec argument %q is not key=value", kv)
+			}
+			if _, dup := args[k]; dup {
+				return "", nil, fmt.Errorf("gbbs: spec argument %q given twice", k)
 			}
 			args[k] = strings.TrimSpace(v)
 		}
 	}
 	return kind, args, nil
+}
+
+// sourcePrimaryArg maps each source kind to the key a positional argument
+// binds to, so the common case needs no key: "rmat:18" is "rmat:scale=18",
+// "file:g.adj" is "file:path=g.adj".
+var sourcePrimaryArg = map[string]string{
+	"rmat":     "scale",
+	"torus":    "side",
+	"er":       "n",
+	"ba":       "n",
+	"ws":       "n",
+	"grid":     "side",
+	"path":     "n",
+	"cycle":    "n",
+	"star":     "n",
+	"complete": "n",
+	"tree":     "n",
+	"file":     "path",
+	"bin":      "path",
 }
 
 // sourceArgKeys is the per-kind argument allowlist of ParseSource; keys
@@ -133,8 +173,19 @@ var sourceArgKeys = map[string][]string{
 //	path:n=1024  cycle:n=1024  star:n=1024  complete:n=64  tree:n=1023
 //	file:path=g.adj,sym=true           (Weighted)AdjacencyGraph text file
 //	bin:path=g.bin                     compact binary graph file
+//
+// The first argument may be given positionally, without its key, in which
+// case it binds to the kind's primary argument: "rmat:18" is shorthand for
+// "rmat:scale=18", "torus:32" for "torus:side=32", "file:g.adj" for
+// "file:path=g.adj" (the primary key is n for the er/ba/ws and fixed-shape
+// generators).
+//
+// The returned source's String method renders the spec canonically with
+// every argument spelled out ("rmat:18" → "rmat(scale=18,factor=16,seed=1)"),
+// which is how the serving layer's graph cache recognizes two differently
+// written specs as the same input.
 func ParseSource(spec string) (GraphSource, error) {
-	kind, args, err := parseSpecElement(spec)
+	kind, args, err := parseSpecElement(spec, sourcePrimaryArg)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +306,31 @@ func ParseSource(spec string) (GraphSource, error) {
 	}
 }
 
+// transformAlias maps accepted long spellings of transform kinds to their
+// canonical short names, so declarative clients can write the transform's
+// full name ("symmetrize") as well as the CLI shorthand ("sym").
+var transformAlias = map[string]string{
+	"symmetrize":      "sym",
+	"self-loops":      "selfloops",
+	"multi-edges":     "multi",
+	"no-transpose":    "notranspose",
+	"relabel":         "degree-relabel",
+	"uniform-weights": "weights",
+	"paper-weights":   "paperweights",
+}
+
+// transformPrimaryArg maps transform kinds (including their aliases, which
+// are resolved after argument parsing) to the key a positional argument
+// binds to ("weights:8" is "weights:max=8", "compress:64" is
+// "compress:block=64").
+var transformPrimaryArg = map[string]string{
+	"weights":         "max",
+	"uniform-weights": "max",
+	"paperweights":    "seed",
+	"paper-weights":   "seed",
+	"compress":        "block",
+}
+
 // transformArgKeys is the per-kind argument allowlist of ParseTransforms.
 var transformArgKeys = map[string][]string{
 	"sym":            {},
@@ -279,7 +355,10 @@ var transformArgKeys = map[string][]string{
 //	degree-relabel              RelabelByDegree
 //	compress:block=64           EncodeCompressed
 //
-// An empty spec returns no transforms.
+// Long spellings are accepted as aliases ("symmetrize" for "sym",
+// "no-transpose" for "notranspose", "paper-weights" for "paperweights", ...)
+// and the first argument may be positional ("compress:64" for
+// "compress:block=64"). An empty spec returns no transforms.
 func ParseTransforms(spec string) ([]Transform, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -290,9 +369,12 @@ func ParseTransforms(spec string) ([]Transform, error) {
 		if strings.TrimSpace(elem) == "" {
 			continue
 		}
-		kind, args, err := parseSpecElement(elem)
+		kind, args, err := parseSpecElement(elem, transformPrimaryArg)
 		if err != nil {
 			return nil, err
+		}
+		if canonical, ok := transformAlias[kind]; ok {
+			kind = canonical
 		}
 		if keys, ok := transformArgKeys[kind]; ok {
 			if err := args.only(kind, keys...); err != nil {

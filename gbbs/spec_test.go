@@ -40,6 +40,56 @@ func TestParseSourceKinds(t *testing.T) {
 	}
 }
 
+func TestParseSourcePositional(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"rmat:18", "rmat(scale=18,factor=16,seed=1)"},
+		{"rmat:18,factor=8", "rmat(scale=18,factor=8,seed=1)"},
+		{"torus:12", "torus(side=12)"},
+		{"er:100,m=500", "er(n=100,m=500,seed=1)"},
+		{"path:9", "path(n=9)"},
+		{"file:g.adj", "file(g.adj,symmetric=true)"},
+		{"bin:g.bin", "bin(g.bin)"},
+	}
+	for _, c := range cases {
+		src, err := gbbs.ParseSource(c.spec)
+		if err != nil {
+			t.Errorf("ParseSource(%q): %v", c.spec, err)
+			continue
+		}
+		if src.String() != c.want {
+			t.Errorf("ParseSource(%q) = %s, want %s", c.spec, src, c.want)
+		}
+	}
+	for _, spec := range []string{
+		"rmat:18,19",       // only the first argument may be positional
+		"rmat:18,scale=19", // positional + keyed duplicate
+		"rmat:scale=1,scale=2",
+	} {
+		if _, err := gbbs.ParseSource(spec); err == nil {
+			t.Errorf("ParseSource(%q) should fail", spec)
+		}
+	}
+}
+
+func TestParseTransformAliases(t *testing.T) {
+	tfs, err := gbbs.ParseTransforms("symmetrize;paper-weights:5;compress:32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := make([]string, len(tfs))
+	for i, tf := range tfs {
+		joined[i] = tf.String()
+	}
+	got := strings.Join(joined, " ")
+	want := "sym paperweights(seed=5) compress(block=32)"
+	if got != want {
+		t.Fatalf("transforms = %q, want %q", got, want)
+	}
+}
+
 func TestParseSourceErrors(t *testing.T) {
 	for _, spec := range []string{
 		"",
@@ -54,6 +104,9 @@ func TestParseSourceErrors(t *testing.T) {
 		"torus:side=xx", // bad int
 		"rmat:scal=18",  // typo'd key must fail, not fall back to defaults
 		"torus:scale=4", // key from another kind
+		"er:n=100,m=-1", // negative sizes would reach make() inside a generator
+		"rmat:factor=-1",
+		"path:n=-5",
 	} {
 		if _, err := gbbs.ParseSource(spec); err == nil {
 			t.Errorf("ParseSource(%q) should fail", spec)
@@ -86,6 +139,39 @@ func TestParseTransforms(t *testing.T) {
 		if _, err := gbbs.ParseTransforms(spec); err == nil {
 			t.Errorf("ParseTransforms(%q) should fail", spec)
 		}
+	}
+}
+
+func TestSizeHint(t *testing.T) {
+	cases := []struct {
+		src  gbbs.GraphSource
+		n, m int64
+	}{
+		{gbbs.RMAT(10, 16, 1), 1024, 16384},
+		{gbbs.Torus(8), 512, 1536},
+		{gbbs.Random(100, 500, 1), 100, 500},
+		{gbbs.Preferential(100, 4, 1), 100, 400},
+		{gbbs.Grid(8), 64, 128},
+		{gbbs.Path(100), 100, 99},
+		{gbbs.Complete(10), 10, 45},
+		{gbbs.Edges(&gbbs.EdgeList{N: 3, U: []uint32{0}, V: []uint32{1}}), 3, 1},
+	}
+	for _, c := range cases {
+		n, m, ok := gbbs.SizeHint(c.src)
+		if !ok || n != c.n || m != c.m {
+			t.Errorf("SizeHint(%s) = (%d, %d, %v), want (%d, %d, true)", c.src, n, m, ok, c.n, c.m)
+		}
+	}
+	// Absurd parameters saturate instead of overflowing.
+	if _, m, ok := gbbs.SizeHint(gbbs.RMAT(80, 1<<40, 1)); !ok || m <= 0 {
+		t.Errorf("SizeHint(rmat:80) = m=%d ok=%v, want saturated positive", m, ok)
+	}
+	// Readers and custom sources cannot know their size upfront.
+	if _, _, ok := gbbs.SizeHint(gbbs.BinaryFile("g.bin")); ok {
+		t.Error("SizeHint(bin file) should report ok=false")
+	}
+	if _, _, ok := gbbs.SizeHint(gbbs.SourceFunc("custom", nil)); ok {
+		t.Error("SizeHint(SourceFunc) should report ok=false")
 	}
 }
 

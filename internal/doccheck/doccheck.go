@@ -1,0 +1,156 @@
+// Package doccheck is a test helper enforcing the repository's
+// documentation bar on public packages: every exported identifier — types,
+// functions, methods on exported types, constants, variables, and exported
+// struct fields — must carry a godoc comment. The public packages run it
+// from a test, so an undocumented export is a test failure, not a review
+// nit.
+package doccheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Missing parses the non-test Go files of the package in dir and returns a
+// sorted list of exported identifiers that have no doc comment, formatted
+// as "file:line: <what>".
+func Missing(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s", filepath.Base(p.Filename), p.Line, fmt.Sprintf(format, args...)))
+	}
+	for _, entry := range entries {
+		name := entry.Name()
+		if entry.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		checkFile(file, report)
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(file *ast.File, report func(pos token.Pos, format string, args ...any)) {
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "func %s", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			checkGenDecl(d, report)
+		}
+	}
+}
+
+// exportedReceiver reports whether a function is either a plain function or
+// a method whose receiver type is itself exported (methods on unexported
+// types are not API surface).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// checkGenDecl checks a type/const/var declaration group. A doc comment on
+// the group covers its specs (the stdlib's grouped-const idiom); otherwise
+// each exported spec needs its own.
+func checkGenDecl(d *ast.GenDecl, report func(pos token.Pos, format string, args ...any)) {
+	groupDocumented := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !groupDocumented && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type %s", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok {
+				checkFields(s.Name.Name, st, report)
+			}
+			if it, ok := s.Type.(*ast.InterfaceType); ok {
+				checkInterface(s.Name.Name, it, report)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if !groupDocumented && s.Doc == nil && s.Comment == nil {
+					report(name.Pos(), "%s %s", d.Tok, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkFields requires a doc or trailing comment on every exported field of
+// an exported struct. Fields declared in one spec ("a, b int // comment")
+// share their comment; embedded fields are exempt (the embedded type
+// documents itself).
+func checkFields(typeName string, st *ast.StructType, report func(pos token.Pos, format string, args ...any)) {
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 || f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if name.IsExported() {
+				report(name.Pos(), "field %s.%s", typeName, name.Name)
+			}
+		}
+	}
+}
+
+// checkInterface requires a doc comment on every exported method of an
+// exported interface.
+func checkInterface(typeName string, it *ast.InterfaceType, report func(pos token.Pos, format string, args ...any)) {
+	for _, m := range it.Methods.List {
+		if len(m.Names) == 0 {
+			continue // embedded interface
+		}
+		if m.Doc != nil || m.Comment != nil {
+			continue
+		}
+		for _, name := range m.Names {
+			if name.IsExported() {
+				report(name.Pos(), "method %s.%s", typeName, name.Name)
+			}
+		}
+	}
+}

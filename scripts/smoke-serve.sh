@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Smoke test for cmd/gbbs-serve: boot the daemon, probe /healthz, run one
+# declarative request twice, and assert the second is served from the graph
+# cache. Used by `make smoke-serve` and CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${SMOKE_ADDR:-127.0.0.1:18099}"
+TMPDIR_SMOKE="$(mktemp -d)"
+BIN="$TMPDIR_SMOKE/gbbs-serve"
+LOG="$TMPDIR_SMOKE/serve.log"
+
+cleanup() {
+    if [[ -n "${SERVER_PID:-}" ]]; then
+        kill "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMPDIR_SMOKE"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke-serve: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+go build -o "$BIN" ./cmd/gbbs-serve
+
+"$BIN" -addr "$ADDR" -threads 4 -cache-mb 256 -timeout 60s >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listener.
+for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+    sleep 0.1
+done
+
+HEALTH=$(curl -sf "http://$ADDR/healthz") || fail "healthz unreachable"
+echo "$HEALTH" | grep -q '"status": *"ok"' || fail "healthz not ok: $HEALTH"
+
+BODY='{"source":"rmat:14","transforms":["symmetrize"],"algorithm":"bfs","threads":2,"timeout_ms":30000}'
+
+FIRST=$(curl -sf -X POST "http://$ADDR/v1/run" -d "$BODY") || fail "first /v1/run failed"
+echo "$FIRST" | grep -q '"summary"' || fail "first run has no summary: $FIRST"
+echo "$FIRST" | grep -q '"cache": *"miss"' || fail "first run should be a miss: $FIRST"
+
+SECOND=$(curl -sf -X POST "http://$ADDR/v1/run" -d "$BODY") || fail "second /v1/run failed"
+echo "$SECOND" | grep -q '"cache": *"hit"' || fail "second identical run should hit the cache: $SECOND"
+
+CACHE=$(curl -sf "http://$ADDR/v1/cache") || fail "/v1/cache failed"
+echo "$CACHE" | grep -q '"misses": *1' || fail "cache should record 1 miss: $CACHE"
+echo "$CACHE" | grep -q '"hits": *1' || fail "cache should record 1 hit: $CACHE"
+
+ALGOS=$(curl -sf "http://$ADDR/v1/algorithms") || fail "/v1/algorithms failed"
+echo "$ALGOS" | grep -q '"name": *"bfs"' || fail "algorithm listing is missing bfs: $ALGOS"
+
+echo "smoke-serve: OK ($(echo "$FIRST" | grep -o '"summary": *"[^"]*"'))"
