@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench build-isolation serve smoke-serve clean
+# bench-json output label/scale: `make bench-json LABEL=post-pool BENCH_SCALE=14`
+LABEL ?= local
+BENCH_SCALE ?= 12
+
+.PHONY: all build test race vet fmt fmt-check bench bench-json bench-parallel build-isolation serve smoke-serve clean
 
 all: build test
 
@@ -47,6 +51,18 @@ fmt-check:
 bench:
 	$(GO) run ./cmd/gbbs-bench -all -scale 12
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Record a benchmark trajectory point: per-algorithm times for the paper
+# suite at 1 and NumCPU threads, written to BENCH_$(LABEL).json so future
+# perf PRs can diff against it.
+bench-json:
+	$(GO) run ./cmd/gbbs-bench -json BENCH_$(LABEL).json -label $(LABEL) -scale $(BENCH_SCALE)
+
+# Compile-and-smoke the scheduler microbenchmarks (dispatch latency,
+# fork-join depth, round-based proxy, pooled vs spawn baseline). CI runs
+# this so benchmark code cannot rot; drop -benchtime 1x for real numbers.
+bench-parallel:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/parallel
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,8 @@
 //	gbbs-bench -figure 1           # Figure 1: torus throughput sweep
 //	gbbs-bench -compression        # bytes-per-edge report
 //	gbbs-bench -all                # everything
+//	gbbs-bench -json FILE          # machine-readable suite timings (see
+//	                               # make bench-json), labeled with -label
 //
 // Scaling flags: -scale (log2 base size, default 16), -threads, -seed,
 // -skip-single (omit the single-thread columns).
@@ -37,11 +39,31 @@ func main() {
 	threads := flag.Int("threads", 0, "worker threads (0 = all CPUs)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	skipSingle := flag.Bool("skip-single", false, "skip single-thread columns")
+	jsonOut := flag.String("json", "", "write a machine-readable suite report to this file (benchmark trajectory)")
+	label := flag.String("label", "local", "label recorded in the -json report")
 	flag.Parse()
 
 	c := bench.Config{Scale: *scale, Threads: *threads, Seed: *seed, SkipSingle: *skipSingle}
 	w := os.Stdout
 	ran := false
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, *label, c); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+		ran = true
+	}
 	if *all || *table == 2 {
 		bench.Table2(w, c)
 		ran = true

@@ -10,10 +10,18 @@ import (
 )
 
 // Engine is an isolated execution scope for the benchmark's algorithms: it
-// owns a private scheduler (worker count, grain) and a default seed.
-// Engines are cheap to create and safe for concurrent use, and two engines
-// never share parallelism state — a server can run one engine per tenant or
-// per request class, each with its own thread budget.
+// owns a private scheduler (a persistent worker pool plus a worker count and
+// grain) and a default seed. Engines are cheap to create and safe for
+// concurrent use, and two engines never share parallelism state — a server
+// can run one engine per tenant or per request class, each with its own
+// thread budget.
+//
+// The engine's worker pool starts lazily on the first parallel operation and
+// is reused across calls: algorithm rounds, builds and repeated Run
+// invocations wake parked resident workers instead of spawning goroutines.
+// Close releases the pool; an engine that is never closed auto-parks — its
+// idle workers exit on their own after a short idle timeout, so dropping an
+// engine without Close leaks nothing.
 //
 // Every algorithm method takes a context.Context. The context is checked
 // between algorithm rounds; once it is cancelled or past its deadline the
@@ -23,6 +31,14 @@ type Engine struct {
 	sched *parallel.Scheduler
 	seed  uint64
 }
+
+// Close releases the engine's worker pool: parked workers exit immediately
+// and busy ones finish their current task first. Close is idempotent and
+// non-blocking. The engine stays usable afterwards — parallel operations
+// simply run sequentially on the calling goroutine — so a racing in-flight
+// request completes correctly, just without parallel speedup. Close is
+// optional: an idle engine's workers park and then exit on their own.
+func (e *Engine) Close() { e.sched.Close() }
 
 // Option configures an Engine under construction; see WithThreads, WithSeed
 // and WithGrain.

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/gbbs"
+)
+
+// EnginePool keeps warm gbbs.Engine values for reuse across requests. An
+// engine's scheduler owns a pool of persistent worker goroutines; before
+// this pool existed the server constructed a fresh engine per request,
+// multiplying scheduler start-up cost by request volume. Now a request
+// checks an engine with the right thread count out of the pool and returns
+// it afterwards, so steady traffic runs on resident, already-parked workers
+// — which is also what makes the admission Limiter's arithmetic physical:
+// one admitted unit corresponds to one worker goroutine that really exists
+// for the duration of the run.
+//
+// The pool retains at most budget total threads' worth of idle engines
+// (normally the limiter's capacity, so warm residents never exceed what
+// admission would allow to run); surplus engines are closed on return. Idle
+// retained engines cost almost nothing — their workers auto-park and exit
+// after the scheduler's idle timeout, and revive on the next request.
+//
+// Per-request seeds do not prevent sharing: a run's seed travels in
+// gbbs.Request.Seed, which overrides the engine's default, so engines are
+// keyed by thread count alone.
+type EnginePool struct {
+	mu     sync.Mutex
+	idle   map[int][]*gbbs.Engine // keyed by thread count
+	warm   int                    // total threads across idle engines
+	budget int
+	closed bool
+
+	hits, misses int64
+}
+
+// NewEnginePool returns a pool retaining up to budget total threads' worth
+// of idle engines. budget < 1 selects 1.
+func NewEnginePool(budget int) *EnginePool {
+	if budget < 1 {
+		budget = 1
+	}
+	return &EnginePool{idle: make(map[int][]*gbbs.Engine), budget: budget}
+}
+
+// Get returns a warm engine with the given thread count, or creates one if
+// none is idle. The caller must return the engine with Put when the request
+// finishes.
+func (p *EnginePool) Get(threads int) *gbbs.Engine {
+	if threads < 1 {
+		threads = 1
+	}
+	p.mu.Lock()
+	if s := p.idle[threads]; len(s) > 0 {
+		e := s[len(s)-1]
+		s[len(s)-1] = nil
+		p.idle[threads] = s[:len(s)-1]
+		p.warm -= threads
+		p.hits++
+		p.mu.Unlock()
+		return e
+	}
+	p.misses++
+	p.mu.Unlock()
+	return gbbs.New(gbbs.WithThreads(threads))
+}
+
+// Put returns an engine to the pool. When retaining it would push the
+// pool's threads past the budget, idle engines are evicted (closed) to make
+// room — the engine just used is the one traffic is asking for, so stale
+// residents from an earlier thread-count mix must not pin the budget and
+// freeze reuse. An engine larger than the whole budget, or returned after
+// Close, is closed instead of retained. Put tolerates an engine still
+// finishing a detached build (engines are safe for concurrent use); the
+// overlap is bounded by one build per cache key, the same caveat the
+// admission limiter documents.
+func (p *EnginePool) Put(e *gbbs.Engine) {
+	if e == nil {
+		return
+	}
+	t := e.Threads()
+	p.mu.Lock()
+	if p.closed || t > p.budget {
+		p.mu.Unlock()
+		e.Close()
+		return
+	}
+	var evicted []*gbbs.Engine
+	for p.warm+t > p.budget {
+		evicted = append(evicted, p.evictOneLocked(t))
+	}
+	p.idle[t] = append(p.idle[t], e)
+	p.warm += t
+	p.mu.Unlock()
+	for _, v := range evicted {
+		v.Close()
+	}
+}
+
+// evictOneLocked removes one idle engine to free budget, preferring thread
+// counts other than keep (the count current traffic is using). The pool is
+// known non-empty when called: warm > budget - t >= 0 implies at least one
+// idle engine. Caller holds p.mu and closes the returned engine.
+func (p *EnginePool) evictOneLocked(keep int) *gbbs.Engine {
+	victim := 0
+	for t, s := range p.idle {
+		if len(s) == 0 {
+			continue
+		}
+		if victim == 0 || (victim == keep && t != keep) {
+			victim = t
+		}
+	}
+	s := p.idle[victim]
+	e := s[len(s)-1]
+	s[len(s)-1] = nil
+	p.idle[victim] = s[:len(s)-1]
+	p.warm -= victim
+	return e
+}
+
+// Close closes every idle engine and makes subsequent Puts close their
+// engines too. Gets after Close still work (they mint fresh engines), so a
+// shutdown racing a request stays safe.
+func (p *EnginePool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	var all []*gbbs.Engine
+	for _, s := range p.idle {
+		all = append(all, s...)
+	}
+	p.idle = make(map[int][]*gbbs.Engine)
+	p.warm = 0
+	p.mu.Unlock()
+	for _, e := range all {
+		e.Close()
+	}
+}
+
+// EnginePoolStats is a snapshot of the pool's occupancy and traffic.
+type EnginePoolStats struct {
+	// WarmEngines is the number of idle engines currently retained.
+	WarmEngines int `json:"warm_engines"`
+	// WarmThreads is the total thread count across retained engines — the
+	// resident worker budget currently parked and ready.
+	WarmThreads int `json:"warm_threads"`
+	// BudgetThreads is the retention cap (normally the admission capacity).
+	BudgetThreads int `json:"budget_threads"`
+	// Hits counts Gets served by a warm engine.
+	Hits int64 `json:"hits"`
+	// Misses counts Gets that created a fresh engine.
+	Misses int64 `json:"misses"`
+}
+
+// Stats returns a consistent snapshot of the pool.
+func (p *EnginePool) Stats() EnginePoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, s := range p.idle {
+		n += len(s)
+	}
+	return EnginePoolStats{
+		WarmEngines:   n,
+		WarmThreads:   p.warm,
+		BudgetThreads: p.budget,
+		Hits:          p.hits,
+		Misses:        p.misses,
+	}
+}

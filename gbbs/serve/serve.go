@@ -67,6 +67,7 @@ type Server struct {
 	cfg     Config
 	cache   *Cache
 	limiter *Limiter
+	engines *EnginePool
 	mux     *http.ServeMux
 	started time.Time
 
@@ -90,6 +91,7 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		cache:     NewCache(buildCtx, cfg.CacheBytes),
 		limiter:   NewLimiter(cfg.MaxThreads),
+		engines:   NewEnginePool(cfg.MaxThreads),
 		mux:       http.NewServeMux(),
 		started:   time.Now(),
 		buildCtx:  buildCtx,
@@ -111,10 +113,16 @@ func (s *Server) Cache() *Cache { return s.cache }
 // Limiter exposes the server's admission limiter.
 func (s *Server) Limiter() *Limiter { return s.limiter }
 
-// Close aborts in-flight cache builds. In-flight HTTP requests fail with
-// their build's cancellation error; call it after the http.Server has
-// drained.
-func (s *Server) Close() { s.stopBuild() }
+// Engines exposes the server's warm engine pool (for stats).
+func (s *Server) Engines() *EnginePool { return s.engines }
+
+// Close aborts in-flight cache builds and releases the warm engine pool's
+// workers. In-flight HTTP requests fail with their build's cancellation
+// error; call it after the http.Server has drained.
+func (s *Server) Close() {
+	s.stopBuild()
+	s.engines.Close()
+}
 
 // RunRequest is the wire form of one declarative run: everything a tenant
 // request needs, as one JSON object.
@@ -212,6 +220,10 @@ type HealthResponse struct {
 	ThreadsInUse int `json:"threads_in_use"`
 	// ThreadCapacity is the admission limiter's total budget.
 	ThreadCapacity int `json:"thread_capacity"`
+	// WarmEngines is the number of idle engines held ready for reuse.
+	WarmEngines int `json:"warm_engines"`
+	// WarmThreads is the total worker-thread count across warm engines.
+	WarmThreads int `json:"warm_threads"`
 	// Goroutines is runtime.NumGoroutine, a cheap load signal.
 	Goroutines int `json:"goroutines"`
 }
@@ -232,11 +244,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // handleHealthz implements GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	eng := s.engines.Stats()
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:         "ok",
 		UptimeMS:       time.Since(s.started).Milliseconds(),
 		ThreadsInUse:   s.limiter.InUse(),
 		ThreadCapacity: s.limiter.Capacity(),
+		WarmEngines:    eng.WarmEngines,
+		WarmThreads:    eng.WarmThreads,
 		Goroutines:     runtime.NumGoroutine(),
 	})
 }
@@ -377,7 +392,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.limiter.Release(p.threads)
 
-	eng := newEngine(p)
+	// The engine comes from the warm pool: its scheduler's workers are the
+	// resident goroutines the admission grant accounts for, parked from a
+	// previous request rather than spawned for this one. The per-request
+	// seed travels in gbbs.Request.Seed below, so sharing engines across
+	// requests never leaks randomness between tenants.
+	eng := s.engines.Get(p.threads)
+	defer s.engines.Put(eng)
 	g, hit, err := s.cache.GetOrBuild(ctx, p.key, func(buildCtx context.Context) (gbbs.Graph, error) {
 		return eng.Build(buildCtx, p.source, p.transforms...)
 	})
@@ -418,15 +439,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		},
 		Result: res,
 	})
-}
-
-// newEngine builds the per-request engine for a parsed run.
-func newEngine(p *parsedRun) *gbbs.Engine {
-	opts := []gbbs.Option{gbbs.WithThreads(p.threads)}
-	if p.req.Seed != 0 {
-		opts = append(opts, gbbs.WithSeed(p.req.Seed))
-	}
-	return gbbs.New(opts...)
 }
 
 // writeRunError maps an execution error to a status code: deadline expiry

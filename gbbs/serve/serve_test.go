@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/gbbs/serve"
 )
@@ -379,5 +380,42 @@ func TestHealthzAfterLoad(t *testing.T) {
 	}
 	if s.Limiter().InUse() != 0 {
 		t.Fatal("limiter leaked units")
+	}
+}
+
+// TestEngineReuseAcrossRequests checks the serving layer's warm engine
+// pool: after sequential identical requests the second one must have been
+// served by the engine the first returned, and healthz must report the warm
+// residents.
+func TestEngineReuseAcrossRequests(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{MaxThreads: 4})
+	body := `{"source":"path:800","transforms":["symmetrize"],"algorithm":"bfs","threads":2}`
+	// The handler returns its engine in a defer that runs after the
+	// response body is written, so wait for the engine to actually land in
+	// the pool between requests instead of racing the handler's return.
+	for i := 0; i < 2; i++ {
+		var resp serve.RunResponse
+		if status := postRun(t, ts, body, &resp); status != http.StatusOK {
+			t.Fatalf("run %d status = %d", i, status)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for s.Engines().Stats().WarmEngines < 1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("run %d: engine never returned to the pool: %+v", i, s.Engines().Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	es := s.Engines().Stats()
+	if es.Hits < 1 {
+		t.Fatalf("engine pool hits = %d, want >= 1 (stats: %+v)", es.Hits, es)
+	}
+	if es.WarmEngines < 1 || es.WarmThreads < 2 {
+		t.Fatalf("no warm engine retained after requests: %+v", es)
+	}
+	var h serve.HealthResponse
+	getJSON(t, ts, "/healthz", &h)
+	if h.WarmEngines != es.WarmEngines || h.WarmThreads != es.WarmThreads {
+		t.Fatalf("healthz warm stats %+v diverge from pool stats %+v", h, es)
 	}
 }

@@ -27,7 +27,9 @@ import (
 // so the thread count cannot change what is measured). Panics on build
 // errors: benchmark inputs are programmer-specified.
 func buildGraph(src gbbs.GraphSource, transforms ...gbbs.Transform) graph.Graph {
-	g, err := gbbs.New().Build(context.Background(), src, transforms...)
+	eng := gbbs.New()
+	defer eng.Close()
+	g, err := eng.Build(context.Background(), src, transforms...)
 	if err != nil {
 		panic(fmt.Sprintf("bench: building %s: %v", src, err))
 	}
@@ -123,6 +125,7 @@ func Measure(in Input, a Algo, threads int) time.Duration {
 		return 0
 	}
 	e := gbbs.New(gbbs.WithThreads(threads), gbbs.WithSeed(a.Seed))
+	defer e.Close()
 	res, err := e.Run(context.Background(), a.Key, gbbs.Request{Graph: g, Seed: a.Seed})
 	if err != nil {
 		return 0

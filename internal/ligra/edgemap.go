@@ -60,12 +60,35 @@ func EdgeMap(s *parallel.Scheduler, g graph.Graph, frontier VertexSubset, update
 	if threshold <= 0 {
 		threshold = 20
 	}
-	ids := frontier.Sparse(s)
-	degSum := prims.MapReduce(s, len(ids), 0,
-		func(i int) int { return g.OutDeg(ids[i]) },
-		func(a, b int) int { return a + b })
+	// The direction heuristic needs the frontier's degree sum, not its
+	// member list: when the frontier is already dense, summing over the
+	// flags avoids materializing the sparse form (a pack allocating and
+	// compacting O(n) words) that the dense direction would then never
+	// read. The sparse ids are produced only once the sparse direction is
+	// actually chosen.
+	var ids []uint32
+	var degSum int
+	if frontier.IsDense() {
+		flags := frontier.Dense(s)
+		degSum = prims.MapReduce(s, n, 0,
+			func(i int) int {
+				if flags[i] {
+					return g.OutDeg(uint32(i))
+				}
+				return 0
+			},
+			func(a, b int) int { return a + b })
+	} else {
+		ids = frontier.Sparse(s)
+		degSum = prims.MapReduce(s, len(ids), 0,
+			func(i int) int { return g.OutDeg(ids[i]) },
+			func(a, b int) int { return a + b })
+	}
 	if !opt.NoDense && frontier.Size()+degSum > g.M()/threshold {
 		return edgeMapDense(s, g, frontier, update, cond, opt)
+	}
+	if ids == nil {
+		ids = frontier.Sparse(s)
 	}
 	if opt.NoBlocked {
 		return edgeMapSparse(s, g, ids, degSum, update, cond, opt)

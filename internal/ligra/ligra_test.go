@@ -209,3 +209,38 @@ func TestEdgeMapBlockedHighDegreeSplit(t *testing.T) {
 		}
 	}
 }
+
+// TestEdgeMapDenseFrontierMatchesSparse feeds the same frontier to EdgeMap
+// in dense-only and sparse-only representations, under both traversal
+// directions. The dense representation exercises the fast path that
+// computes the direction heuristic's degree sum from the flags without
+// materializing the sparse form.
+func TestEdgeMapDenseFrontierMatchesSparse(t *testing.T) {
+	g := gen.BuildRMAT(parallel.Default, 10, 8, true, false, 7)
+	n := g.N()
+	members := []uint32{}
+	flags := make([]bool, n)
+	for v := 0; v < n; v += 3 {
+		members = append(members, uint32(v))
+		flags[v] = true
+	}
+	for _, opt := range []Opts{{}, {NoDense: true}, {DenseThreshold: 1 << 30}} {
+		results := [][]uint32{}
+		for _, frontier := range []VertexSubset{
+			FromSparse(n, slices.Clone(members)),
+			FromDense(parallel.Default, slices.Clone(flags), len(members)),
+		} {
+			out := EdgeMap(parallel.Default, g, frontier,
+				func(s, d uint32, w int32) bool { return true },
+				func(d uint32) bool { return true }, opt)
+			ids := slices.Clone(out.Sparse(parallel.Default))
+			slices.Sort(ids)
+			ids = slices.Compact(ids)
+			results = append(results, ids)
+		}
+		if !slices.Equal(results[0], results[1]) {
+			t.Fatalf("opts %+v: dense frontier output (%d ids) differs from sparse (%d ids)",
+				opt, len(results[1]), len(results[0]))
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package parallel
+
+// Microbenchmarks for scheduler dispatch overhead: each pooled benchmark has
+// a Spawn twin running the pre-pool spawn-per-call implementation
+// (goroutines + WaitGroup per ForRange, channel + goroutine per Do), so
+// `go test -bench Dispatch\|ForkJoin\|Rounds ./internal/parallel` prints the
+// dispatch win directly. CI runs the suite with -benchtime 1x as a
+// compile-and-smoke so benchmark code cannot rot.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// spawnForRange is the spawn-per-call scheduler this package used before the
+// persistent pool: P fresh goroutines and a WaitGroup per loop, chunk claim
+// via an atomic counter. Kept verbatim as the benchmark baseline.
+func spawnForRange(p, n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	blocks := (n + grain - 1) / grain
+	if p == 1 || blocks == 1 {
+		body(0, n)
+		return
+	}
+	if p > blocks {
+		p = blocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= blocks {
+					return
+				}
+				lo := b * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// spawnDo is the pre-pool fork-join: one channel and one goroutine per fork.
+func spawnDo(f, g func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g()
+	}()
+	f()
+	<-done
+}
+
+const benchWorkers = 4
+
+// touch is the benchmark loop body: cheap enough that dispatch overhead
+// dominates, real enough that the compiler cannot delete the loop.
+func touch(x []int64) func(lo, hi int) {
+	return func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i]++
+		}
+	}
+}
+
+func benchDispatchPooled(b *testing.B, n, grain int) {
+	s := New(benchWorkers)
+	defer s.Close()
+	x := make([]int64, n)
+	body := touch(x)
+	s.ForRange(n, grain, body) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ForRange(n, grain, body)
+	}
+}
+
+func benchDispatchSpawn(b *testing.B, n, grain int) {
+	x := make([]int64, n)
+	body := touch(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spawnForRange(benchWorkers, n, grain, body)
+	}
+}
+
+// Dispatch latency for a small loop (n=1e3): the regime of round-based
+// algorithms near their frontiers' tails, where per-call overhead is the
+// whole cost. grain 128 forces real multi-block dispatch.
+func BenchmarkDispatch1e3Pooled(b *testing.B) { benchDispatchPooled(b, 1_000, 128) }
+
+// BenchmarkDispatch1e3Spawn is the spawn-per-call baseline for n=1e3.
+func BenchmarkDispatch1e3Spawn(b *testing.B) { benchDispatchSpawn(b, 1_000, 128) }
+
+// Dispatch plus real work for a large loop (n=1e6) at the automatic grain.
+func BenchmarkDispatch1e6Pooled(b *testing.B) { benchDispatchPooled(b, 1_000_000, 0) }
+
+// BenchmarkDispatch1e6Spawn is the spawn-per-call baseline for n=1e6.
+func BenchmarkDispatch1e6Spawn(b *testing.B) {
+	s := New(benchWorkers) // only for grain selection parity
+	defer s.Close()
+	benchDispatchSpawn(b, 1_000_000, s.grainOf(1_000_000, 0, benchWorkers))
+}
+
+const forkDepth = 10 // 2^10 = 1024 leaves per iteration
+
+// Fork-join tree of depth 10 — the shape of the parallel sorts. The pooled
+// scheduler lazily reclaims unforked halves; the baseline pays a channel
+// and goroutine per fork.
+func BenchmarkForkJoinDepthPooled(b *testing.B) {
+	s := New(benchWorkers)
+	defer s.Close()
+	var sink atomic.Int64
+	var walk func(d int)
+	walk = func(d int) {
+		if d == 0 {
+			sink.Add(1)
+			return
+		}
+		s.Do(func() { walk(d - 1) }, func() { walk(d - 1) })
+	}
+	walk(forkDepth) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		walk(forkDepth)
+	}
+}
+
+// BenchmarkForkJoinDepthSpawn is the channel-per-fork baseline.
+func BenchmarkForkJoinDepthSpawn(b *testing.B) {
+	var sink atomic.Int64
+	var walk func(d int)
+	walk = func(d int) {
+		if d == 0 {
+			sink.Add(1)
+			return
+		}
+		spawnDo(func() { walk(d - 1) }, func() { walk(d - 1) })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		walk(forkDepth)
+	}
+}
+
+const (
+	bfsRounds    = 100
+	bfsFrontier  = 4096
+	bfsRoundGran = 256
+)
+
+// Round-based BFS proxy: 100 dependent rounds of a 4096-element frontier
+// loop, the cadence at which EdgeMap hits the scheduler level by level.
+// Per-round dispatch overhead is exactly what the persistent pool removes.
+func BenchmarkRoundsBFSProxyPooled(b *testing.B) {
+	s := New(benchWorkers)
+	defer s.Close()
+	x := make([]int64, bfsFrontier)
+	body := touch(x)
+	s.ForRange(bfsFrontier, bfsRoundGran, body) // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < bfsRounds; r++ {
+			s.ForRange(bfsFrontier, bfsRoundGran, body)
+		}
+	}
+}
+
+// BenchmarkRoundsBFSProxySpawn is the spawn-per-call baseline for the
+// round-based proxy.
+func BenchmarkRoundsBFSProxySpawn(b *testing.B) {
+	x := make([]int64, bfsFrontier)
+	body := touch(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < bfsRounds; r++ {
+			spawnForRange(benchWorkers, bfsFrontier, bfsRoundGran, body)
+		}
+	}
+}

@@ -6,18 +6,39 @@
 // algorithm with W work and D depth in W/P + O(D) expected time on P
 // processors. Goroutines are too coarse to fork per element, so this package
 // schedules *blocks*: a parallel loop over n items is split into chunks of a
-// caller-controlled grain size, and a bounded set of worker goroutines claim
-// chunks with an atomic counter. This preserves the dynamic load balancing a
-// work-stealing scheduler provides for parallel loops while keeping
-// per-goroutine overhead off the critical path.
+// caller-controlled grain size, and workers claim chunks with an atomic
+// counter — the dynamic load balancing of a work-stealing scheduler without
+// per-element forks.
 //
-// The runtime is instance-based: a Scheduler carries its own worker count
-// (and optionally a cancellation signal), so independent callers — e.g. two
-// gbbs.Engine values serving different requests — can run concurrently with
-// different parallelism without sharing any global state. Default is the
-// process-wide scheduler the package-level wrappers (ForRange, SetWorkers,
-// ...) delegate to; it preserves the historical free-function surface used by
-// the paper-measurement path.
+// Each Scheduler owns a lazily-started pool of persistent workers. A
+// parallel loop does not spawn goroutines: it publishes a task descriptor
+// (range, grain, body, atomic claim counter), wakes parked pool workers
+// through per-worker channels, and the submitting goroutine itself claims
+// chunks alongside them, joining through the task's atomic counter when its
+// own claims run out. Round-based algorithms (one EdgeMap per BFS level,
+// ρ peeling rounds in k-core) therefore pay a wake/park handshake per round
+// instead of P goroutine creations. Do and DoN ride the same task machinery:
+// a fork is published, the caller runs its own half, then reclaims the other
+// half inline if no worker picked it up — no channel is allocated on the
+// fork-join path.
+//
+// Nesting can never deadlock: workers are pure helpers, and every loop is
+// fully driven by its submitter, so a ForRange body issuing another ForRange
+// on the same scheduler just makes the calling worker the inner loop's
+// submitter while parked siblings lend a hand. Attach(ctx) children share
+// the parent's pool (plus a cancellation signal), so an Engine's whole call
+// tree draws from one resident worker set. Workers park between tasks and
+// exit after an idle timeout — an abandoned Scheduler decays to zero
+// goroutines — and Close parks the pool immediately and permanently
+// (operations afterwards still run correctly, inline on their callers).
+//
+// The runtime is instance-based: a Scheduler carries its own worker count,
+// pool and optional cancellation signal, so independent callers — e.g. two
+// gbbs.Engine values serving different requests — run concurrently with
+// different parallelism and no shared state. Default is the process-wide
+// scheduler the package-level wrappers (ForRange, SetWorkers, ...) delegate
+// to; it preserves the historical free-function surface used by the
+// paper-measurement path.
 //
 // A Scheduler with one worker (New(1), or SetWorkers(1) on Default) runs
 // every operation inline with zero scheduling overhead; this is how the
@@ -27,18 +48,23 @@ package parallel
 import (
 	"context"
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
-// Scheduler executes parallel loops and fork-join tasks on a bounded set of
-// worker goroutines. The zero value is not usable; construct with New. A
-// Scheduler is cheap (a few words) and safe for concurrent use: independent
-// loops issued against the same Scheduler each spawn their own workers, so a
-// Scheduler can serve many goroutines at once.
+// Scheduler executes parallel loops and fork-join tasks on a persistent,
+// lazily-started pool of worker goroutines. The zero value is not usable;
+// construct with New. A Scheduler is safe for concurrent use: independent
+// loops issued against the same Scheduler at once share the pool's workers
+// and each is driven to completion by its own submitting goroutine.
 type Scheduler struct {
 	workers atomic.Int64
 	grain   int // default grain override; 0 selects the automatic grain
+	// pool is the persistent worker set, shared with every Attach child so
+	// an engine's whole call tree draws from one resident pool. owner marks
+	// the Scheduler that created the pool: SetWorkers and Close resize or
+	// park the pool only through its owner.
+	pool  *pool
+	owner bool
 	// done/err carry an optional cancellation signal attached with
 	// Attach(ctx). Poll panics with a stopPanic when done is closed;
 	// RecoverStop converts that panic back into an error at the API
@@ -47,15 +73,18 @@ type Scheduler struct {
 	err  func() error
 }
 
-// New returns a Scheduler that runs parallel operations on p worker
-// goroutines. p < 1 selects 1 (fully sequential); use runtime.NumCPU() for
-// the hardware parallelism.
+// New returns a Scheduler that runs parallel operations with parallelism p:
+// the submitting goroutine plus up to p-1 pooled workers, spawned on first
+// demand. p < 1 selects 1 (fully sequential); use runtime.NumCPU() for the
+// hardware parallelism.
 func New(p int) *Scheduler {
 	s := &Scheduler{}
 	if p < 1 {
 		p = 1
 	}
 	s.workers.Store(int64(p))
+	s.pool = newPool(p - 1)
+	s.owner = true
 	return s
 }
 
@@ -77,22 +106,47 @@ var Default = New(runtime.NumCPU())
 func (s *Scheduler) Workers() int { return int(s.workers.Load()) }
 
 // SetWorkers sets the scheduler's worker count and returns the previous
-// value. p < 1 is treated as 1. It does not affect operations in flight.
+// value. p < 1 is treated as 1. On a pool-owning scheduler (one made by New,
+// not Attach) it also resizes the pool: growth takes effect on the next
+// loop, and excess workers after a shrink exit when they next go idle. It
+// does not affect operations in flight.
 func (s *Scheduler) SetWorkers(p int) int {
 	if p < 1 {
 		p = 1
 	}
-	return int(s.workers.Swap(int64(p)))
+	prev := int(s.workers.Swap(int64(p)))
+	if s.owner {
+		s.pool.setLimit(p - 1)
+	}
+	return prev
 }
 
-// Attach returns a child scheduler that shares nothing with s but starts
-// from s's worker count and grain, and additionally observes ctx: once ctx
-// is done, Poll on the child panics with a cancellation token that
+// Close parks the scheduler's worker pool permanently: parked workers exit,
+// busy ones finish their current task first, and no new workers spawn.
+// Operations issued after Close still run correctly, inline on their calling
+// goroutines. Close is idempotent, and a no-op on Attach children (the pool
+// belongs to the scheduler that created it). Even without Close, an idle
+// pool decays to zero goroutines on its own after an idle timeout.
+func (s *Scheduler) Close() {
+	if s.owner {
+		s.pool.close()
+	}
+}
+
+// PoolWorkers reports the pool's currently live worker goroutines (parked
+// or busy). It is a diagnostics hook for tests and serving-layer stats; the
+// count is naturally racy.
+func (s *Scheduler) PoolWorkers() int { return s.pool.workerCount() }
+
+// Attach returns a child scheduler that shares s's worker pool — so an
+// engine's whole call tree runs on one resident worker set — but carries
+// its own worker count (copied from s) and additionally observes ctx: once
+// ctx is done, Poll on the child panics with a cancellation token that
 // RecoverStop translates into ctx.Err(). Attach is how a gbbs.Engine scopes
 // one algorithm invocation to one request context. A nil or background-like
 // ctx (ctx.Done() == nil) returns a child with no cancellation signal.
 func (s *Scheduler) Attach(ctx context.Context) *Scheduler {
-	child := &Scheduler{grain: s.grain}
+	child := &Scheduler{grain: s.grain, pool: s.pool}
 	child.workers.Store(s.workers.Load())
 	if ctx != nil && ctx.Done() != nil {
 		child.done = ctx.Done()
@@ -111,10 +165,21 @@ type stopPanic struct{ err error }
 // stop token if the context is done. Algorithms call it between rounds (not
 // inside loop bodies — the panic must unwind the algorithm's own goroutine).
 // On a scheduler with no attached context it is a single nil check.
+//
+// When a signal is attached, Poll also yields the processor. The pooled
+// runtime hands work between the submitter and its workers through direct
+// wakeups, which on a saturated GOMAXPROCS (notably 1) can keep the pair
+// running in each other's favor and starve the goroutine that would call
+// cancel() — the context's Done channel then never closes and Poll never
+// fires. A Gosched per round forces a trip through the Go scheduler (which
+// runs expired timers and queued goroutines), bounding cancellation latency
+// at a few rounds; uncancellable paths (the benchmark columns) skip it
+// entirely.
 func (s *Scheduler) Poll() {
 	if s.done == nil {
 		return
 	}
+	runtime.Gosched()
 	select {
 	case <-s.done:
 		err := context.Canceled
@@ -169,6 +234,12 @@ func (s *Scheduler) grainOf(n, grain, p int) int {
 // concurrently from multiple goroutines; distinct calls never overlap.
 // grain <= 0 selects the scheduler's default grain. ForRange returns when
 // all chunks have completed.
+//
+// The call publishes one task descriptor to the scheduler's pool, wakes up
+// to min(p, blocks)-1 parked workers, and claims chunks itself until the
+// claim counter is exhausted — so it completes even if every pool worker is
+// busy elsewhere, which is what makes nested ForRange calls on one
+// scheduler deadlock-free.
 func (s *Scheduler) ForRange(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -183,27 +254,40 @@ func (s *Scheduler) ForRange(n, grain int, body func(lo, hi int)) {
 	if p > blocks {
 		p = blocks
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				b := int(next.Add(1)) - 1
-				if b >= blocks {
-					return
-				}
-				lo := b * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
+	t := &task{blocks: int64(blocks), n: n, grain: grain, body: body}
+	s.runTask(t, p-1)
+}
+
+// runTask is the single publish/participate/join protocol behind ForRange,
+// Do and DoN. Ordering is load-bearing: the join counter is armed before
+// the task becomes visible to workers; the submitter claims blocks until
+// the counter is exhausted (guaranteeing completion with zero helpers);
+// retire strictly precedes the join so no worker can pick the task up
+// after the submitter returns.
+//
+// The cleanup is deferred so that a body panicking on the submitting
+// goroutine — which, unlike a panic on a pool worker, is recoverable by
+// the caller (gbbs/serve recovers build panics into request errors) —
+// cannot strand a published task in the shared pool for a later loop's
+// workers to pick up. The deferred path claims any still-unstarted blocks
+// itself without executing them (balancing the join counter), unpublishes
+// the task, and waits out blocks already running on workers before the
+// panic continues unwinding.
+func (s *Scheduler) runTask(t *task, helpers int) {
+	t.wg.Add(int(t.blocks))
+	s.pool.submit(t, helpers)
+	defer func() {
+		for {
+			b := t.next.Add(1) - 1
+			if b >= t.blocks {
+				break
 			}
-		}()
-	}
-	wg.Wait()
+			t.wg.Done() // cancel a block no one started
+		}
+		s.pool.retire(t)
+		t.wg.Wait()
+	}()
+	t.run()
 }
 
 // For runs body(i) for each i in [0, n) in parallel. The per-element closure
@@ -219,22 +303,25 @@ func (s *Scheduler) For(n, grain int, body func(i int)) {
 
 // Do runs f and g in parallel (binary fork-join) and returns when both have
 // completed. With one worker it runs them sequentially.
+//
+// The fork is published as a two-block task: the caller claims f, a pool
+// worker may claim g, and if none does by the time f finishes the caller
+// reclaims g inline — lazy forking, so deep Do recursions (parallel sort)
+// degrade to sequential calls when all workers are busy. The join is the
+// task's atomic counter; no goroutine is spawned and no channel allocated.
 func (s *Scheduler) Do(f, g func()) {
 	if s.Workers() == 1 {
 		f()
 		g()
 		return
 	}
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		g()
-	}()
-	f()
-	<-done
+	pair := [2]func(){f, g}
+	s.runTask(&task{blocks: 2, funcs: pair[:]}, 1)
 }
 
-// DoN runs each of fs in parallel and returns when all have completed.
+// DoN runs each of fs in parallel and returns when all have completed. Like
+// Do it publishes one task and participates in draining it, claiming any
+// functions no pool worker picks up.
 func (s *Scheduler) DoN(fs ...func()) {
 	if s.Workers() == 1 || len(fs) <= 1 {
 		for _, f := range fs {
@@ -242,16 +329,8 @@ func (s *Scheduler) DoN(fs ...func()) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(fs) - 1)
-	for _, f := range fs[1:] {
-		go func() {
-			defer wg.Done()
-			f()
-		}()
-	}
-	fs[0]()
-	wg.Wait()
+	helpers := min(s.Workers(), len(fs)) - 1
+	s.runTask(&task{blocks: int64(len(fs)), funcs: fs}, helpers)
 }
 
 // Blocks returns the block boundaries ForRange would use for n items with

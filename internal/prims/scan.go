@@ -61,6 +61,8 @@ func scanSeq[T Number](a, out []T, carry T) T {
 }
 
 // ScanInclusive writes inclusive prefix sums into out and returns the total.
+// Like Scan, a single-block input (sub-grain n or a one-worker scheduler)
+// takes a plain sequential pass with no block machinery.
 func ScanInclusive[T Number](s *parallel.Scheduler, a, out []T) T {
 	n := len(a)
 	if n == 0 {
@@ -68,6 +70,9 @@ func ScanInclusive[T Number](s *parallel.Scheduler, a, out []T) T {
 	}
 	bounds := s.Blocks(n, 0)
 	nb := len(bounds) - 1
+	if nb == 1 {
+		return scanInclSeq(a, out, 0)
+	}
 	sums := make([]T, nb)
 	s.ForBlocks(bounds, func(b, lo, hi int) {
 		var s T
@@ -83,13 +88,18 @@ func ScanInclusive[T Number](s *parallel.Scheduler, a, out []T) T {
 		total += s
 	}
 	s.ForBlocks(bounds, func(b, lo, hi int) {
-		s := sums[b]
-		for i := lo; i < hi; i++ {
-			s += a[i]
-			out[i] = s
-		}
+		scanInclSeq(a[lo:hi], out[lo:hi], sums[b])
 	})
 	return total
+}
+
+func scanInclSeq[T Number](a, out []T, carry T) T {
+	s := carry
+	for i, v := range a {
+		s += v
+		out[i] = s
+	}
+	return s
 }
 
 // ScanInPlace replaces a with its exclusive prefix sums and returns the total.
