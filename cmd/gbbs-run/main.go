@@ -11,12 +11,19 @@
 // the graph on its own scheduler — so -threads bounds generation, loading
 // and compression as well as the algorithm, and -timeout covers the build.
 //
+// Algorithm parameters are typed: each registry entry declares a Param
+// schema (name, kind, default, bounds), printable with -describe and
+// settable with repeated -opt flags. Unknown parameter names and
+// out-of-range values are rejected before the run starts.
+//
 // Usage:
 //
 //	gbbs-run -list
+//	gbbs-run -describe scc
 //	gbbs-run -algo bfs -i graph.adj -sym -src 0
 //	gbbs-run -algo kcore -gen rmat -scale 18
 //	gbbs-run -algo cc -source "rmat:scale=18,factor=16" -transform "sym"
+//	gbbs-run -algo scc -gen rmat -sym=false -opt beta=1.5 -opt trimrounds=5
 //	gbbs-run -algo cc -gen rmat -scale 18 -threads 4 -timeout 30s
 package main
 
@@ -27,6 +34,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -36,6 +45,16 @@ import (
 func main() {
 	algo := flag.String("algo", "bfs", "algorithm to run (see -list)")
 	list := flag.Bool("list", false, "list registered algorithms and exit")
+	describe := flag.String("describe", "", "print an algorithm's requirements and full parameter schema, then exit")
+	opts := map[string]any{}
+	flag.Func("opt", "algorithm parameter as name=value (repeatable; see -describe <algo>)", func(s string) error {
+		name, raw, ok := strings.Cut(s, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want name=value, got %q", s)
+		}
+		opts[name] = parseOptValue(raw)
+		return nil
+	})
 	input := flag.String("i", "", "input adjacency-graph file (empty = generate)")
 	sourceSpec := flag.String("source", "", `declarative source spec, e.g. "rmat:scale=18,factor=16" (overrides -i/-gen)`)
 	transformSpec := flag.String("transform", "", `transform spec, e.g. "sym;paperweights:seed=1;compress"`)
@@ -55,6 +74,16 @@ func main() {
 
 	if *list {
 		printAlgorithms(os.Stdout)
+		return
+	}
+	if *describe != "" {
+		a, ok := gbbs.Lookup(*describe)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown algorithm %q; registered algorithms:\n\n", *describe)
+			printAlgorithms(os.Stderr)
+			os.Exit(2)
+		}
+		describeAlgorithm(os.Stdout, a)
 		return
 	}
 	a, ok := gbbs.Lookup(*algo)
@@ -121,11 +150,11 @@ func main() {
 		transforms = append(transforms, gbbs.EncodeCompressed(0))
 	}
 
-	opts := []gbbs.Option{gbbs.WithSeed(*seed)}
+	engOpts := []gbbs.Option{gbbs.WithSeed(*seed)}
 	if *threads > 0 {
-		opts = append(opts, gbbs.WithThreads(*threads))
+		engOpts = append(engOpts, gbbs.WithThreads(*threads))
 	}
-	eng := gbbs.New(opts...)
+	eng := gbbs.New(engOpts...)
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -136,7 +165,8 @@ func main() {
 	res, err := eng.Run(ctx, a.Name, gbbs.Request{
 		Input:  &gbbs.InputSpec{Source: source, Transforms: transforms},
 		Source: uint32(*src),
-		Seed:   *seed,
+		Seed:   seed,
+		Opts:   opts,
 	})
 	if err != nil {
 		log.Fatalf("%s: %v", a.Name, err)
@@ -165,24 +195,86 @@ func main() {
 	fmt.Printf("%s: %s in %v\n", a.Name, res.Summary, res.Elapsed.Round(time.Microsecond))
 }
 
+// parseOptValue converts one -opt value to the JSON-compatible dynamic
+// types the registry's schema validation accepts: int, then float, then
+// bool, falling back to the raw string (which validation will reject with
+// a descriptive error naming the expected kind).
+func parseOptValue(raw string) any {
+	if n, err := strconv.Atoi(raw); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(raw, 64); err == nil {
+		return f
+	}
+	if b, err := strconv.ParseBool(raw); err == nil {
+		return b
+	}
+	return raw
+}
+
+// requirements renders an algorithm's input-requirement flags for -list
+// and -describe.
+func requirements(a gbbs.Algorithm) string {
+	var req []string
+	if a.NeedsSource {
+		req = append(req, "src")
+	}
+	if a.NeedsWeights {
+		req = append(req, "weights")
+	}
+	if a.Directed {
+		req = append(req, "directed")
+	}
+	return strings.Join(req, " ")
+}
+
+// paramSummary renders a compact name=default list of an algorithm's
+// parameter schema for the -list table.
+func paramSummary(a gbbs.Algorithm) string {
+	parts := make([]string, len(a.Params))
+	for i, p := range a.Params {
+		parts[i] = fmt.Sprintf("%s=%v", p.Name, p.Default)
+	}
+	return strings.Join(parts, " ")
+}
+
 // printAlgorithms writes one line per registered algorithm: name,
-// description, and the input requirements the registry declares.
+// description, the input requirements the registry declares, and the
+// parameter schema's name=default summary.
 func printAlgorithms(w *os.File) {
 	algos := gbbs.Algorithms() // already sorted by name
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NAME\tDESCRIPTION\tREQUIRES")
+	fmt.Fprintln(tw, "NAME\tDESCRIPTION\tREQUIRES\tPARAMS")
 	for _, a := range algos {
-		var req []byte
-		if a.NeedsSource {
-			req = append(req, "src "...)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", a.Name, a.Description, requirements(a), paramSummary(a))
+	}
+	tw.Flush()
+}
+
+// describeAlgorithm prints one algorithm's registry metadata and its full
+// typed parameter table (kind, default, bounds, doc) — the same schema
+// GET /v1/algorithms serves.
+func describeAlgorithm(w *os.File, a gbbs.Algorithm) {
+	fmt.Fprintf(w, "%s — %s\n", a.Name, a.Description)
+	if r := requirements(a); r != "" {
+		fmt.Fprintf(w, "requires: %s\n", r)
+	}
+	if a.PaperRow != "" {
+		fmt.Fprintf(w, "paper row: %s\n", a.PaperRow)
+	}
+	if len(a.Params) == 0 {
+		fmt.Fprintln(w, "parameters: none")
+		return
+	}
+	fmt.Fprintln(w, "parameters:")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  NAME\tKIND\tDEFAULT\tRANGE\tDOC")
+	for _, p := range a.Params {
+		bounds := ""
+		if p.Min != nil && p.Max != nil {
+			bounds = fmt.Sprintf("[%v, %v]", *p.Min, *p.Max)
 		}
-		if a.NeedsWeights {
-			req = append(req, "weights "...)
-		}
-		if a.Directed {
-			req = append(req, "directed "...)
-		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\n", a.Name, a.Description, string(req))
+		fmt.Fprintf(tw, "  %s\t%s\t%v\t%s\t%s\n", p.Name, p.Kind, p.Default, bounds, p.Doc)
 	}
 	tw.Flush()
 }

@@ -10,9 +10,14 @@
 // Endpoints (see package repro/gbbs/serve):
 //
 //	POST /v1/run         execute a run request
-//	GET  /v1/algorithms  list the registry
-//	GET  /v1/cache       graph-cache contents and hit/miss counters
-//	GET  /healthz        liveness and admission state
+//	GET  /v1/algorithms  list the registry with parameter schemas
+//	GET  /v1/cache       graph- and result-cache contents and counters
+//	GET  /healthz        liveness, admission and cache state
+//
+// Repeated identical requests (same algorithm, canonical input spec,
+// source vertex, seed and normalized parameters) are answered from the
+// deterministic result cache without executing anything; -result-cache-mb
+// bounds its footprint.
 //
 // Example:
 //
@@ -43,6 +48,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	threads := flag.Int("threads", runtime.NumCPU(), "total worker-thread budget across concurrent requests")
 	cacheMB := flag.Int64("cache-mb", 1024, "graph cache budget in MiB (0 disables retention)")
+	resultCacheMB := flag.Int64("result-cache-mb", 256, "result cache budget in MiB (0 disables retention)")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline when timeout_ms is absent")
 	maxScale := flag.Int("max-scale", 24, "reject generator specs above this scale (0 = no guard)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
@@ -52,11 +58,16 @@ func main() {
 	if *cacheMB == 0 {
 		cacheBytes = -1
 	}
+	resultCacheBytes := *resultCacheMB << 20
+	if *resultCacheMB == 0 {
+		resultCacheBytes = -1
+	}
 	srv := serve.New(serve.Config{
-		MaxThreads:     *threads,
-		CacheBytes:     cacheBytes,
-		DefaultTimeout: *timeout,
-		MaxSourceScale: *maxScale,
+		MaxThreads:       *threads,
+		CacheBytes:       cacheBytes,
+		ResultCacheBytes: resultCacheBytes,
+		DefaultTimeout:   *timeout,
+		MaxSourceScale:   *maxScale,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

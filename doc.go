@@ -24,10 +24,16 @@
 // Algorithms are also dispatchable by name through a registry with uniform
 // Request/Result types (gbbs.Register, gbbs.Algorithms, gbbs.Lookup,
 // Engine.Run); requests may carry a declarative input (Request.Input, a
-// source plus transforms) that the engine builds before dispatch. Both CLI
+// source plus transforms) that the engine builds before dispatch. Every
+// registered algorithm declares a typed parameter schema
+// (gbbs.Algorithm.Params): Engine.Run validates request options against it
+// — unknown names and out-of-range values are descriptive errors, not
+// silent defaults — and a declarative request has a canonical fingerprint
+// (gbbs.Request.Key) identifying its deterministic result. Both CLI
 // drivers dispatch exclusively through the registry, so a package that
 // registers a new algorithm is immediately runnable from cmd/gbbs-run,
-// listed by `gbbs-run -list`, and served by the HTTP daemon.
+// listed by `gbbs-run -list`, described by `gbbs-run -describe`, and
+// served by the HTTP daemon.
 //
 // The older package-level free functions (gbbs.BFS, gbbs.RMATGraph,
 // gbbs.SetThreads, ...) remain working but deprecated; they delegate to a
@@ -40,9 +46,12 @@
 // source spec, transforms, algorithm name, thread budget, deadline, a
 // single JSON object — on a per-request engine. Built graphs stay resident
 // in a cache keyed by canonical spec (concurrent identical requests share
-// one build; entries are evicted LRU by approximate byte size), and an
-// admission limiter caps the total worker threads of concurrently running
-// requests so one tenant cannot starve the rest.
+// one build; entries are evicted LRU by approximate byte size), completed
+// runs stay resident in a deterministic result cache keyed by the request
+// fingerprint (a repeated identical request is answered from memory
+// without executing anything), and an admission limiter caps the total
+// worker threads of concurrently running requests so one tenant cannot
+// starve the rest.
 //
 // # Harness
 //

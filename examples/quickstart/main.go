@@ -44,12 +44,15 @@ func main() {
 	fmt.Printf("BFS:  reached %d vertices, eccentricity %d\n", reached, maxd)
 
 	// Connected components, dispatched by name through the registry — the
-	// Result carries a ready-made summary and the raw labels.
-	res, err := eng.Run(ctx, "cc", gbbs.Request{Graph: g})
+	// Result carries a ready-made summary, the raw labels and the effective
+	// seed. Opts are validated against the algorithm's typed parameter
+	// schema (see `gbbs-run -describe cc`): a typo'd name or out-of-range
+	// value is an error, not a silent default.
+	res, err := eng.Run(ctx, "cc", gbbs.Request{Graph: g, Opts: map[string]any{"beta": 0.2}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("CC:   %s (in %v)\n", res.Summary, res.Elapsed)
+	fmt.Printf("CC:   %s (in %v, seed %d)\n", res.Summary, res.Elapsed, res.Seed)
 
 	// Triangle counting.
 	tri, err := eng.TriangleCount(ctx, g)

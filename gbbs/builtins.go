@@ -16,6 +16,12 @@ import (
 // typed Engine methods. PaperRow/PaperOrder mark the 15 problems forming the
 // rows of the paper's Tables 2, 4 and 5; the bench harness derives its suite
 // from them instead of keeping its own hand-written list.
+//
+// Every registration declares its full Param schema — the defaults are the
+// paper's settings — so Engine.Run rejects unknown or out-of-range Opts and
+// runners read values through the typed accessors (req.Int, req.Float)
+// instead of ad-hoc map probing. The shared beta parameter of the
+// LDD-derived algorithms is declared once below (paramBeta).
 
 func countReached32(dist []uint32) int {
 	c := 0
@@ -54,6 +60,14 @@ func (v statsText) String() string {
 	return strings.TrimRight(b.String(), "\n")
 }
 
+// paramBeta is the LDD ball-growth parameter shared by every algorithm
+// built on low-diameter decomposition (ldd, cc, spanforest, bicc): the
+// paper's β = 0.2 default, with the decomposition meaningful only for
+// β in (0, 1].
+func paramBeta() Param {
+	return FloatParam("beta", 0.2, "LDD ball-growth rate β: clusters have diameter O(log n/β), 2βm edges cut").Bounded(1e-6, 1)
+}
+
 func init() {
 	register(Algorithm{
 		Name: "bfs", Description: "breadth-first search: hop distances from a source; O(m) work, O(diam·log n) depth",
@@ -75,8 +89,9 @@ func init() {
 	register(Algorithm{
 		Name: "deltastepping", Description: "positive-weight SSSP via Meyer-Sanders Δ-stepping (the paper's GAP comparator)",
 		NeedsSource: true, NeedsWeights: true,
+		Params: []Param{IntParam("delta", 0, "bucket width Δ; 0 selects the average edge weight").Bounded(0, 1<<30)},
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
-		dist := core.DeltaStepping(s, req.Graph, req.Source, int32(req.optInt("delta", 0)))
+		dist := core.DeltaStepping(s, req.Graph, req.Source, int32(req.Int("delta")))
 		return Result{Summary: fmt.Sprintf("reached %d vertices", countReached32(dist)), Value: dist}
 	})
 
@@ -112,8 +127,9 @@ func init() {
 	register(Algorithm{
 		Name: "ldd", Description: "(2β, O(log n/β))-low-diameter decomposition (Miller-Peng-Xu); O(m) expected work",
 		PaperRow: "Low-Diameter Decomposition (LDD)", PaperOrder: 5,
+		Params: []Param{paramBeta()},
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
-		labels := core.LDD(s, req.Graph, req.optFloat("beta", 0.2), req.seed(e))
+		labels := core.LDD(s, req.Graph, req.Float("beta"), req.seed(e))
 		num, largest := core.ComponentCount(s, labels)
 		return Result{Summary: fmt.Sprintf("%d clusters, largest %d", num, largest), Value: labels}
 	})
@@ -121,32 +137,46 @@ func init() {
 	register(Algorithm{
 		Name: "cc", Description: "connected-component labels via LDD contraction; O(m) expected work, O(log³ n) depth w.h.p.",
 		PaperRow: "Connectivity", PaperOrder: 6,
+		Params: []Param{paramBeta()},
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
-		labels := core.Connectivity(s, req.Graph, req.optFloat("beta", 0.2), req.seed(e))
+		labels := core.Connectivity(s, req.Graph, req.Float("beta"), req.seed(e))
 		num, largest := core.ComponentCount(s, labels)
 		return Result{Summary: fmt.Sprintf("%d components, largest %d", num, largest), Value: labels}
 	})
 
 	register(Algorithm{
 		Name: "spanforest", Description: "rooted spanning forest (parents, levels, roots) from connectivity's contraction tree",
+		Params: []Param{paramBeta()},
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
-		parent, _, roots := core.SpanningForest(s, req.Graph, req.optFloat("beta", 0.2), req.seed(e))
+		parent, _, roots := core.SpanningForest(s, req.Graph, req.Float("beta"), req.seed(e))
 		return Result{Summary: fmt.Sprintf("%d trees, %d forest edges", len(roots), core.ForestEdgeCount(s, parent)), Value: parent}
 	})
 
 	register(Algorithm{
 		Name: "bicc", Description: "biconnected-component labels via Tarjan-Vishkin; O(m) expected work",
 		PaperRow: "Biconnectivity", PaperOrder: 7,
+		Params: []Param{paramBeta()},
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
-		b := core.Biconnectivity(s, req.Graph, req.optFloat("beta", 0.2), req.seed(e))
+		b := core.Biconnectivity(s, req.Graph, req.Float("beta"), req.seed(e))
 		return Result{Summary: fmt.Sprintf("%d biconnected components", core.NumBiccLabels(s, req.Graph, b)), Value: b}
 	})
 
 	register(Algorithm{
 		Name: "scc", Description: "strongly connected components via randomized multi-source reachability; O(m·log n) expected work",
 		Directed: true, PaperRow: "Strongly Connected Components (SCC)", PaperOrder: 8,
+		Params: []Param{
+			FloatParam("beta", 2.0, "exponential growth rate of the per-phase center batch; the paper explores [1.1, 2.0]").Bounded(1.01, 16),
+			IntParam("trimrounds", 3, "zero-degree trimming iterations before the main loop; 0 or -1 disables trimming").Bounded(-1, 1024),
+		},
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
-		labels := core.SCC(s, req.Graph, req.seed(e), SCCOpts{})
+		// core.SCC treats TrimRounds == 0 as "use the default (3)"; a
+		// request asking for zero rounds means no trimming, which core
+		// spells as a negative value.
+		trim := req.Int("trimrounds")
+		if trim == 0 {
+			trim = -1
+		}
+		labels := core.SCC(s, req.Graph, req.seed(e), SCCOpts{Beta: req.Float("beta"), TrimRounds: trim})
 		num, largest := core.ComponentCount(s, labels)
 		return Result{Summary: fmt.Sprintf("%d SCCs, largest %d", num, largest), Value: labels}
 	})
@@ -234,8 +264,9 @@ func init() {
 	register(Algorithm{
 		Name: "setcover", Description: "O(log n)-approximation of set cover where the set of v covers N(v); O(m) expected work",
 		PaperRow: "Approximate Set Cover", PaperOrder: 14,
+		Params: []Param{FloatParam("eps", 0.01, "bucketing accuracy ε: elements are peeled in (1+ε)-factor cost classes").Bounded(1e-6, 1)},
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
-		cover := core.ApproxSetCover(s, req.Graph, req.optFloat("eps", 0.01), req.seed(e))
+		cover := core.ApproxSetCover(s, req.Graph, req.Float("eps"), req.seed(e))
 		return Result{Summary: fmt.Sprintf("%d sets in cover", len(cover)), Value: cover}
 	})
 

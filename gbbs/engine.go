@@ -58,7 +58,8 @@ func WithThreads(p int) Option { return func(c *engineConfig) { c.threads = p } 
 
 // WithSeed sets the seed the engine's randomized algorithms (Connectivity,
 // MIS, SCC, ...) use by default. For a fixed seed every algorithm is
-// deterministic, independent of the thread count. The default seed is 1.
+// deterministic, independent of the thread count. The default is
+// DefaultSeed (1).
 func WithSeed(seed uint64) Option { return func(c *engineConfig) { c.seed = seed } }
 
 // WithGrain fixes the scheduler's default grain (elements per scheduled
@@ -71,7 +72,7 @@ func WithGrain(g int) Option { return func(c *engineConfig) { c.grain = g } }
 //
 //	eng := gbbs.New(gbbs.WithThreads(8), gbbs.WithSeed(42))
 func New(opts ...Option) *Engine {
-	c := engineConfig{threads: runtime.NumCPU(), seed: 1}
+	c := engineConfig{threads: runtime.NumCPU(), seed: DefaultSeed}
 	for _, o := range opts {
 		o(&c)
 	}

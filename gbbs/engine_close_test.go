@@ -47,12 +47,12 @@ func TestEngineReuseAcrossRuns(t *testing.T) {
 		t.Fatalf("build: %v", err)
 	}
 	for _, seed := range []uint64{1, 7, 42} {
-		got, err := warm.Run(ctx, "cc", Request{Graph: g, Seed: seed})
+		got, err := warm.Run(ctx, "cc", Request{Graph: g, Seed: Ptr(seed)})
 		if err != nil {
 			t.Fatalf("warm run seed %d: %v", seed, err)
 		}
 		fresh := New(WithThreads(4))
-		want, err := fresh.Run(ctx, "cc", Request{Graph: g, Seed: seed})
+		want, err := fresh.Run(ctx, "cc", Request{Graph: g, Seed: Ptr(seed)})
 		fresh.Close()
 		if err != nil {
 			t.Fatalf("fresh run seed %d: %v", seed, err)

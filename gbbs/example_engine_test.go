@@ -53,6 +53,42 @@ func ExampleEngine_Run_declarative() {
 	// Output: 1 components, largest 64
 }
 
+// ExampleRequest_Key fingerprints a declarative request: the canonical
+// identity — algorithm, canonical specs, source vertex, resolved seed,
+// normalized parameters — under which the serving layer caches results.
+// Equivalent spellings (spec shorthand, defaults spelled out, JSON-typed
+// numbers) produce identical keys.
+func ExampleRequest_Key() {
+	scc, _ := gbbs.Lookup("scc")
+	src, _ := gbbs.ParseSource("rmat:12")
+	key, err := gbbs.Request{
+		Input: &gbbs.InputSpec{Source: src},
+		Opts:  map[string]any{"beta": 1.5},
+	}.Key(scc)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(key)
+	// Output: scc|rmat(scale=12,factor=16,seed=1)|seed=1|beta=1.5,trimrounds=3
+}
+
+// ExampleAlgorithm_ResolveOpts validates request options against an
+// algorithm's typed parameter schema: unknown names and out-of-range
+// values are descriptive errors, and valid maps come back normalized with
+// defaults applied.
+func ExampleAlgorithm_ResolveOpts() {
+	cc, _ := gbbs.Lookup("cc")
+	if _, err := cc.ResolveOpts(map[string]any{"betta": 0.4}); err != nil {
+		fmt.Println(err)
+	}
+	params, _ := cc.ResolveOpts(map[string]any{"beta": 0.4})
+	fmt.Println(params["beta"])
+	// Output:
+	// gbbs: cc: unknown parameter "betta" (valid: beta)
+	// 0.4
+}
+
 // ExampleEngine_Run_deadline bounds a run with a context deadline, the same
 // mechanism the serving layer uses for per-request timeouts.
 func ExampleEngine_Run_deadline() {

@@ -18,8 +18,12 @@
 //     the work/depth bounds of the paper's Table 1, as methods on Engine;
 //   - a registry (Register, Algorithms, Lookup) for dispatching algorithms
 //     by name with uniform Request/Result types, including declarative
-//     inputs (Request.Input) built through the engine, and a stable JSON
-//     encoding of Result shared by the CLI and the HTTP serving layer;
+//     inputs (Request.Input) built through the engine, typed parameter
+//     schemas (Algorithm.Params, validated by Engine.Run with descriptive
+//     errors for unknown or out-of-range options), canonical request
+//     fingerprints (Request.Key) identifying deterministic results, and a
+//     stable JSON encoding of Result shared by the CLI and the HTTP
+//     serving layer;
 //   - a textual spec language (ParseSource, ParseTransforms) describing
 //     sources and transforms on command lines and over the wire;
 //   - the statistics suite behind the paper's Tables 3 and 8–13.
@@ -27,8 +31,9 @@
 // The HTTP serving layer in the repro/gbbs/serve subpackage builds on all
 // of this: it accepts whole tenant requests — input spec, algorithm name,
 // thread budget, deadline — as single JSON objects, executes them on
-// per-request engines, and keeps engine-built graphs resident in a
-// spec-keyed cache.
+// per-request engines, keeps engine-built graphs resident in a spec-keyed
+// cache, and answers repeated identical requests from a deterministic
+// result cache keyed by Request.Key.
 //
 // # Engines
 //

@@ -1,0 +1,297 @@
+package gbbs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the registry's typed parameter schema: every Algorithm
+// declares its tunable parameters as []Param (name, kind, default, bounds,
+// doc line), Engine.Run validates Request.Opts against that schema before
+// dispatch — unknown keys and out-of-range values are rejected with
+// descriptive errors instead of being silently ignored or truncated — and
+// runners read validated values through the typed Request accessors (Int,
+// Float, Bool). The schema is introspectable (GET /v1/algorithms,
+// `gbbs-run -describe`) and is what makes request fingerprints
+// (Request.Key) canonical: after resolution, {"beta": 0.2} composed in Go
+// and the same option decoded from JSON normalize to identical values.
+
+// ParamKind is the value type of an algorithm parameter.
+type ParamKind int
+
+const (
+	// ParamInt is an integer-valued parameter. JSON-decoded float64 values
+	// are accepted when they are exactly integral (JSON has no integer
+	// type); anything fractional is rejected rather than truncated.
+	ParamInt ParamKind = iota
+	// ParamFloat is a float64-valued parameter; integer values are accepted
+	// and widened.
+	ParamFloat
+	// ParamBool is a boolean parameter.
+	ParamBool
+)
+
+// String returns the kind's wire name: "int", "float" or "bool".
+func (k ParamKind) String() string {
+	switch k {
+	case ParamInt:
+		return "int"
+	case ParamFloat:
+		return "float"
+	case ParamBool:
+		return "bool"
+	}
+	return fmt.Sprintf("ParamKind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its String form, so parameter tables on
+// the wire read "int"/"float"/"bool" rather than opaque enum numbers.
+func (k ParamKind) MarshalJSON() ([]byte, error) { return strconv.AppendQuote(nil, k.String()), nil }
+
+// UnmarshalJSON decodes the wire form MarshalJSON produces, so clients can
+// round-trip parameter tables (e.g. decoding GET /v1/algorithms).
+func (k *ParamKind) UnmarshalJSON(data []byte) error {
+	s, err := strconv.Unquote(string(data))
+	if err != nil {
+		return fmt.Errorf("gbbs: ParamKind %s: %w", data, err)
+	}
+	switch s {
+	case "int":
+		*k = ParamInt
+	case "float":
+		*k = ParamFloat
+	case "bool":
+		*k = ParamBool
+	default:
+		return fmt.Errorf("gbbs: unknown ParamKind %q", s)
+	}
+	return nil
+}
+
+// Param declares one algorithm parameter: the schema entry behind a key of
+// Request.Opts. Construct values with IntParam, FloatParam and BoolParam
+// (optionally chained with Bounded); Register validates each algorithm's
+// schema at init time.
+type Param struct {
+	// Name is the Opts key ("beta", "delta", ...). Required, unique within
+	// an algorithm.
+	Name string `json:"name"`
+	// Kind is the parameter's value type.
+	Kind ParamKind `json:"kind"`
+	// Default is the value used when the request omits the parameter — the
+	// paper's setting for every builtin. Its dynamic type matches Kind
+	// (int, float64 or bool).
+	Default any `json:"default"`
+	// Min, when non-nil, is the smallest accepted value (inclusive, for
+	// int and float parameters).
+	Min *float64 `json:"min,omitempty"`
+	// Max, when non-nil, is the largest accepted value (inclusive).
+	Max *float64 `json:"max,omitempty"`
+	// Doc is the one-line description parameter tables print.
+	Doc string `json:"doc"`
+}
+
+// IntParam declares an integer parameter with a default and a doc line.
+func IntParam(name string, def int, doc string) Param {
+	return Param{Name: name, Kind: ParamInt, Default: def, Doc: doc}
+}
+
+// FloatParam declares a float parameter with a default and a doc line.
+func FloatParam(name string, def float64, doc string) Param {
+	return Param{Name: name, Kind: ParamFloat, Default: def, Doc: doc}
+}
+
+// BoolParam declares a boolean parameter with a default and a doc line.
+func BoolParam(name string, def bool, doc string) Param {
+	return Param{Name: name, Kind: ParamBool, Default: def, Doc: doc}
+}
+
+// Bounded returns a copy of the parameter with inclusive [min, max] bounds.
+// It applies to int and float parameters; Register rejects bounds on bool
+// parameters.
+func (p Param) Bounded(min, max float64) Param {
+	p.Min, p.Max = &min, &max
+	return p
+}
+
+// coerce converts a request-supplied value to the parameter's canonical
+// dynamic type (int, float64 or bool), accepting the equivalent spellings
+// JSON decoding produces: every JSON number arrives as float64, so an int
+// parameter accepts exactly-integral floats, and a float parameter accepts
+// Go ints. Fractional values for int parameters are an error, never a
+// truncation.
+func (p Param) coerce(v any) (any, error) {
+	switch p.Kind {
+	case ParamInt:
+		switch n := v.(type) {
+		case int:
+			return n, nil
+		case int64:
+			return int(n), nil
+		case float64:
+			if n != math.Trunc(n) || math.Abs(n) > 1<<53 {
+				return nil, fmt.Errorf("parameter %q wants an integer, got %v", p.Name, n)
+			}
+			return int(n), nil
+		}
+	case ParamFloat:
+		switch n := v.(type) {
+		case float64:
+			return n, nil
+		case int:
+			return float64(n), nil
+		case int64:
+			return float64(n), nil
+		}
+	case ParamBool:
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("parameter %q wants %s, got %T (%v)", p.Name, p.Kind, v, v)
+}
+
+// check coerces v and enforces the parameter's bounds, returning the
+// canonical value.
+func (p Param) check(v any) (any, error) {
+	cv, err := p.coerce(v)
+	if err != nil {
+		return nil, err
+	}
+	var f float64
+	switch n := cv.(type) {
+	case int:
+		f = float64(n)
+	case float64:
+		f = n
+	default:
+		return cv, nil // bool: no bounds
+	}
+	if p.Min != nil && f < *p.Min {
+		return nil, fmt.Errorf("parameter %q = %v below minimum %v", p.Name, formatParamValue(cv), formatFloat(*p.Min))
+	}
+	if p.Max != nil && f > *p.Max {
+		return nil, fmt.Errorf("parameter %q = %v above maximum %v", p.Name, formatParamValue(cv), formatFloat(*p.Max))
+	}
+	return cv, nil
+}
+
+// validateSchema checks an algorithm's parameter declarations at Register
+// time: non-empty unique names, defaults matching their kind and bounds,
+// and no bounds on booleans.
+func validateSchema(a Algorithm) error {
+	seen := make(map[string]bool, len(a.Params))
+	for _, p := range a.Params {
+		if p.Name == "" {
+			return fmt.Errorf("algorithm %q declares a parameter with an empty name", a.Name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("algorithm %q declares parameter %q twice", a.Name, p.Name)
+		}
+		seen[p.Name] = true
+		if p.Kind == ParamBool && (p.Min != nil || p.Max != nil) {
+			return fmt.Errorf("algorithm %q: bool parameter %q cannot have bounds", a.Name, p.Name)
+		}
+		if _, err := p.check(p.Default); err != nil {
+			return fmt.Errorf("algorithm %q: default for %v", a.Name, err)
+		}
+	}
+	return nil
+}
+
+// ResolveOpts validates opts against the algorithm's parameter schema and
+// returns the full normalized parameter map: every declared parameter is
+// present, supplied values are coerced to their canonical dynamic type
+// (int, float64 or bool) and bounds-checked, and missing parameters take
+// their defaults. Unknown keys, type mismatches and out-of-range values
+// return descriptive errors. Engine.Run calls this before dispatch; the
+// serving layer calls it (via Request.Key) to reject bad requests before
+// admission.
+func (a Algorithm) ResolveOpts(opts map[string]any) (map[string]any, error) {
+	byName := make(map[string]Param, len(a.Params))
+	for _, p := range a.Params {
+		byName[p.Name] = p
+	}
+	for key := range opts {
+		if _, ok := byName[key]; !ok {
+			return nil, fmt.Errorf("gbbs: %s: unknown parameter %q (valid: %s)", a.Name, key, paramNames(a.Params))
+		}
+	}
+	resolved := make(map[string]any, len(a.Params))
+	for _, p := range a.Params {
+		v, ok := opts[p.Name]
+		if !ok {
+			resolved[p.Name] = p.Default
+			continue
+		}
+		cv, err := p.check(v)
+		if err != nil {
+			return nil, fmt.Errorf("gbbs: %s: %w", a.Name, err)
+		}
+		resolved[p.Name] = cv
+	}
+	return resolved, nil
+}
+
+// paramNames renders the schema's parameter names for error messages;
+// "none" for parameterless algorithms.
+func paramNames(params []Param) string {
+	if len(params) == 0 {
+		return "none"
+	}
+	names := make([]string, len(params))
+	for i, p := range params {
+		names[i] = p.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// canonicalParams renders a resolved parameter map deterministically:
+// name=value pairs sorted by name, values in their shortest canonical
+// spelling (strconv.FormatFloat 'g' for floats). Because the map comes from
+// ResolveOpts, equivalent requests — Go-composed ints vs JSON float64s,
+// explicit defaults vs omitted keys — render identically.
+func canonicalParams(params map[string]any) string {
+	if len(params) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(formatParamValue(params[name]))
+	}
+	return b.String()
+}
+
+// formatParamValue renders one canonical parameter value.
+func formatParamValue(v any) string {
+	switch n := v.(type) {
+	case int:
+		return strconv.Itoa(n)
+	case float64:
+		return formatFloat(n)
+	case bool:
+		return strconv.FormatBool(n)
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// formatFloat is the canonical float spelling used in fingerprints and
+// error messages: shortest round-trippable form.
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Ptr returns a pointer to v — a helper for filling optional request
+// fields inline, e.g. gbbs.Request{Seed: gbbs.Ptr(uint64(42))}.
+func Ptr[T any](v T) *T { return &v }

@@ -4,9 +4,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
+
+// DefaultSeed is the seed an Engine (and therefore every run whose request
+// leaves Seed nil) uses unless WithSeed overrides it.
+const DefaultSeed uint64 = 1
 
 // Request is the uniform input of a registry-dispatched algorithm run. The
 // graph is given either directly (Graph) or declaratively (Input), in which
@@ -23,12 +28,23 @@ type Request struct {
 	// Source is the source vertex for SSSP/BC-style problems; ignored by
 	// algorithms with NeedsSource == false.
 	Source uint32
-	// Seed overrides the engine's seed for this run when non-zero.
-	Seed uint64
+	// Seed overrides the engine's seed for this run when non-nil. nil means
+	// "use the engine's default"; an explicit zero seed is expressible as
+	// gbbs.Ptr(uint64(0)). Engine.Run resolves the effective seed exactly
+	// once before dispatch and records it in Result.Seed.
+	Seed *uint64
 	// Opts carries algorithm-specific parameters by name (e.g. "eps" for
-	// setcover, "beta" for ldd, "delta" for deltastepping). Unknown keys are
-	// ignored; missing keys select the paper's defaults.
+	// setcover, "beta" for ldd, "delta" for deltastepping). Engine.Run
+	// validates the map against the algorithm's Params schema: unknown keys,
+	// type mismatches and out-of-range values are rejected with descriptive
+	// errors; missing keys select the schema defaults (the paper's
+	// settings). JSON-decoded numbers (always float64) and Go-composed ints
+	// normalize to the same values.
 	Opts map[string]any
+
+	// params is the normalized parameter map ResolveOpts produced, filled by
+	// Engine.Run before dispatch and read by the typed accessors.
+	params map[string]any
 }
 
 // InputSpec declares a graph build: a source plus the transforms to apply,
@@ -44,39 +60,82 @@ type InputSpec struct {
 
 // seed resolves the effective seed for a run on engine e.
 func (r Request) seed(e *Engine) uint64 {
-	if r.Seed != 0 {
-		return r.Seed
+	if r.Seed != nil {
+		return *r.Seed
 	}
 	return e.seed
 }
 
-// optFloat reads a float64 option with a default. Ints are accepted too, so
-// Opts composed in Go ({"beta": 0.2}) and decoded from JSON behave the same.
-func (r Request) optFloat(key string, def float64) float64 {
-	if v, ok := r.Opts[key]; ok {
-		switch f := v.(type) {
-		case float64:
-			return f
-		case int:
-			return float64(f)
-		}
+// param returns the resolved value of a declared parameter. It panics when
+// the name was never resolved — an algorithm reading a parameter it did not
+// declare in Params is a programmer error the first test run should catch,
+// not a silent zero.
+func (r Request) param(name string) any {
+	v, ok := r.params[name]
+	if !ok {
+		panic(fmt.Sprintf("gbbs: parameter %q was not declared in the algorithm's Params schema (or Run was invoked outside Engine.Run)", name))
 	}
-	return def
+	return v
 }
 
-// optInt reads an int option with a default. Float values are accepted and
-// truncated, because JSON decoding (the serving layer's Opts) delivers every
-// number as float64.
-func (r Request) optInt(key string, def int) int {
-	if v, ok := r.Opts[key]; ok {
-		switch i := v.(type) {
-		case int:
-			return i
-		case float64:
-			return int(i)
-		}
+// Int returns the validated value of the named integer parameter. It is
+// valid inside Algorithm.Run for parameters the algorithm declared in
+// Params: Engine.Run resolves Opts against the schema (applying defaults)
+// before dispatch. Reading an undeclared parameter panics.
+func (r Request) Int(name string) int { return r.param(name).(int) }
+
+// Float returns the validated value of the named float parameter; see Int
+// for the resolution rules.
+func (r Request) Float(name string) float64 { return r.param(name).(float64) }
+
+// Bool returns the validated value of the named boolean parameter; see Int
+// for the resolution rules.
+func (r Request) Bool(name string) bool { return r.param(name).(bool) }
+
+// Key returns the request's canonical fingerprint under algorithm a: the
+// deterministic identity of the run's output, folding the algorithm name,
+// the canonical source and transform spec strings, the source vertex (only
+// for algorithms that read one), the resolved seed, and the normalized
+// parameter map (defaults applied, values canonically typed and formatted).
+// Two requests with equal keys compute identical results — every algorithm
+// is deterministic in (input, seed, params), independent of thread count —
+// which is what lets the serving layer key its result cache on it.
+//
+// Key requires a declarative input (Request.Input): a directly-supplied
+// Graph has no canonical spelling to fingerprint. A nil Seed resolves as
+// DefaultSeed, matching Engine.Run on an engine without WithSeed; callers
+// running on engines with non-default seeds should set Seed explicitly
+// before fingerprinting. Invalid Opts (unknown keys, out-of-range values)
+// return the same error Engine.Run would.
+func (r Request) Key(a Algorithm) (string, error) {
+	if r.Input == nil || r.Input.Source == nil {
+		return "", fmt.Errorf("gbbs: %s: fingerprinting requires a declarative Request.Input", a.Name)
 	}
-	return def
+	params, err := a.ResolveOpts(r.Opts)
+	if err != nil {
+		return "", err
+	}
+	seed := DefaultSeed
+	if r.Seed != nil {
+		seed = *r.Seed
+	}
+	var b strings.Builder
+	b.WriteString(a.Name)
+	b.WriteByte('|')
+	b.WriteString(r.Input.Source.String())
+	for _, t := range r.Input.Transforms {
+		b.WriteByte('|')
+		b.WriteString(t.String())
+	}
+	if a.NeedsSource {
+		fmt.Fprintf(&b, "|src=%d", r.Source)
+	}
+	fmt.Fprintf(&b, "|seed=%d", seed)
+	if s := canonicalParams(params); s != "" {
+		b.WriteByte('|')
+		b.WriteString(s)
+	}
+	return b.String(), nil
 }
 
 // Result is the uniform output of a registry-dispatched algorithm run.
@@ -97,6 +156,12 @@ type Result struct {
 	// Elapsed is the wall-clock running time of the algorithm itself
 	// (excluding graph loading), filled in by Engine.Run.
 	Elapsed time.Duration `json:"elapsed_ns"`
+	// Seed is the effective seed the run used — Request.Seed when set,
+	// otherwise the engine's default — resolved once by Engine.Run. For a
+	// fixed seed every algorithm's output is deterministic, so (algorithm,
+	// input, Seed, params) identifies this result; Request.Key builds the
+	// serving layer's result-cache fingerprint from exactly those fields.
+	Seed uint64 `json:"seed"`
 	// Graph is the graph the run executed on: Request.Graph when given,
 	// otherwise the graph built from Request.Input. It is excluded from the
 	// JSON form.
@@ -113,6 +178,13 @@ type Algorithm struct {
 	Name string
 	// Description is the one-line description -list prints.
 	Description string
+	// Params is the algorithm's typed parameter schema: the complete set of
+	// Request.Opts keys it accepts, each with a kind, default, optional
+	// bounds and a doc line. Engine.Run rejects requests whose Opts stray
+	// from this schema; an empty (or nil) Params means the algorithm takes
+	// no parameters and any Opts key is an error. Register validates the
+	// schema at init time.
+	Params []Param
 	// NeedsSource marks algorithms that read Request.Source.
 	NeedsSource bool
 	// NeedsWeights marks algorithms requiring edge weights.
@@ -138,14 +210,18 @@ var registry = struct {
 }{m: make(map[string]Algorithm)}
 
 // Register adds an algorithm to the registry. It panics on an empty name, a
-// nil runner, or a duplicate registration — all programmer errors at init
-// time, matching the stdlib registry idiom (gob.Register, sql.Register).
+// nil runner, an invalid parameter schema, or a duplicate registration —
+// all programmer errors at init time, matching the stdlib registry idiom
+// (gob.Register, sql.Register).
 func Register(a Algorithm) {
 	if a.Name == "" {
 		panic("gbbs: Register with empty algorithm name")
 	}
 	if a.Run == nil {
 		panic("gbbs: Register " + a.Name + " with nil Run")
+	}
+	if err := validateSchema(a); err != nil {
+		panic("gbbs: Register: " + err.Error())
 	}
 	registry.Lock()
 	defer registry.Unlock()
@@ -190,16 +266,26 @@ func Lookup(name string) (Algorithm, bool) {
 }
 
 // Run dispatches an algorithm by registry name: it validates the request
-// against the algorithm's requirements, builds the graph from Request.Input
-// when no graph was given directly, executes the algorithm on this engine,
-// and returns the Result with Elapsed (and BuildElapsed for declarative
-// inputs) filled in. Unknown names, missing graphs and unmet weight
-// requirements return descriptive errors.
+// against the algorithm's requirements and parameter schema, resolves the
+// effective seed (Request.Seed when set, the engine's default otherwise —
+// recorded in Result.Seed), builds the graph from Request.Input when no
+// graph was given directly, executes the algorithm on this engine, and
+// returns the Result with Elapsed (and BuildElapsed for declarative inputs)
+// filled in. Unknown names, missing graphs, unmet weight requirements, and
+// Opts straying from the schema (unknown keys, wrong types, out-of-range
+// values) return descriptive errors.
 func (e *Engine) Run(ctx context.Context, name string, req Request) (Result, error) {
 	a, ok := Lookup(name)
 	if !ok {
 		return Result{}, fmt.Errorf("gbbs: unknown algorithm %q", name)
 	}
+	params, err := a.ResolveOpts(req.Opts)
+	if err != nil {
+		return Result{}, err
+	}
+	req.params = params
+	seed := req.seed(e)
+	req.Seed = &seed
 	var buildElapsed time.Duration
 	if req.Graph == nil && req.Input != nil {
 		if req.Input.Source == nil {
@@ -228,6 +314,7 @@ func (e *Engine) Run(ctx context.Context, name string, req Request) (Result, err
 		return Result{}, err
 	}
 	res.Elapsed = time.Since(start)
+	res.Seed = seed
 	res.Graph = req.Graph
 	res.BuildElapsed = buildElapsed
 	return res, nil

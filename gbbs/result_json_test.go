@@ -34,7 +34,7 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &fields); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"summary", "value", "elapsed_ns", "build_elapsed_ns"} {
+	for _, key := range []string{"summary", "value", "elapsed_ns", "seed", "build_elapsed_ns"} {
 		if _, ok := fields[key]; !ok {
 			t.Errorf("Result JSON missing %q: %s", key, data)
 		}
@@ -47,7 +47,8 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatalf("unmarshal into Result: %v", err)
 	}
-	if back.Summary != res.Summary || back.Elapsed != res.Elapsed || back.BuildElapsed != res.BuildElapsed {
+	if back.Summary != res.Summary || back.Elapsed != res.Elapsed ||
+		back.Seed != res.Seed || back.BuildElapsed != res.BuildElapsed {
 		t.Fatalf("round trip changed scalars: %+v vs %+v", back, res)
 	}
 	// Value's dynamic type generalizes under JSON ([]uint32 -> []any), so
@@ -72,7 +73,9 @@ func TestResultJSONOmitsEmpty(t *testing.T) {
 	if err := json.Unmarshal(data, &fields); err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]any{"summary": "s", "elapsed_ns": float64(5)}
+	// seed is always serialized: the effective seed is part of the result's
+	// deterministic identity even when it is 0.
+	want := map[string]any{"summary": "s", "elapsed_ns": float64(5), "seed": float64(0)}
 	if !reflect.DeepEqual(fields, want) {
 		t.Fatalf("minimal Result JSON = %v, want %v", fields, want)
 	}

@@ -1,23 +1,32 @@
 // Package serve is the HTTP serving layer of the gbbs engine: a JSON API
 // that executes declarative graph requests — source spec, transforms,
 // algorithm name, thread budget, deadline — on per-request engines, against
-// graphs cached and shared across tenants.
+// graphs and results cached and shared across tenants.
 //
 // A request is one serializable object (see RunRequest). Its input is the
 // textual spec language of gbbs.ParseSource / gbbs.ParseTransforms, its
-// algorithm any name in the gbbs registry, and its execution is bounded by
-// a thread budget (admitted by the server's Limiter, so concurrent tenants
-// cannot oversubscribe the machine) and a deadline (a context the engine
-// checks between rounds). Built graphs are kept resident in a Cache keyed
-// by canonical spec, with singleflight deduplication of concurrent
-// identical builds and LRU eviction by approximate byte size.
+// algorithm any name in the gbbs registry, and its opts are validated
+// against the algorithm's typed parameter schema (gbbs.Algorithm.Params) —
+// unknown or out-of-range parameters are rejected with 400 before any work
+// is admitted. Execution is bounded by a thread budget (admitted by the
+// server's Limiter, so concurrent tenants cannot oversubscribe the
+// machine) and a deadline (a context the engine checks between rounds).
+//
+// Two caches back the endpoint. Built graphs are kept resident in a Cache
+// keyed by canonical spec, with singleflight deduplication of concurrent
+// identical builds and LRU eviction by approximate byte size. Completed
+// runs are kept in a ResultCache keyed by the request's canonical
+// fingerprint (gbbs.Request.Key: algorithm, canonical input spec, source
+// vertex, resolved seed, normalized params) — every algorithm is
+// deterministic in that tuple, so a repeated identical request is answered
+// from memory without executing anything.
 //
 // Endpoints:
 //
 //	POST /v1/run         run a RunRequest, returning a RunResponse
-//	GET  /v1/algorithms  list registered algorithms with descriptions
-//	GET  /v1/cache       cache entries, sizes, hit/miss/eviction counters
-//	GET  /healthz        liveness, uptime and admission-limiter state
+//	GET  /v1/algorithms  list registered algorithms with parameter schemas
+//	GET  /v1/cache       graph- and result-cache entries and counters
+//	GET  /healthz        liveness, uptime, admission and cache state
 //
 // The package is net/http based: Server implements http.Handler, so it can
 // be mounted under any mux or served directly (see cmd/gbbs-serve).
@@ -50,6 +59,10 @@ type Config struct {
 	// CacheBytes is the graph cache's approximate byte budget. 0 selects
 	// 1 GiB; negative disables retention (in-flight builds still dedup).
 	CacheBytes int64
+	// ResultCacheBytes is the result cache's approximate byte budget. 0
+	// selects 256 MiB; negative disables retention (concurrent identical
+	// requests still share one execution).
+	ResultCacheBytes int64
 	// DefaultTimeout bounds requests that do not set timeout_ms. 0 selects
 	// 60s.
 	DefaultTimeout time.Duration
@@ -66,6 +79,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	cache   *Cache
+	results *ResultCache
 	limiter *Limiter
 	engines *EnginePool
 	mux     *http.ServeMux
@@ -83,6 +97,9 @@ func New(cfg Config) *Server {
 	if cfg.CacheBytes == 0 {
 		cfg.CacheBytes = 1 << 30
 	}
+	if cfg.ResultCacheBytes == 0 {
+		cfg.ResultCacheBytes = 256 << 20
+	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 60 * time.Second
 	}
@@ -90,6 +107,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		cache:     NewCache(buildCtx, cfg.CacheBytes),
+		results:   NewResultCache(cfg.ResultCacheBytes),
 		limiter:   NewLimiter(cfg.MaxThreads),
 		engines:   NewEnginePool(cfg.MaxThreads),
 		mux:       http.NewServeMux(),
@@ -109,6 +127,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // Cache exposes the server's graph cache (for stats or explicit Clear).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Results exposes the server's result cache (for stats or explicit Clear).
+func (s *Server) Results() *ResultCache { return s.results }
 
 // Limiter exposes the server's admission limiter.
 func (s *Server) Limiter() *Limiter { return s.limiter }
@@ -145,9 +166,12 @@ type RunRequest struct {
 	// TimeoutMS bounds the whole request (admission wait + build wait +
 	// run) in milliseconds; 0 selects the server default.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Seed overrides the engine seed when non-zero.
-	Seed uint64 `json:"seed,omitempty"`
-	// Opts carries algorithm-specific parameters (gbbs.Request.Opts).
+	// Seed overrides the run's seed when present; absent selects
+	// gbbs.DefaultSeed. An explicit "seed": 0 is a valid, distinct seed.
+	Seed *uint64 `json:"seed,omitempty"`
+	// Opts carries algorithm-specific parameters (gbbs.Request.Opts),
+	// validated against the algorithm's parameter schema — unknown keys and
+	// out-of-range values are rejected with 400.
 	Opts map[string]any `json:"opts,omitempty"`
 	// IncludeValue returns the algorithm's full output value (which is
 	// O(n) numbers for most algorithms) instead of only the summary.
@@ -176,9 +200,22 @@ type RunResponse struct {
 	// under which repeated requests hit the graph cache.
 	Spec string `json:"spec"`
 	// Cache is "hit" when the graph came from the cache (including joining
-	// an in-flight build), "miss" when this request triggered the build.
+	// an in-flight build), "miss" when this request triggered the build. A
+	// result-cache hit reports "hit" here too: no build ran at all.
 	Cache string `json:"cache"`
-	// Threads is the admitted worker count the run used.
+	// ResultCache is "hit" when the whole response was served from the
+	// result cache (including joining an identical in-flight run) — no
+	// admission, build or execution happened for this request — and "miss"
+	// when this request executed the algorithm.
+	ResultCache string `json:"result_cache"`
+	// Key is the request's canonical fingerprint (gbbs.Request.Key), the
+	// identity under which identical requests share one result-cache entry.
+	Key string `json:"key"`
+	// Seed is the effective seed the run used (gbbs.Result.Seed).
+	Seed uint64 `json:"seed"`
+	// Threads is the admitted worker count the run used. A result-cache hit
+	// echoes the thread count of the run that produced the cached entry
+	// (results are thread-count independent).
 	Threads int `json:"threads"`
 	// Graph describes the input graph.
 	Graph GraphInfo `json:"graph"`
@@ -208,6 +245,9 @@ type AlgorithmInfo struct {
 	// PaperRow is the algorithm's row label in the paper's tables, when it
 	// is part of the paper's 15-problem suite.
 	PaperRow string `json:"paper_row,omitempty"`
+	// Params is the algorithm's full typed parameter schema: every accepted
+	// opts key with its kind, default, bounds and doc line.
+	Params []gbbs.Param `json:"params,omitempty"`
 }
 
 // HealthResponse is the wire form of GET /healthz.
@@ -224,6 +264,13 @@ type HealthResponse struct {
 	WarmEngines int `json:"warm_engines"`
 	// WarmThreads is the total worker-thread count across warm engines.
 	WarmThreads int `json:"warm_threads"`
+	// ResultCacheHits counts /v1/run requests answered from the result
+	// cache (including joins of in-flight identical runs).
+	ResultCacheHits int64 `json:"result_cache_hits"`
+	// ResultCacheMisses counts /v1/run requests that executed.
+	ResultCacheMisses int64 `json:"result_cache_misses"`
+	// ResultCacheEntries is the number of completed cached results.
+	ResultCacheEntries int `json:"result_cache_entries"`
 	// Goroutines is runtime.NumGoroutine, a cheap load signal.
 	Goroutines int `json:"goroutines"`
 }
@@ -245,14 +292,18 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // handleHealthz implements GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	eng := s.engines.Stats()
+	hits, misses, entries := s.results.Counters()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:         "ok",
-		UptimeMS:       time.Since(s.started).Milliseconds(),
-		ThreadsInUse:   s.limiter.InUse(),
-		ThreadCapacity: s.limiter.Capacity(),
-		WarmEngines:    eng.WarmEngines,
-		WarmThreads:    eng.WarmThreads,
-		Goroutines:     runtime.NumGoroutine(),
+		Status:             "ok",
+		UptimeMS:           time.Since(s.started).Milliseconds(),
+		ThreadsInUse:       s.limiter.InUse(),
+		ThreadCapacity:     s.limiter.Capacity(),
+		WarmEngines:        eng.WarmEngines,
+		WarmThreads:        eng.WarmThreads,
+		ResultCacheHits:    hits,
+		ResultCacheMisses:  misses,
+		ResultCacheEntries: entries,
+		Goroutines:         runtime.NumGoroutine(),
 	})
 }
 
@@ -268,24 +319,39 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 			NeedsWeights: a.NeedsWeights,
 			Directed:     a.Directed,
 			PaperRow:     a.PaperRow,
+			Params:       a.Params,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
+// CachesResponse is the wire form of GET /v1/cache: both server caches.
+type CachesResponse struct {
+	// Graph is the spec-keyed graph cache's entries and counters.
+	Graph CacheStats `json:"graph"`
+	// Results is the fingerprint-keyed result cache's entries and counters.
+	Results ResultCacheStats `json:"results"`
+}
+
 // handleCache implements GET /v1/cache.
 func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.cache.Stats())
+	writeJSON(w, http.StatusOK, CachesResponse{
+		Graph:   s.cache.Stats(),
+		Results: s.results.Stats(),
+	})
 }
 
 // parsedRun is a RunRequest after validation: resolved algorithm, parsed
-// specs, canonical cache key, effective thread count and timeout.
+// specs, canonical graph-cache key and result-cache fingerprint, resolved
+// seed, effective thread count and timeout.
 type parsedRun struct {
 	req        RunRequest
 	algo       gbbs.Algorithm
 	source     gbbs.GraphSource
 	transforms []gbbs.Transform
-	key        string
+	key        string // graph-cache key: canonical (source, transforms)
+	fp         string // result-cache key: gbbs.Request.Key fingerprint
+	seed       uint64 // resolved seed (request seed or gbbs.DefaultSeed)
 	threads    int
 	timeout    time.Duration
 }
@@ -339,6 +405,26 @@ func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
 		return nil
 	}
 
+	// Resolve the seed once — the warm-pool engines run with
+	// gbbs.DefaultSeed, so this is exactly the seed Engine.Run will use —
+	// and fingerprint the request. Key validates Opts against the
+	// algorithm's parameter schema, so an unknown or out-of-range parameter
+	// is a 400 here, before any admission or build work.
+	seed := gbbs.DefaultSeed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	fp, err := (gbbs.Request{
+		Input:  &gbbs.InputSpec{Source: source, Transforms: transforms},
+		Source: req.Src,
+		Seed:   &seed,
+		Opts:   req.Opts,
+	}).Key(a)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil
+	}
+
 	threads := req.Threads
 	if threads <= 0 {
 		threads = min(runtime.NumCPU(), s.cfg.MaxThreads)
@@ -354,6 +440,8 @@ func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
 		source:     source,
 		transforms: transforms,
 		key:        cacheKey(source, transforms),
+		fp:         fp,
+		seed:       seed,
 		threads:    threads,
 		timeout:    timeout,
 	}
@@ -371,8 +459,11 @@ func cacheKey(source gbbs.GraphSource, transforms []gbbs.Transform) string {
 	return strings.Join(parts, "|")
 }
 
-// handleRun implements POST /v1/run: validate, admit threads, fetch or
-// build the graph, dispatch through the registry, encode the result.
+// handleRun implements POST /v1/run: validate and fingerprint, then answer
+// from the result cache when an identical request already ran (or is
+// running — concurrent duplicates share one execution); otherwise admit
+// threads, fetch or build the graph, dispatch through the registry, and
+// cache the response under the fingerprint.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	p := s.parseRun(w, r)
 	if p == nil {
@@ -381,14 +472,40 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
 	defer cancel()
 
+	resp, hit, err := s.results.GetOrRun(ctx, p.fp, func(ctx context.Context) (RunResponse, error) {
+		return s.execute(ctx, p)
+	})
+	if err != nil {
+		s.writeRunError(w, p, err)
+		return
+	}
+	resp.ResultCache = "miss"
+	if hit {
+		// Served from memory: no admission, build or execution happened, so
+		// the graph cache was definitionally not missed either. The embedded
+		// Result (including its timings) is the original run's.
+		resp.ResultCache = "hit"
+		resp.Cache = "hit"
+	}
+	if !p.req.IncludeValue {
+		resp.Result.Value = nil
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// execute runs one validated request end to end — thread admission, graph
+// fetch/build, registry dispatch — and assembles the RunResponse the result
+// cache retains. The response keeps Result.Value regardless of
+// include_value: the cache stores the full result once, and handleRun
+// strips the value per request.
+func (s *Server) execute(ctx context.Context, p *parsedRun) (RunResponse, error) {
 	// Admission: the request's whole execution — including the build it may
 	// start — runs on an engine with p.threads workers, so that is what it
 	// must be admitted for. The grant is held until the run finishes; a
 	// build outliving a departed waiter (deadline hit mid-build) can briefly
 	// run past the cap, bounded by one build per key.
 	if err := s.limiter.Acquire(ctx, p.threads); err != nil {
-		s.writeRunError(w, p, err)
-		return
+		return RunResponse{}, err
 	}
 	defer s.limiter.Release(p.threads)
 
@@ -403,32 +520,29 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return eng.Build(buildCtx, p.source, p.transforms...)
 	})
 	if err != nil {
-		s.writeRunError(w, p, err)
-		return
+		return RunResponse{}, err
 	}
 
 	res, err := eng.Run(ctx, p.algo.Name, gbbs.Request{
 		Graph:  g,
 		Source: p.req.Src,
-		Seed:   p.req.Seed,
+		Seed:   &p.seed,
 		Opts:   p.req.Opts,
 	})
 	if err != nil {
-		s.writeRunError(w, p, err)
-		return
-	}
-	if !p.req.IncludeValue {
-		res.Value = nil
+		return RunResponse{}, err
 	}
 	res.Graph = nil
 	cacheState := "miss"
 	if hit {
 		cacheState = "hit"
 	}
-	writeJSON(w, http.StatusOK, RunResponse{
+	return RunResponse{
 		Algorithm: p.algo.Name,
 		Spec:      p.key,
 		Cache:     cacheState,
+		Key:       p.fp,
+		Seed:      res.Seed,
 		Threads:   p.threads,
 		Graph: GraphInfo{
 			N:           g.N(),
@@ -438,7 +552,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			ApproxBytes: approxGraphBytes(g),
 		},
 		Result: res,
-	})
+	}, nil
 }
 
 // writeRunError maps an execution error to a status code: deadline expiry

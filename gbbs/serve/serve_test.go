@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/gbbs"
 	"repro/gbbs/serve"
 )
 
@@ -93,6 +94,22 @@ func TestAlgorithmsEndpoint(t *testing.T) {
 	if !byName["scc"].Directed || !byName["msf"].NeedsWeights {
 		t.Fatalf("scc/msf metadata wrong: %+v / %+v", byName["scc"], byName["msf"])
 	}
+	// The endpoint serves each algorithm's full typed parameter schema.
+	sccParams := map[string]gbbs.Param{}
+	for _, p := range byName["scc"].Params {
+		sccParams[p.Name] = p
+	}
+	beta, ok := sccParams["beta"]
+	if !ok || beta.Kind != gbbs.ParamFloat || beta.Default != 2.0 || beta.Min == nil || beta.Doc == "" {
+		t.Fatalf("scc beta schema = %+v (params %+v)", beta, byName["scc"].Params)
+	}
+	if tr, ok := sccParams["trimrounds"]; !ok || tr.Kind != gbbs.ParamInt || tr.Default != float64(3) {
+		// JSON numbers decode as float64; the default survives as a number.
+		t.Fatalf("scc trimrounds schema = %+v", sccParams["trimrounds"])
+	}
+	if len(byName["bfs"].Params) != 0 {
+		t.Fatalf("bfs declares no parameters, got %+v", byName["bfs"].Params)
+	}
 }
 
 func TestRunAndCacheHit(t *testing.T) {
@@ -103,8 +120,8 @@ func TestRunAndCacheHit(t *testing.T) {
 	if status := postRun(t, ts, body, &first); status != http.StatusOK {
 		t.Fatalf("first run status = %d (%+v)", status, first)
 	}
-	if first.Cache != "miss" {
-		t.Fatalf("first run cache = %q, want miss", first.Cache)
+	if first.Cache != "miss" || first.ResultCache != "miss" {
+		t.Fatalf("first run cache = %q/%q, want miss/miss", first.Cache, first.ResultCache)
 	}
 	if first.Result.Summary == "" || first.Graph.N != 1<<12 || !first.Graph.Symmetric {
 		t.Fatalf("first run = %+v", first)
@@ -112,30 +129,52 @@ func TestRunAndCacheHit(t *testing.T) {
 	if first.Result.Value != nil {
 		t.Fatalf("value returned without include_value: %v", first.Result.Value)
 	}
+	if first.Key == "" || first.Seed != gbbs.DefaultSeed || first.Result.Seed != gbbs.DefaultSeed {
+		t.Fatalf("first run fingerprint/seed = %q/%d/%d", first.Key, first.Seed, first.Result.Seed)
+	}
 
+	// The identical request is answered from the result cache: no build, no
+	// execution, same canonical spec and fingerprint.
 	var second serve.RunResponse
 	if status := postRun(t, ts, body, &second); status != http.StatusOK {
 		t.Fatalf("second run status = %d", status)
 	}
-	if second.Cache != "hit" {
-		t.Fatalf("second identical run cache = %q, want hit", second.Cache)
+	if second.Cache != "hit" || second.ResultCache != "hit" {
+		t.Fatalf("second identical run cache = %q/%q, want hit/hit", second.Cache, second.ResultCache)
 	}
 	if second.Result.BuildElapsed != 0 {
 		t.Fatalf("cache hit reported a build time: %v", second.Result.BuildElapsed)
 	}
-	if second.Spec != first.Spec {
-		t.Fatalf("canonical specs differ: %q vs %q", second.Spec, first.Spec)
+	if second.Spec != first.Spec || second.Key != first.Key {
+		t.Fatalf("canonical identities differ: %q/%q vs %q/%q", second.Spec, second.Key, first.Spec, first.Key)
+	}
+	if second.Result.Summary != first.Result.Summary {
+		t.Fatalf("replayed summary %q differs from original %q", second.Result.Summary, first.Result.Summary)
 	}
 
-	var cs serve.CacheStats
+	var cs serve.CachesResponse
 	if status := getJSON(t, ts, "/v1/cache", &cs); status != http.StatusOK {
 		t.Fatalf("cache status = %d", status)
 	}
-	if cs.Misses != 1 || cs.Hits != 1 || len(cs.Entries) != 1 {
-		t.Fatalf("cache stats = %+v, want 1 miss, 1 hit, 1 entry", cs)
+	// The graph cache saw only the first request (the second never reached
+	// it); the result cache saw both.
+	if cs.Graph.Misses != 1 || cs.Graph.Hits != 0 || len(cs.Graph.Entries) != 1 {
+		t.Fatalf("graph cache stats = %+v, want 1 miss, 0 hits, 1 entry", cs.Graph)
 	}
-	if cs.Entries[0].Spec != first.Spec || cs.Entries[0].Bytes <= 0 {
-		t.Fatalf("cache entry = %+v", cs.Entries[0])
+	if cs.Graph.Entries[0].Spec != first.Spec || cs.Graph.Entries[0].Bytes <= 0 {
+		t.Fatalf("graph cache entry = %+v", cs.Graph.Entries[0])
+	}
+	if cs.Results.Misses != 1 || cs.Results.Hits != 1 || len(cs.Results.Entries) != 1 {
+		t.Fatalf("result cache stats = %+v, want 1 miss, 1 hit, 1 entry", cs.Results)
+	}
+	if cs.Results.Entries[0].Key != first.Key || cs.Results.Entries[0].Bytes <= 0 {
+		t.Fatalf("result cache entry = %+v", cs.Results.Entries[0])
+	}
+
+	var h serve.HealthResponse
+	getJSON(t, ts, "/healthz", &h)
+	if h.ResultCacheHits != 1 || h.ResultCacheMisses != 1 || h.ResultCacheEntries != 1 {
+		t.Fatalf("healthz result-cache counters = %+v", h)
 	}
 }
 
@@ -183,6 +222,103 @@ func TestRunOptsAreForwarded(t *testing.T) {
 	body := `{"source":"rmat:10","transforms":["symmetrize"],"algorithm":"setcover","opts":{"eps":0.5}}`
 	if status := postRun(t, ts, body, &resp); status != http.StatusOK {
 		t.Fatalf("status = %d (%+v)", status, resp)
+	}
+}
+
+// TestRunBadParams checks schema validation at the HTTP boundary: unknown
+// parameter names, out-of-range values and fractional values for integer
+// parameters are all 400s with descriptive bodies, before any execution.
+func TestRunBadParams(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 2})
+	cases := []struct {
+		body string
+		want string // substring of the error
+	}{
+		{`{"source":"rmat:10","transforms":["sym"],"algorithm":"cc","opts":{"bogus":1}}`, "unknown parameter"},
+		{`{"source":"rmat:10","transforms":["sym"],"algorithm":"bfs","opts":{"beta":0.2}}`, "unknown parameter"},
+		{`{"source":"rmat:10","transforms":["sym"],"algorithm":"cc","opts":{"beta":-0.5}}`, "below minimum"},
+		{`{"source":"rmat:10","transforms":["sym"],"algorithm":"setcover","opts":{"eps":2.5}}`, "above maximum"},
+		{`{"source":"rmat:10","algorithm":"scc","opts":{"trimrounds":1.5}}`, "wants an integer"},
+		{`{"source":"rmat:10","algorithm":"scc","opts":{"beta":true}}`, "wants float"},
+	}
+	for _, c := range cases {
+		var e serve.ErrorResponse
+		if status := postRun(t, ts, c.body, &e); status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", c.body, status)
+		} else if !strings.Contains(e.Error, c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.body, e.Error, c.want)
+		}
+	}
+	// Nothing was admitted or cached for rejected requests.
+	var cs serve.CachesResponse
+	getJSON(t, ts, "/v1/cache", &cs)
+	if cs.Results.Misses != 0 || cs.Graph.Misses != 0 {
+		t.Fatalf("rejected requests reached the caches: %+v", cs)
+	}
+}
+
+// TestFingerprintNormalization checks that equivalent requests — different
+// spec spellings, defaults spelled out explicitly, integer-valued JSON
+// floats — share one result-cache entry, and that genuinely different
+// parameters do not.
+func TestFingerprintNormalization(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 4})
+	equivalent := []string{
+		`{"source":"rmat:11","transforms":["symmetrize"],"algorithm":"cc"}`,
+		`{"source":"rmat:scale=11","transforms":["sym"],"algorithm":"cc","opts":{"beta":0.2}}`, // default spelled out
+		`{"source":"rmat:scale=11,factor=16,seed=1","transforms":["sym"],"algorithm":"cc","seed":1}`,
+	}
+	var key string
+	for i, body := range equivalent {
+		var resp serve.RunResponse
+		if status := postRun(t, ts, body, &resp); status != http.StatusOK {
+			t.Fatalf("run %d status = %d", i, status)
+		}
+		if i == 0 {
+			key = resp.Key
+			if resp.ResultCache != "miss" {
+				t.Fatalf("first spelling result_cache = %q", resp.ResultCache)
+			}
+			continue
+		}
+		if resp.Key != key || resp.ResultCache != "hit" {
+			t.Fatalf("spelling %d: key %q (want %q), result_cache %q (want hit)", i, resp.Key, key, resp.ResultCache)
+		}
+	}
+	// A different beta is a different deterministic result: same graph
+	// (cache hit), fresh execution.
+	var resp serve.RunResponse
+	if status := postRun(t, ts, `{"source":"rmat:11","transforms":["sym"],"algorithm":"cc","opts":{"beta":0.5}}`, &resp); status != http.StatusOK {
+		t.Fatalf("beta=0.5 status = %d", status)
+	}
+	if resp.Key == key || resp.ResultCache != "miss" || resp.Cache != "hit" {
+		t.Fatalf("beta=0.5: key=%q result_cache=%q cache=%q, want new fingerprint over cached graph", resp.Key, resp.ResultCache, resp.Cache)
+	}
+}
+
+// TestExplicitSeedZero pins the Seed sentinel fix on the wire: "seed": 0 is
+// a real seed, distinct from an absent seed (which selects
+// gbbs.DefaultSeed), and both fingerprints reflect it.
+func TestExplicitSeedZero(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 2})
+	var zero, absent serve.RunResponse
+	if status := postRun(t, ts, `{"source":"rmat:10","transforms":["sym"],"algorithm":"mis","seed":0}`, &zero); status != http.StatusOK {
+		t.Fatalf("seed 0 status = %d", status)
+	}
+	if status := postRun(t, ts, `{"source":"rmat:10","transforms":["sym"],"algorithm":"mis"}`, &absent); status != http.StatusOK {
+		t.Fatalf("absent seed status = %d", status)
+	}
+	if zero.Seed != 0 || zero.Result.Seed != 0 {
+		t.Fatalf("explicit seed 0 resolved to %d/%d", zero.Seed, zero.Result.Seed)
+	}
+	if absent.Seed != gbbs.DefaultSeed {
+		t.Fatalf("absent seed resolved to %d, want DefaultSeed", absent.Seed)
+	}
+	if zero.Key == absent.Key {
+		t.Fatalf("seed 0 and absent seed share fingerprint %q", zero.Key)
+	}
+	if absent.ResultCache != "miss" {
+		t.Fatalf("absent-seed run was served from seed-0's cache entry: %+v", absent)
 	}
 }
 
@@ -283,8 +419,8 @@ func TestRunSizeGuard(t *testing.T) {
 }
 
 // TestConcurrentIdenticalRequestsBuildOnce is the acceptance check for the
-// cache's singleflight behavior end to end: concurrent duplicate requests
-// trigger exactly one build.
+// singleflight behavior end to end: concurrent duplicate requests share one
+// execution (result-cache singleflight) and trigger exactly one build.
 func TestConcurrentIdenticalRequestsBuildOnce(t *testing.T) {
 	_, ts := newTestServer(t, serve.Config{MaxThreads: 16})
 	body := `{"source":"rmat:13","transforms":["symmetrize"],"algorithm":"cc","threads":1,"timeout_ms":60000}`
@@ -301,7 +437,7 @@ func TestConcurrentIdenticalRequestsBuildOnce(t *testing.T) {
 				t.Errorf("client %d: status %d", i, status)
 				return
 			}
-			misses[i] = resp.Cache == "miss"
+			misses[i] = resp.ResultCache == "miss"
 		}(i)
 	}
 	wg.Wait()
@@ -313,17 +449,23 @@ func TestConcurrentIdenticalRequestsBuildOnce(t *testing.T) {
 		}
 	}
 	if missCount != 1 {
-		t.Fatalf("%d of %d concurrent identical requests reported a miss, want exactly 1", missCount, clients)
+		t.Fatalf("%d of %d concurrent identical requests reported a result-cache miss, want exactly 1", missCount, clients)
 	}
-	var cs serve.CacheStats
+	var cs serve.CachesResponse
 	getJSON(t, ts, "/v1/cache", &cs)
-	if cs.Misses != 1 || cs.Hits != clients-1 || len(cs.Entries) != 1 {
-		t.Fatalf("cache stats after concurrent duplicates = %+v", cs)
+	// Exactly one execution reached the graph cache; every other client
+	// joined the in-flight run at the result cache.
+	if cs.Graph.Misses != 1 || cs.Graph.Hits != 0 || len(cs.Graph.Entries) != 1 {
+		t.Fatalf("graph cache stats after concurrent duplicates = %+v", cs.Graph)
+	}
+	if cs.Results.Misses != 1 || cs.Results.Hits != clients-1 || len(cs.Results.Entries) != 1 {
+		t.Fatalf("result cache stats after concurrent duplicates = %+v", cs.Results)
 	}
 }
 
 // TestEvictionUnderSmallBudget runs distinct inputs through a server whose
-// cache holds roughly one graph, and checks the older entries fall out.
+// graph cache holds roughly one graph, and checks the older entries fall
+// out.
 func TestEvictionUnderSmallBudget(t *testing.T) {
 	_, ts := newTestServer(t, serve.Config{MaxThreads: 4, CacheBytes: 40_000})
 	for _, n := range []int{2000, 2001, 2002} {
@@ -333,13 +475,44 @@ func TestEvictionUnderSmallBudget(t *testing.T) {
 			t.Fatalf("path:%d status = %d", n, status)
 		}
 	}
-	var cs serve.CacheStats
+	var cs serve.CachesResponse
 	getJSON(t, ts, "/v1/cache", &cs)
-	if cs.Evictions < 2 {
-		t.Fatalf("evictions = %d, want >= 2 (stats: %+v)", cs.Evictions, cs)
+	if cs.Graph.Evictions < 2 {
+		t.Fatalf("evictions = %d, want >= 2 (stats: %+v)", cs.Graph.Evictions, cs.Graph)
 	}
-	if len(cs.Entries) != 1 || cs.SizeBytes > cs.BudgetBytes {
-		t.Fatalf("entries = %+v size=%d budget=%d", cs.Entries, cs.SizeBytes, cs.BudgetBytes)
+	if len(cs.Graph.Entries) != 1 || cs.Graph.SizeBytes > cs.Graph.BudgetBytes {
+		t.Fatalf("entries = %+v size=%d budget=%d", cs.Graph.Entries, cs.Graph.SizeBytes, cs.Graph.BudgetBytes)
+	}
+}
+
+// TestResultCacheEvictionUnderSmallBudget fills a tiny result cache with
+// distinct fingerprints (different seeds over one cached graph) and checks
+// LRU eviction with observable counters.
+func TestResultCacheEvictionUnderSmallBudget(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 4, ResultCacheBytes: 2000})
+	for seed := 1; seed <= 4; seed++ {
+		// include_value makes each cached response ~1KiB+, so four distinct
+		// fingerprints overflow the 2000-byte budget.
+		body := fmt.Sprintf(`{"source":"path:300","transforms":["symmetrize"],"algorithm":"cc","seed":%d,"include_value":true}`, seed)
+		var resp serve.RunResponse
+		if status := postRun(t, ts, body, &resp); status != http.StatusOK {
+			t.Fatalf("seed %d status = %d", seed, status)
+		}
+		if resp.ResultCache != "miss" || resp.Seed != uint64(seed) {
+			t.Fatalf("seed %d: result_cache=%q seed=%d, want distinct misses", seed, resp.ResultCache, resp.Seed)
+		}
+	}
+	var cs serve.CachesResponse
+	getJSON(t, ts, "/v1/cache", &cs)
+	if cs.Results.Misses != 4 || cs.Results.Evictions < 2 {
+		t.Fatalf("result cache stats = %+v, want 4 misses and >= 2 evictions", cs.Results)
+	}
+	if cs.Results.SizeBytes > cs.Results.BudgetBytes {
+		t.Fatalf("result cache over budget: %+v", cs.Results)
+	}
+	// The graph cache kept the one shared input across all four runs.
+	if cs.Graph.Misses != 1 || cs.Graph.Hits != 3 {
+		t.Fatalf("graph cache stats = %+v, want 1 miss, 3 hits", cs.Graph)
 	}
 }
 
@@ -389,15 +562,19 @@ func TestHealthzAfterLoad(t *testing.T) {
 // residents.
 func TestEngineReuseAcrossRequests(t *testing.T) {
 	s, ts := newTestServer(t, serve.Config{MaxThreads: 4})
-	body := `{"source":"path:800","transforms":["symmetrize"],"algorithm":"bfs","threads":2}`
-	// The handler returns its engine in a defer that runs after the
-	// response body is written, so wait for the engine to actually land in
-	// the pool between requests instead of racing the handler's return.
+	// Distinct seeds give distinct result-cache fingerprints, so both
+	// requests really execute (an identical repeat would be answered from
+	// the result cache without ever touching the engine pool).
 	for i := 0; i < 2; i++ {
+		body := fmt.Sprintf(`{"source":"path:800","transforms":["symmetrize"],"algorithm":"cc","threads":2,"seed":%d}`, i+1)
 		var resp serve.RunResponse
 		if status := postRun(t, ts, body, &resp); status != http.StatusOK {
 			t.Fatalf("run %d status = %d", i, status)
 		}
+		// The handler returns its engine in a defer that runs after the
+		// response body is written, so wait for the engine to actually land
+		// in the pool between requests instead of racing the handler's
+		// return.
 		deadline := time.Now().Add(5 * time.Second)
 		for s.Engines().Stats().WarmEngines < 1 {
 			if time.Now().After(deadline) {

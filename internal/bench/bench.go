@@ -49,7 +49,7 @@ type Algo struct {
 
 // Run executes the problem once on g using engine e.
 func (a Algo) Run(e *gbbs.Engine, g graph.Graph) error {
-	_, err := e.Run(context.Background(), a.Key, gbbs.Request{Graph: g, Seed: a.Seed})
+	_, err := e.Run(context.Background(), a.Key, gbbs.Request{Graph: g, Seed: gbbs.Ptr(a.Seed)})
 	return err
 }
 
@@ -126,7 +126,7 @@ func Measure(in Input, a Algo, threads int) time.Duration {
 	}
 	e := gbbs.New(gbbs.WithThreads(threads), gbbs.WithSeed(a.Seed))
 	defer e.Close()
-	res, err := e.Run(context.Background(), a.Key, gbbs.Request{Graph: g, Seed: a.Seed})
+	res, err := e.Run(context.Background(), a.Key, gbbs.Request{Graph: g, Seed: gbbs.Ptr(a.Seed)})
 	if err != nil {
 		return 0
 	}

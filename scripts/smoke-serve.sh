@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Smoke test for cmd/gbbs-serve: boot the daemon, probe /healthz, run one
-# declarative request twice, and assert the second is served from the graph
-# cache. Used by `make smoke-serve` and CI.
+# declarative request twice, and assert the second is served from the
+# deterministic result cache (observable through the response's
+# result_cache field and the /v1/cache counters), with bad parameters
+# rejected as 400. Used by `make smoke-serve` and CI.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,16 +50,29 @@ BODY='{"source":"rmat:14","transforms":["symmetrize"],"algorithm":"bfs","threads
 
 FIRST=$(curl -sf -X POST "http://$ADDR/v1/run" -d "$BODY") || fail "first /v1/run failed"
 echo "$FIRST" | grep -q '"summary"' || fail "first run has no summary: $FIRST"
-echo "$FIRST" | grep -q '"cache": *"miss"' || fail "first run should be a miss: $FIRST"
+echo "$FIRST" | grep -q '"cache": *"miss"' || fail "first run should be a graph-cache miss: $FIRST"
+echo "$FIRST" | grep -q '"result_cache": *"miss"' || fail "first run should be a result-cache miss: $FIRST"
 
+# The identical request is answered from the result cache: no build, no
+# execution.
 SECOND=$(curl -sf -X POST "http://$ADDR/v1/run" -d "$BODY") || fail "second /v1/run failed"
-echo "$SECOND" | grep -q '"cache": *"hit"' || fail "second identical run should hit the cache: $SECOND"
+echo "$SECOND" | grep -q '"result_cache": *"hit"' || fail "second identical run should hit the result cache: $SECOND"
+echo "$SECOND" | grep -q '"cache": *"hit"' || fail "second identical run should not rebuild: $SECOND"
 
 CACHE=$(curl -sf "http://$ADDR/v1/cache") || fail "/v1/cache failed"
-echo "$CACHE" | grep -q '"misses": *1' || fail "cache should record 1 miss: $CACHE"
-echo "$CACHE" | grep -q '"hits": *1' || fail "cache should record 1 hit: $CACHE"
+GRAPH_SECTION=$(echo "$CACHE" | sed -n '/"graph":/,/"results":/p')
+RESULT_SECTION=$(echo "$CACHE" | sed -n '/"results":/,$p')
+echo "$GRAPH_SECTION" | grep -q '"misses": *1' || fail "graph cache should record 1 miss: $CACHE"
+echo "$RESULT_SECTION" | grep -q '"misses": *1' || fail "result cache should record 1 miss: $CACHE"
+echo "$RESULT_SECTION" | grep -q '"hits": *1' || fail "result cache should record 1 hit: $CACHE"
+
+# Schema validation: an unknown parameter is rejected before any work.
+BAD_STATUS=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/run" \
+    -d '{"source":"rmat:14","transforms":["symmetrize"],"algorithm":"bfs","opts":{"bogus":1}}')
+[[ "$BAD_STATUS" == "400" ]] || fail "unknown parameter returned $BAD_STATUS, want 400"
 
 ALGOS=$(curl -sf "http://$ADDR/v1/algorithms") || fail "/v1/algorithms failed"
 echo "$ALGOS" | grep -q '"name": *"bfs"' || fail "algorithm listing is missing bfs: $ALGOS"
+echo "$ALGOS" | grep -q '"name": *"beta"' || fail "algorithm listing is missing parameter schemas: $ALGOS"
 
 echo "smoke-serve: OK ($(echo "$FIRST" | grep -o '"summary": *"[^"]*"'))"
