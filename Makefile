@@ -6,7 +6,7 @@ GO ?= go
 LABEL ?= local
 BENCH_SCALE ?= 12
 
-.PHONY: all build test race vet fmt fmt-check bench bench-json bench-parallel build-isolation serve smoke-serve clean
+.PHONY: all build test race vet lint fmt fmt-check bench bench-json bench-parallel build-isolation serve smoke-serve clean
 
 all: build test
 
@@ -37,6 +37,13 @@ smoke-serve:
 
 vet:
 	$(GO) vet ./...
+
+# Run the repository's invariant analyzers (internal/analysis) over the whole
+# tree through go vet's -vettool protocol. See ARCHITECTURE.md, "Enforced
+# invariants", for what each analyzer checks.
+lint:
+	$(GO) build -o bin/gbbs-lint ./cmd/gbbs-lint
+	$(GO) vet -vettool=bin/gbbs-lint ./...
 
 fmt:
 	gofmt -w .

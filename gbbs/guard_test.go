@@ -1,52 +1,29 @@
 package gbbs_test
 
 import (
-	"os"
-	"path/filepath"
-	"strings"
 	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/schedisolation"
 )
 
-// TestBuildLayerNeverUsesDefaultScheduler greps the non-test sources of the
-// build-phase packages for references to the process-global scheduler. The
-// whole point of the GraphSource/Build pipeline is that graph construction
-// runs on the engine's private scheduler; a parallel.Default (or implicit
-// package-wrapper) call sneaking back in would silently break multi-tenant
-// isolation of the build phase without failing any functional test.
+// TestBuildLayerNeverUsesDefaultScheduler runs the schedisolation analyzer
+// over the real build-phase packages. The whole point of the
+// GraphSource/Build pipeline is that graph construction runs on the engine's
+// private scheduler; a parallel.Default (or package-wrapper) call sneaking
+// back in would silently break multi-tenant isolation of the build phase
+// without failing any functional test. Unlike the string grep this test
+// replaced, the analyzer resolves references through the type checker, so
+// aliased imports and dot-imports cannot slip past it.
 func TestBuildLayerNeverUsesDefaultScheduler(t *testing.T) {
-	banned := []string{
-		"parallel.Default",
-		"parallel.ForRange(",
-		"parallel.For(",
-		"parallel.Do(",
-		"parallel.DoN(",
-		"parallel.Blocks(",
-		"parallel.ForBlocks(",
-		"parallel.Workers(",
-		"parallel.SetWorkers(",
-	}
-	for _, dir := range []string{"../internal/graph", "../internal/gen", "../internal/compress"} {
-		entries, err := os.ReadDir(dir)
-		if err != nil {
-			t.Fatalf("reading %s: %v", dir, err)
-		}
-		for _, e := range entries {
-			name := e.Name()
-			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-				continue
-			}
-			path := filepath.Join(dir, name)
-			src, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("reading %s: %v", path, err)
-			}
-			for i, line := range strings.Split(string(src), "\n") {
-				for _, b := range banned {
-					if strings.Contains(line, b) {
-						t.Errorf("%s:%d references %s — build-phase code must run on the scheduler it is passed", path, i+1, strings.TrimSuffix(b, "("))
-					}
-				}
-			}
+	l := analyzertest.RepoLoader("..", "repro")
+	for _, pkg := range []string{
+		"repro/internal/graph",
+		"repro/internal/gen",
+		"repro/internal/compress",
+	} {
+		for _, d := range analyzertest.Diagnostics(t, l, schedisolation.Analyzer, pkg) {
+			t.Errorf("%s: %s", pkg, d)
 		}
 	}
 }

@@ -3,17 +3,17 @@ package serve_test
 import (
 	"testing"
 
-	"repro/internal/doccheck"
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/exporteddoc"
 )
 
 // TestExportedIdentifiersDocumented enforces the documentation bar on the
-// serving layer: every exported identifier must carry a godoc comment.
+// serving layer: every exported identifier must carry a godoc comment. It is
+// a thin wrapper over the exporteddoc analyzer, the same check gbbs-lint
+// runs in CI.
 func TestExportedIdentifiersDocumented(t *testing.T) {
-	missing, err := doccheck.Missing(".")
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, m := range missing {
-		t.Errorf("undocumented exported identifier: %s", m)
+	l := analyzertest.RepoLoader("../..", "repro")
+	for _, d := range analyzertest.SyntaxDiagnostics(t, l, exporteddoc.Analyzer, "repro/gbbs/serve") {
+		t.Error(d)
 	}
 }

@@ -1,3 +1,10 @@
 module repro
 
 go 1.24
+
+// The build environment has no module proxy; third_party/ holds the Go
+// toolchain's own vendored copy of the x/tools analysis subset (see
+// third_party/golang.org/x/tools/README.md).
+replace golang.org/x/tools => ./third_party/golang.org/x/tools
+
+require golang.org/x/tools v0.0.0-00010101000000-000000000000

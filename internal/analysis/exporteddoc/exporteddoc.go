@@ -1,53 +1,63 @@
-// Package doccheck is a test helper enforcing the repository's
-// documentation bar on public packages: every exported identifier — types,
-// functions, methods on exported types, constants, variables, and exported
-// struct fields — must carry a godoc comment. The public packages run it
-// from a test, so an undocumented export is a test failure, not a review
-// nit.
-package doccheck
+// Package exporteddoc defines an analyzer enforcing the documentation bar
+// on the public packages: every exported identifier — types, functions,
+// methods on exported types, constants, variables, exported struct fields,
+// and exported interface methods — must carry a godoc comment. It is the
+// analyzer port of the retired internal/doccheck test helper and reports
+// the same identifier descriptions ("func X", "field T.F", ...), so the
+// thin test wrappers in gbbs and gbbs/serve keep failing with familiar
+// messages when an undocumented export lands.
+package exporteddoc
 
 import (
-	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/lintutil"
 )
 
-// Missing parses the non-test Go files of the package in dir and returns a
-// sorted list of exported identifiers that have no doc comment, formatted
-// as "file:line: <what>".
-func Missing(dir string) ([]string, error) {
-	fset := token.NewFileSet()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var missing []string
-	report := func(pos token.Pos, format string, args ...any) {
-		p := fset.Position(pos)
-		missing = append(missing, fmt.Sprintf("%s:%d: %s", filepath.Base(p.Filename), p.Line, fmt.Sprintf(format, args...)))
-	}
-	for _, entry := range entries {
-		name := entry.Name()
-		if entry.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		checkFile(file, report)
-	}
-	sort.Strings(missing)
-	return missing, nil
+// scope lists the packages held to the documentation bar (-packages flag):
+// the two public, importable surfaces. Internal packages document
+// themselves at whatever density their maintainers find readable.
+var scope = lintutil.NewPackageList(
+	"repro/gbbs",
+	"repro/gbbs/serve",
+)
+
+const name = "exporteddoc"
+
+// Analyzer flags undocumented exported identifiers in the public packages.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "flag exported identifiers without godoc comments in the public packages",
+	Run:  run,
 }
 
+func init() {
+	Analyzer.Flags.Var(scope, "packages", "comma-separated import paths held to the documentation bar")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !scope[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	report := func(pos token.Pos, format string, args ...any) {
+		if lintutil.InTestFile(pass, pos) || lintutil.Allowed(pass, pos, name) {
+			return
+		}
+		pass.Reportf(pos, "undocumented exported identifier: "+format, args...)
+	}
+	for _, file := range pass.Files {
+		checkFile(file, report)
+	}
+	return nil, nil
+}
+
+type reporter func(pos token.Pos, format string, args ...any)
+
 // checkFile walks one file's top-level declarations.
-func checkFile(file *ast.File, report func(pos token.Pos, format string, args ...any)) {
+func checkFile(file *ast.File, report reporter) {
 	for _, decl := range file.Decls {
 		switch d := decl.(type) {
 		case *ast.FuncDecl:
@@ -90,7 +100,7 @@ func exportedReceiver(d *ast.FuncDecl) bool {
 // checkGenDecl checks a type/const/var declaration group. A doc comment on
 // the group covers its specs (the stdlib's grouped-const idiom); otherwise
 // each exported spec needs its own.
-func checkGenDecl(d *ast.GenDecl, report func(pos token.Pos, format string, args ...any)) {
+func checkGenDecl(d *ast.GenDecl, report reporter) {
 	groupDocumented := d.Doc != nil
 	for _, spec := range d.Specs {
 		switch s := spec.(type) {
@@ -124,7 +134,7 @@ func checkGenDecl(d *ast.GenDecl, report func(pos token.Pos, format string, args
 // an exported struct. Fields declared in one spec ("a, b int // comment")
 // share their comment; embedded fields are exempt (the embedded type
 // documents itself).
-func checkFields(typeName string, st *ast.StructType, report func(pos token.Pos, format string, args ...any)) {
+func checkFields(typeName string, st *ast.StructType, report reporter) {
 	for _, f := range st.Fields.List {
 		if len(f.Names) == 0 || f.Doc != nil || f.Comment != nil {
 			continue
@@ -139,7 +149,7 @@ func checkFields(typeName string, st *ast.StructType, report func(pos token.Pos,
 
 // checkInterface requires a doc comment on every exported method of an
 // exported interface.
-func checkInterface(typeName string, it *ast.InterfaceType, report func(pos token.Pos, format string, args ...any)) {
+func checkInterface(typeName string, it *ast.InterfaceType, report reporter) {
 	for _, m := range it.Methods.List {
 		if len(m.Names) == 0 {
 			continue // embedded interface

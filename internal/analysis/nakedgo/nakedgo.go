@@ -1,0 +1,76 @@
+// Package nakedgo defines an analyzer banning bare go statements. The
+// paper's work/depth accounting — and the engine's multi-tenant isolation —
+// both assume that every unit of parallelism is executed and counted by a
+// parallel.Scheduler; a goroutine spawned directly with `go` is invisible
+// to the scheduler's worker accounting, is not interruptible through
+// Poll/Attach, and survives Engine.Close. The two legitimate spawn sites
+// (the worker pool itself and the serving layer's detached build) are
+// allowlisted by file.
+package nakedgo
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/analysis/lintutil"
+)
+
+// allowFiles lists the files (matched by path suffix, -allowfiles flag)
+// permitted to contain bare go statements. Each entry must justify itself
+// here, at the allowlist site:
+//
+//   - internal/parallel/pool.go: the worker pool IS the scheduler's spawn
+//     site; every other goroutine in the process is meant to descend from
+//     the ones created here.
+//   - gbbs/serve/cache.go: the graph cache intentionally detaches one
+//     build goroutine per cache fill so that a caller timing out does not
+//     cancel the build for the other tenants waiting on the same entry;
+//     runBuild recovers panics itself precisely because it is detached.
+//   - cmd/gbbs-serve/main.go: process-lifecycle goroutine waiting for
+//     SIGINT/SIGTERM to drain the HTTP server; it manages the daemon, not
+//     algorithm work, so no scheduler is in scope.
+var allowFiles = lintutil.NewPackageList(
+	"internal/parallel/pool.go",
+	"gbbs/serve/cache.go",
+	"cmd/gbbs-serve/main.go",
+)
+
+const name = "nakedgo"
+
+// Analyzer flags bare go statements outside the allowlisted spawn sites.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "flag bare go statements outside the scheduler's worker pool and the allowlisted detach sites; " +
+		"all other concurrency must go through a parallel.Scheduler",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func init() {
+	Analyzer.Flags.Var(allowFiles, "allowfiles", "comma-separated file path suffixes allowed to contain bare go statements")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		pos := n.Pos()
+		if lintutil.InTestFile(pass, pos) {
+			return
+		}
+		fname := pass.Fset.Position(pos).Filename
+		for suffix := range allowFiles {
+			if strings.HasSuffix(fname, suffix) {
+				return
+			}
+		}
+		if lintutil.Allowed(pass, pos, name) {
+			return
+		}
+		pass.Reportf(pos, "bare go statement; concurrency must run on a parallel.Scheduler so it is counted, cancellable, and closed with its engine (or allowlist the file in nakedgo with a justification)")
+	})
+	return nil, nil
+}

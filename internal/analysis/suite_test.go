@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/atomicmix"
+	"repro/internal/analysis/ctxpoll"
+	"repro/internal/analysis/exporteddoc"
+	"repro/internal/analysis/nakedgo"
+	"repro/internal/analysis/nondeterminism"
+	"repro/internal/analysis/schedisolation"
+)
+
+// The fixtures live in testdata/src laid out GOPATH-style; packages under
+// testdata/src/repro/... impersonate the real module's import paths so the
+// analyzers' package scopes and allowlists apply to them unmodified.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		name      string
+		analyzers []*analysis.Analyzer
+		path      string
+	}{
+		// Aliased parallel.Default / wrapper uses in a build-phase package.
+		{"schedisolation", []*analysis.Analyzer{schedisolation.Analyzer}, "repro/internal/graph"},
+		// The facade is allowlisted for schedisolation but held to the
+		// documentation bar; one fixture, two invariants.
+		{"facade", []*analysis.Analyzer{schedisolation.Analyzer, exporteddoc.Analyzer}, "repro/gbbs"},
+		// Round loops (direct poll, cross-package fact, intra-package
+		// fixpoint, infinite loops, bounded loops) plus a bare go statement.
+		{"core", []*analysis.Analyzer{ctxpoll.Analyzer, nakedgo.Analyzer}, "repro/internal/core"},
+		// The helper package itself is in scope and stays clean.
+		{"ligra", []*analysis.Analyzer{ctxpoll.Analyzer}, "repro/internal/ligra"},
+		{"atomicmix", []*analysis.Analyzer{atomicmix.Analyzer}, "atomicmix/a"},
+		{"atomicmix-clean", []*analysis.Analyzer{atomicmix.Analyzer}, "atomicmix/clean"},
+		{"nondeterminism", []*analysis.Analyzer{nondeterminism.Analyzer}, "repro/internal/gen"},
+		// Out-of-scope packages may read clocks and range over maps freely.
+		{"nondeterminism-clean", []*analysis.Analyzer{nondeterminism.Analyzer}, "nondet/clean"},
+		{"nakedgo-clean", []*analysis.Analyzer{nakedgo.Analyzer}, "nakedgo/clean"},
+		// Out-of-scope packages may leave exports undocumented.
+		{"exporteddoc-clean", []*analysis.Analyzer{exporteddoc.Analyzer}, "exporteddoc/clean"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := analyzertest.FixtureLoader("testdata/src")
+			analyzertest.Check(t, l, tc.analyzers, tc.path)
+		})
+	}
+}

@@ -1,0 +1,37 @@
+// Package a is the atomicmix positive fixture: fields accessed both
+// atomically and plainly.
+package a
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomics"
+)
+
+type counter struct {
+	hits uint32
+	done uint32
+	name string
+}
+
+func (c *counter) bump() {
+	atomic.AddUint32(&c.hits, 1)
+	atomics.Store32(&c.done, 1)
+}
+
+func (c *counter) read() uint32 {
+	return c.hits // want `plain access to field hits, which is accessed atomically at a\.go:\d+`
+}
+
+func (c *counter) reset() {
+	c.done = 0 // want `plain access to field done, which is accessed atomically at a\.go:\d+`
+}
+
+func (c *counter) label() string {
+	return c.name // never atomic: clean
+}
+
+func (c *counter) drainAllowed() uint32 {
+	//gbbs:lint-allow atomicmix fixture demonstrating the justified escape hatch
+	return c.hits
+}

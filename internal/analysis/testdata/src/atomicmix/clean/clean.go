@@ -1,0 +1,37 @@
+// Package clean is the atomicmix clean fixture: typed atomic fields,
+// consistently-atomic raw fields, constructor initialization via composite
+// literal, and atomics over slice elements (not fields) all pass.
+package clean
+
+import (
+	"sync/atomic"
+
+	"repro/internal/atomics"
+)
+
+type counter struct {
+	hits uint32
+	n    atomic.Int64
+	bits []uint32
+}
+
+func newCounter(size int) *counter {
+	return &counter{hits: 0, bits: make([]uint32, size)}
+}
+
+func (c *counter) bump() {
+	atomic.AddUint32(&c.hits, 1)
+	c.n.Add(1)
+}
+
+func (c *counter) read() uint32 {
+	return atomic.LoadUint32(&c.hits)
+}
+
+func (c *counter) mark(i int) bool {
+	return atomics.TestAndSet(&c.bits[i])
+}
+
+func (c *counter) grow(extra int) {
+	c.bits = append(c.bits, make([]uint32, extra)...)
+}

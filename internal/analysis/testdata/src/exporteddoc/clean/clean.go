@@ -1,0 +1,9 @@
+// Package clean is the exporteddoc clean fixture: undocumented exports are
+// fine outside the repro/gbbs surface packages.
+package clean
+
+type Widget struct {
+	ID int
+}
+
+func Spin(w *Widget) int { return w.ID }

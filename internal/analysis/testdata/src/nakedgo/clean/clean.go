@@ -1,0 +1,16 @@
+// Package clean is the nakedgo clean fixture: no go statements at all, and
+// closures handed to a scheduler are fine.
+package clean
+
+import "repro/internal/parallel"
+
+// Sum runs on an explicit scheduler; passing closures is not spawning.
+func Sum(s *parallel.Scheduler, xs []int) int {
+	t := 0
+	s.ForRange(len(xs), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t += xs[i]
+		}
+	})
+	return t
+}

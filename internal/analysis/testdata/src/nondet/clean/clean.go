@@ -1,0 +1,20 @@
+// Package clean is the nondeterminism clean fixture: wall-clock reads and
+// order-dependent map output are fine outside the deterministic scope.
+package clean
+
+import "time"
+
+// Uptime reads the wall clock; this package is out of scope, so no
+// diagnostic.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Keys is map-order dependent; out of scope, so no diagnostic.
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -1,0 +1,33 @@
+// Package gbbs is a fixture impersonating the public facade. Two
+// invariants meet here: schedisolation's allowlist admits this package's
+// deliberate parallel.Default references (no diagnostics), while
+// exporteddoc holds it to the documentation bar (the acceptance case "an
+// undocumented export in gbbs").
+package gbbs
+
+import "repro/internal/parallel"
+
+// Workers reports the global worker count; documented, allowlisted: clean.
+func Workers() int { return parallel.Workers() }
+
+func Undocumented() int { return parallel.Default.Workers() } // want `undocumented exported identifier: func Undocumented`
+
+// Options is documented, but one of its exported fields is not.
+type Options struct {
+	Threads int // Threads is the worker count.
+
+	// want+2 `undocumented exported identifier: field Options\.Seed`
+
+	Seed int64
+}
+
+// want+2 `undocumented exported identifier: var Threshold`
+
+var Threshold = 3
+
+// Runner is documented, but its exported interface method is not.
+type Runner interface {
+	// want+2 `undocumented exported identifier: method Runner\.Run`
+
+	Run(opt Options) error
+}

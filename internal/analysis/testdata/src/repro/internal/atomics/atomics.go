@@ -1,0 +1,15 @@
+// Package atomics is a fixture stub impersonating the real
+// repro/internal/atomics wrapper package; atomicmix treats a &x.f argument
+// to any of its functions as an atomic access of field f.
+package atomics
+
+import "sync/atomic"
+
+// Load32 atomically loads *x.
+func Load32(x *uint32) uint32 { return atomic.LoadUint32(x) }
+
+// Store32 atomically stores v into *x.
+func Store32(x *uint32, v uint32) { atomic.StoreUint32(x, v) }
+
+// TestAndSet atomically flips *x from 0 to 1.
+func TestAndSet(x *uint32) bool { return atomic.CompareAndSwapUint32(x, 0, 1) }

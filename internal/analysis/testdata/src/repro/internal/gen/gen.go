@@ -1,0 +1,43 @@
+// Package gen is a fixture impersonating a deterministic build package in
+// nondeterminism's scope: graph generation must be byte-reproducible for a
+// fixed seed.
+package gen
+
+import (
+	"math/rand" // want `deterministic package imports math/rand; use the seeded, splittable internal/xrand`
+	"time"
+)
+
+// ClockSeed derives a seed from the wall clock: flagged.
+func ClockSeed() int64 {
+	return time.Now().UnixNano() // want `deterministic package reads the wall clock \(time\.Now\)`
+}
+
+// Shuffled uses the global math/rand stream; the import is the diagnostic
+// site, so this use compiles the import into the fixture.
+func Shuffled(n int) []int { return rand.Perm(n) }
+
+// Labels feeds map iteration into append: differently ordered every run,
+// flagged.
+func Labels(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration feeds append`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Total aggregates commutatively over a map: order-insensitive, clean.
+func Total(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// StampedAllowed demonstrates the per-site escape hatch.
+func StampedAllowed() int64 {
+	//gbbs:lint-allow nondeterminism fixture demonstrating the justified escape hatch
+	return time.Now().Unix()
+}

@@ -1,0 +1,39 @@
+// Package graph is a fixture impersonating a build-phase package — the
+// acceptance case "an aliased parallel.Default use in a build-phase
+// package". The import is aliased to prove the check is type-aware: the
+// old grep for the literal string "parallel.Default" would see nothing
+// here.
+package graph
+
+import pd "repro/internal/parallel"
+
+// Degrees uses an aliased package-level wrapper: flagged.
+func Degrees(n int) []int {
+	deg := make([]int, n)
+	pd.ForRange(n, 0, func(lo, hi int) { // want `reference to the process-global scheduler parallel\.ForRange`
+		for i := lo; i < hi; i++ {
+			deg[i] = i
+		}
+	})
+	return deg
+}
+
+// GlobalWorkers reads the aliased global scheduler variable: flagged.
+func GlobalWorkers() int {
+	s := pd.Default // want `reference to the process-global scheduler parallel\.Default`
+	return s.Workers()
+}
+
+// OnScheduler threads an explicit scheduler — the sanctioned shape: clean.
+func OnScheduler(s *pd.Scheduler, n int) []int {
+	deg := make([]int, n)
+	s.ForRange(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			deg[i] = i
+		}
+	})
+	return deg
+}
+
+// NewIsFine constructs a private scheduler; constructors are not banned.
+func NewIsFine() *pd.Scheduler { return pd.New(2) }

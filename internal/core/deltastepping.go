@@ -81,6 +81,7 @@ func DeltaStepping(s *parallel.Scheduler, g graph.Graph, src uint32, delta int32
 		s.Poll()
 		var settled []uint32
 		for len(buckets[b]) > 0 {
+			s.Poll()
 			frontier := prims.Filter(s, buckets[b], func(v uint32) bool { return bucketOf(v) == uint32(b) })
 			buckets[b] = buckets[b][:0]
 			if len(frontier) == 0 {

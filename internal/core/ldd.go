@@ -62,6 +62,7 @@ func LDD(s *parallel.Scheduler, g graph.Graph, beta float64, seed uint64) []uint
 		// still unclaimed.
 		var newcomers []uint32
 		for nextStart < len(roundStarts) {
+			s.Poll()
 			idx := int(roundStarts[nextStart])
 			r := uint32(packed[idx] >> 32)
 			if r > round {

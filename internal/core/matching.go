@@ -80,6 +80,7 @@ func keysOf(s *parallel.Scheduler, key []uint64, ids []uint32) []uint64 {
 // geometrically w.h.p.
 func greedyMatch(s *parallel.Scheduler, eu, ev []uint32, key []uint64, ids []uint32, matched []uint32, minKey []uint64, out []WEdge) []WEdge {
 	for len(ids) > 0 {
+		s.Poll()
 		s.ForRange(len(ids), 512, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				id := ids[i]

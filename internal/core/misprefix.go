@@ -46,6 +46,7 @@ func MISPrefix(s *parallel.Scheduler, g graph.Graph, seed uint64) []bool {
 		}
 		pending := order[pos:hi]
 		for len(pending) > 0 {
+			s.Poll()
 			decided := make([]uint32, len(pending))
 			s.ForRange(len(pending), 128, func(lo, hiB int) {
 				for i := lo; i < hiB; i++ {

@@ -194,6 +194,7 @@ func (st *msfState) boruvka(ids []uint32) {
 // atomic accesses regardless of interleaving.
 func (st *msfState) pointerJump(ids []uint32) {
 	for {
+		st.sched.Poll()
 		changed := prims.MapReduce(st.sched, len(ids), 0, func(i int) int {
 			id := ids[i]
 			c := 0
