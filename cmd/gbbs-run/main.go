@@ -25,6 +25,12 @@
 //	gbbs-run -algo cc -source "rmat:scale=18,factor=16" -transform "sym"
 //	gbbs-run -algo scc -gen rmat -sym=false -opt beta=1.5 -opt trimrounds=5
 //	gbbs-run -algo cc -gen rmat -scale 18 -threads 4 -timeout 30s
+//	gbbs-run -algo incrcc -gen rmat -scale 16 -update "0-9,4-7" -update "1-5"
+//
+// -update inserts a batch of edges into the built graph before the run
+// (Engine.ApplyEdges): the algorithm executes on the updated snapshot, which
+// is byte-deterministic at any thread count. Weighted graphs take "u-v=w";
+// self-loops and already-present edges are no-ops.
 package main
 
 import (
@@ -53,6 +59,11 @@ func main() {
 			return fmt.Errorf("want name=value, got %q", s)
 		}
 		opts[name] = parseOptValue(raw)
+		return nil
+	})
+	var updateSpecs []string
+	flag.Func("update", `edges to insert before the run, "u-v" or "u-v=w", comma-separated (repeatable)`, func(s string) error {
+		updateSpecs = append(updateSpecs, strings.Split(s, ",")...)
 		return nil
 	})
 	input := flag.String("i", "", "input adjacency-graph file (empty = generate)")
@@ -162,12 +173,31 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := eng.Run(ctx, a.Name, gbbs.Request{
+	req := gbbs.Request{
 		Input:  &gbbs.InputSpec{Source: source, Transforms: transforms},
 		Source: uint32(*src),
 		Seed:   seed,
 		Opts:   opts,
-	})
+	}
+	if len(updateSpecs) > 0 {
+		// Build first, then insert the batch: the algorithm runs on the
+		// updated snapshot (the run request carries the graph directly).
+		built, err := eng.Build(ctx, source, transforms...)
+		if err != nil {
+			log.Fatalf("build: %v", err)
+		}
+		batch, err := parseUpdateBatch(updateSpecs, built)
+		if err != nil {
+			log.Fatalf("-update: %v", err)
+		}
+		updated, added, err := eng.ApplyEdges(ctx, built, batch)
+		if err != nil {
+			log.Fatalf("applying update batch: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "update: %d directed edges inserted (%d edges requested)\n", added, batch.Len())
+		req = gbbs.Request{Graph: updated, Source: uint32(*src), Seed: seed, Opts: opts}
+	}
+	res, err := eng.Run(ctx, a.Name, req)
 	if err != nil {
 		log.Fatalf("%s: %v", a.Name, err)
 	}
@@ -193,6 +223,55 @@ func main() {
 		fmt.Println(detail)
 	}
 	fmt.Printf("%s: %s in %v\n", a.Name, res.Summary, res.Elapsed.Round(time.Microsecond))
+}
+
+// parseUpdateBatch converts -update specs ("u-v", "u-v=w") into an
+// UpdateBatch matching g's weightedness. Weights are only meaningful on
+// weighted graphs (defaulting to 1 when omitted) and rejected otherwise;
+// endpoint range checks happen inside Engine.ApplyEdges.
+func parseUpdateBatch(specs []string, g gbbs.Graph) (*gbbs.UpdateBatch, error) {
+	batch := &gbbs.UpdateBatch{N: g.N()}
+	if g.Weighted() {
+		batch.W = []int32{}
+	}
+	for _, s := range specs {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		edge, wstr, hasW := strings.Cut(s, "=")
+		us, vs, ok := strings.Cut(edge, "-")
+		if !ok {
+			return nil, fmt.Errorf("bad edge %q (want u-v or u-v=w)", s)
+		}
+		u, err := strconv.ParseUint(strings.TrimSpace(us), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad endpoint in %q: %v", s, err)
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(vs), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad endpoint in %q: %v", s, err)
+		}
+		w := int64(1)
+		if hasW {
+			if !g.Weighted() {
+				return nil, fmt.Errorf("edge %q carries a weight but the graph is unweighted", s)
+			}
+			w, err = strconv.ParseInt(strings.TrimSpace(wstr), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad weight in %q: %v", s, err)
+			}
+		}
+		batch.U = append(batch.U, uint32(u))
+		batch.V = append(batch.V, uint32(v))
+		if batch.W != nil {
+			batch.W = append(batch.W, int32(w))
+		}
+	}
+	if batch.Len() == 0 {
+		return nil, fmt.Errorf("empty update batch")
+	}
+	return batch, nil
 }
 
 // parseOptValue converts one -opt value to the JSON-compatible dynamic

@@ -9,10 +9,16 @@
 //
 // Endpoints (see package repro/gbbs/serve):
 //
-//	POST /v1/run         execute a run request
-//	GET  /v1/algorithms  list the registry with parameter schemas
-//	GET  /v1/cache       graph- and result-cache contents and counters
-//	GET  /healthz        liveness, admission and cache state
+//	POST   /v1/run                  execute a run request
+//	GET    /v1/algorithms           list the registry with parameter schemas
+//	GET    /v1/cache                graph- and result-cache contents and counters
+//	DELETE /v1/cache?key=K          invalidate one cache entry by exact key
+//	GET    /v1/graphs               list stored graphs with versions
+//	PUT    /v1/graphs/{name}        build a source spec into the versioned store
+//	GET    /v1/graphs/{name}        describe one stored graph
+//	DELETE /v1/graphs/{name}        remove a stored graph
+//	POST   /v1/graphs/{name}/edges  insert an edge batch, bumping the version
+//	GET    /healthz                 liveness, admission and cache state
 //
 // Repeated identical requests (same algorithm, canonical input spec,
 // source vertex, seed and normalized parameters) are answered from the
@@ -51,6 +57,7 @@ func main() {
 	resultCacheMB := flag.Int64("result-cache-mb", 256, "result cache budget in MiB (0 disables retention)")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline when timeout_ms is absent")
 	maxScale := flag.Int("max-scale", 24, "reject generator specs above this scale (0 = no guard)")
+	maxBodyMB := flag.Int64("max-body-mb", 64, "edge-batch body cap in MiB (oversize bodies get 413)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
 
@@ -68,6 +75,7 @@ func main() {
 		ResultCacheBytes: resultCacheBytes,
 		DefaultTimeout:   *timeout,
 		MaxSourceScale:   *maxScale,
+		MaxBodyBytes:     *maxBodyMB << 20,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,

@@ -145,6 +145,26 @@ func init() {
 	})
 
 	register(Algorithm{
+		Name: "incrcc", Description: "connected-component labels via bulk-parallel union-find (Simsiri et al.); with Request.Incr set, unites only the inserted edges — O(b·α(n)) work for b insertions",
+		Params: []Param{BoolParam("rebuild", false, "ignore Request.Incr and recompute from the full graph (checks the incremental path)")},
+	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {
+		// The incremental path is an accelerator, not a different algorithm:
+		// both branches produce the identical canonical labelling (each
+		// vertex mapped to its component's minimum vertex id), so the
+		// summary and value are independent of which branch ran — a
+		// requirement for the serving layer, whose result-cache key excludes
+		// Request.Incr.
+		var labels []uint32
+		if st := req.Incr; st != nil && !req.Bool("rebuild") && len(st.Labels) == req.Graph.N() {
+			labels = core.IncrementalCC(s, st.Labels, st.Batches)
+		} else {
+			labels = core.UnionFindCC(s, req.Graph)
+		}
+		num, largest := core.ComponentCount(s, labels)
+		return Result{Summary: fmt.Sprintf("%d components, largest %d", num, largest), Value: labels}
+	})
+
+	register(Algorithm{
 		Name: "spanforest", Description: "rooted spanning forest (parents, levels, roots) from connectivity's contraction tree",
 		Params: []Param{paramBeta()},
 	}, func(s *parallel.Scheduler, e *Engine, req Request) Result {

@@ -25,6 +25,18 @@ type Request struct {
 	// through Engine.Build and its wall-clock time is reported separately
 	// in Result.BuildElapsed.
 	Input *InputSpec
+	// GraphID is the canonical identity of a directly-supplied Graph that
+	// has no declarative spelling — e.g. a store snapshot's
+	// "store(name=wiki,version=3)". When Input is nil, Key fingerprints
+	// GraphID in its place, so results computed on versioned snapshots are
+	// cacheable and a version bump changes every dependent key. Ignored
+	// when Input is set.
+	GraphID string
+	// Incr, when non-nil, offers prior connectivity state to incremental
+	// algorithms ("incrcc"): labels of an earlier snapshot plus the edge
+	// batches applied since. It is an execution hint, not an input — the
+	// result is identical with or without it — so Key excludes it.
+	Incr *CCState
 	// Source is the source vertex for SSSP/BC-style problems; ignored by
 	// algorithms with NeedsSource == false.
 	Source uint32
@@ -101,15 +113,19 @@ func (r Request) Bool(name string) bool { return r.param(name).(bool) }
 // is deterministic in (input, seed, params), independent of thread count —
 // which is what lets the serving layer key its result cache on it.
 //
-// Key requires a declarative input (Request.Input): a directly-supplied
-// Graph has no canonical spelling to fingerprint. A nil Seed resolves as
-// DefaultSeed, matching Engine.Run on an engine without WithSeed; callers
-// running on engines with non-default seeds should set Seed explicitly
-// before fingerprinting. Invalid Opts (unknown keys, out-of-range values)
-// return the same error Engine.Run would.
+// Key requires a canonical input spelling: a declarative Request.Input, or
+// — for directly-supplied graphs that have one — a GraphID (the store
+// stamps its snapshots with "store(name=...,version=N)", so a version bump
+// changes every dependent key and stale cache entries can be invalidated
+// precisely). A graph with neither cannot be fingerprinted. Request.Incr is
+// excluded: it only accelerates the run, never changes the result. A nil
+// Seed resolves as DefaultSeed, matching Engine.Run on an engine without
+// WithSeed; callers running on engines with non-default seeds should set
+// Seed explicitly before fingerprinting. Invalid Opts (unknown keys,
+// out-of-range values) return the same error Engine.Run would.
 func (r Request) Key(a Algorithm) (string, error) {
-	if r.Input == nil || r.Input.Source == nil {
-		return "", fmt.Errorf("gbbs: %s: fingerprinting requires a declarative Request.Input", a.Name)
+	if (r.Input == nil || r.Input.Source == nil) && r.GraphID == "" {
+		return "", fmt.Errorf("gbbs: %s: fingerprinting requires a declarative Request.Input or a GraphID", a.Name)
 	}
 	params, err := a.ResolveOpts(r.Opts)
 	if err != nil {
@@ -122,10 +138,14 @@ func (r Request) Key(a Algorithm) (string, error) {
 	var b strings.Builder
 	b.WriteString(a.Name)
 	b.WriteByte('|')
-	b.WriteString(r.Input.Source.String())
-	for _, t := range r.Input.Transforms {
-		b.WriteByte('|')
-		b.WriteString(t.String())
+	if r.Input != nil && r.Input.Source != nil {
+		b.WriteString(r.Input.Source.String())
+		for _, t := range r.Input.Transforms {
+			b.WriteByte('|')
+			b.WriteString(t.String())
+		}
+	} else {
+		b.WriteString(r.GraphID)
 	}
 	if a.NeedsSource {
 		fmt.Fprintf(&b, "|src=%d", r.Source)

@@ -246,6 +246,20 @@ func (c *Cache) Stats() CacheStats {
 	return s
 }
 
+// Invalidate removes the entry cached under exactly key, reporting whether
+// one was present. An in-flight build keeps running and publishes to its
+// waiters, but its result is not retained. Unlike Clear, unrelated entries
+// are untouched — this is the precise invalidation the update path uses.
+func (c *Cache) Invalidate(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.removeLocked(e)
+	}
+	return ok
+}
+
 // Clear empties the cache (in-flight builds keep running and publish to
 // their waiters, but their results are not retained). Counters survive.
 func (c *Cache) Clear() {

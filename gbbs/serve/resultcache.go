@@ -222,6 +222,37 @@ func (c *ResultCache) Counters() (hits, misses int64, entries int) {
 	return c.hits, c.misses, c.completed
 }
 
+// Invalidate removes the entry cached under exactly key, reporting whether
+// one was present. An in-flight execution keeps running and publishes to
+// its waiters, but its result is not retained.
+func (c *ResultCache) Invalidate(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.removeLocked(e)
+	}
+	return ok
+}
+
+// InvalidateMatching removes every entry whose key satisfies pred and
+// returns how many were removed. The update path uses it to drop exactly
+// the results computed on superseded versions of one stored graph — the
+// fingerprint embeds the snapshot ID, so the predicate can select one
+// graph's keys without flushing anything else.
+func (c *ResultCache) InvalidateMatching(pred func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for key, e := range c.entries {
+		if pred(key) {
+			c.removeLocked(e)
+			removed++
+		}
+	}
+	return removed
+}
+
 // Clear empties the cache (in-flight executions keep running and publish
 // to their waiters, but their results are not retained). Counters survive.
 func (c *ResultCache) Clear() {

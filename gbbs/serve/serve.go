@@ -21,12 +21,26 @@
 // deterministic in that tuple, so a repeated identical request is answered
 // from memory without executing anything.
 //
+// A third layer is the versioned graph store (gbbs/store): graphs built
+// once via PUT /v1/graphs/{name} and addressed by name in RunRequest.Graph,
+// taking batched edge insertions (POST /v1/graphs/{name}/edges) that bump
+// the graph's version in place of a rebuild. The version is part of every
+// dependent result-cache fingerprint, so an update can never cause a stale
+// result to be served; superseded entries are additionally invalidated by
+// exact key.
+//
 // Endpoints:
 //
-//	POST /v1/run         run a RunRequest, returning a RunResponse
-//	GET  /v1/algorithms  list registered algorithms with parameter schemas
-//	GET  /v1/cache       graph- and result-cache entries and counters
-//	GET  /healthz        liveness, uptime, admission and cache state
+//	POST   /v1/run                  run a RunRequest, returning a RunResponse
+//	GET    /v1/algorithms           list registered algorithms with parameter schemas
+//	GET    /v1/cache                graph- and result-cache entries and counters
+//	DELETE /v1/cache?key=K          invalidate one cache entry by exact key
+//	GET    /v1/graphs               list stored graphs with versions
+//	PUT    /v1/graphs/{name}        build a source spec and store it
+//	GET    /v1/graphs/{name}        describe one stored graph
+//	DELETE /v1/graphs/{name}        remove a stored graph
+//	POST   /v1/graphs/{name}/edges  insert an edge batch, bumping the version
+//	GET    /healthz                 liveness, uptime, admission and cache state
 //
 // The package is net/http based: Server implements http.Handler, so it can
 // be mounted under any mux or served directly (see cmd/gbbs-serve).
@@ -43,10 +57,13 @@ import (
 	"time"
 
 	"repro/gbbs"
+	"repro/gbbs/store"
 )
 
-// maxRequestBytes caps a /v1/run body; a RunRequest is a few hundred bytes
-// even with a generous opts map, so 1 MiB is far beyond any legitimate use.
+// maxRequestBytes caps control-plane bodies (/v1/run, graph creation); such
+// a request is a few hundred bytes even with a generous opts map, so 1 MiB
+// is far beyond any legitimate use. Edge-batch bodies are data, not
+// control, and get their own per-route cap (Config.MaxBodyBytes).
 const maxRequestBytes = 1 << 20
 
 // Config tunes a Server; the zero value selects sensible defaults.
@@ -71,6 +88,16 @@ type Config struct {
 	// the rmat factor, er's m and complete's n²). 0 disables the guard.
 	// It exists so a public endpoint cannot be asked for a terabyte build.
 	MaxSourceScale int
+	// MaxBodyBytes caps an edge-batch body (POST /v1/graphs/{name}/edges),
+	// the one route whose payload is data rather than control: a million
+	// inserted edges is ~16 MB of JSON. 0 selects 64 MiB. Control-plane
+	// routes keep their own 1 MiB cap regardless. Oversize bodies are
+	// rejected with 413.
+	MaxBodyBytes int64
+	// StoreConfig tunes the versioned graph store (compaction threshold,
+	// incremental-state log budget); the zero value selects the store's
+	// defaults.
+	StoreConfig store.Config
 }
 
 // Server runs declarative graph requests over HTTP. Create it with New,
@@ -82,6 +109,7 @@ type Server struct {
 	results *ResultCache
 	limiter *Limiter
 	engines *EnginePool
+	store   *store.Store
 	mux     *http.ServeMux
 	started time.Time
 
@@ -103,6 +131,9 @@ func New(cfg Config) *Server {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 60 * time.Second
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
 	buildCtx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
@@ -110,6 +141,7 @@ func New(cfg Config) *Server {
 		results:   NewResultCache(cfg.ResultCacheBytes),
 		limiter:   NewLimiter(cfg.MaxThreads),
 		engines:   NewEnginePool(cfg.MaxThreads),
+		store:     store.New(cfg.StoreConfig),
 		mux:       http.NewServeMux(),
 		started:   time.Now(),
 		buildCtx:  buildCtx,
@@ -118,6 +150,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
+	s.mux.HandleFunc("DELETE /v1/cache", s.handleCacheInvalidate)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
+	s.mux.HandleFunc("PUT /v1/graphs/{name}", s.handleGraphCreate)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphGet)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphDelete)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleGraphEdges)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -137,6 +175,9 @@ func (s *Server) Limiter() *Limiter { return s.limiter }
 // Engines exposes the server's warm engine pool (for stats).
 func (s *Server) Engines() *EnginePool { return s.engines }
 
+// Store exposes the server's versioned graph store.
+func (s *Server) Store() *store.Store { return s.store }
+
 // Close aborts in-flight cache builds and releases the warm engine pool's
 // workers. In-flight HTTP requests fail with their build's cancellation
 // error; call it after the http.Server has drained.
@@ -152,7 +193,14 @@ func (s *Server) Close() {
 //	 "threads": 4, "timeout_ms": 5000}
 type RunRequest struct {
 	// Source is a gbbs.ParseSource spec ("rmat:scale=18", "file:g.adj").
-	Source string `json:"source"`
+	// Exactly one of Source and Graph must be set.
+	Source string `json:"source,omitempty"`
+	// Graph names a graph in the server's versioned store (PUT
+	// /v1/graphs/{name}); the run executes on its current version, whose ID
+	// is folded into the result-cache key so results from superseded
+	// versions can never be served. Exactly one of Source and Graph must be
+	// set; Transforms apply only to Source.
+	Graph string `json:"graph,omitempty"`
 	// Transforms are gbbs.ParseTransforms specs, one or more per element
 	// (each element may itself be semicolon-separated).
 	Transforms []string `json:"transforms,omitempty"`
@@ -349,9 +397,11 @@ type parsedRun struct {
 	algo       gbbs.Algorithm
 	source     gbbs.GraphSource
 	transforms []gbbs.Transform
-	key        string // graph-cache key: canonical (source, transforms)
-	fp         string // result-cache key: gbbs.Request.Key fingerprint
-	seed       uint64 // resolved seed (request seed or gbbs.DefaultSeed)
+	snap       store.Snapshot // store-backed runs: the resolved snapshot
+	useStore   bool           // request addressed a stored graph
+	key        string         // graph-cache key, or the snapshot ID for store runs
+	fp         string         // result-cache key: gbbs.Request.Key fingerprint
+	seed       uint64         // resolved seed (request seed or gbbs.DefaultSeed)
 	threads    int
 	timeout    time.Duration
 }
@@ -382,27 +432,59 @@ func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
 		}
 		return nil
 	}
-	if req.Source == "" {
-		writeError(w, http.StatusBadRequest, "missing \"source\"")
+	if (req.Source == "") == (req.Graph == "") {
+		writeError(w, http.StatusBadRequest, "exactly one of \"source\" and \"graph\" is required")
 		return nil
 	}
-	source, err := gbbs.ParseSource(req.Source)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad source spec: %v", err)
-		return nil
-	}
-	var transforms []gbbs.Transform
-	for _, spec := range req.Transforms {
-		tfs, err := gbbs.ParseTransforms(spec)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad transform spec: %v", err)
+
+	var (
+		source     gbbs.GraphSource
+		transforms []gbbs.Transform
+		snap       store.Snapshot
+		key        string
+		fpReq      gbbs.Request
+	)
+	if req.Graph != "" {
+		if len(req.Transforms) > 0 {
+			writeError(w, http.StatusBadRequest, "\"transforms\" apply at graph creation, not to runs against a stored graph")
 			return nil
 		}
-		transforms = append(transforms, tfs...)
-	}
-	if err := s.checkScale(source); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return nil
+		var ok bool
+		snap, ok = s.store.Get(req.Graph)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown graph %q (PUT /v1/graphs/{name} creates one, GET /v1/graphs lists them)", req.Graph)
+			return nil
+		}
+		// The snapshot ID — name plus version — is the input's canonical
+		// identity: a version bump changes every dependent fingerprint, so
+		// a result computed on a superseded version can never be returned.
+		key = snap.ID()
+		fpReq = gbbs.Request{GraphID: key, Source: req.Src, Opts: req.Opts}
+	} else {
+		var err error
+		source, err = gbbs.ParseSource(req.Source)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad source spec: %v", err)
+			return nil
+		}
+		for _, spec := range req.Transforms {
+			tfs, err := gbbs.ParseTransforms(spec)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad transform spec: %v", err)
+				return nil
+			}
+			transforms = append(transforms, tfs...)
+		}
+		if err := s.checkScale(source); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return nil
+		}
+		key = cacheKey(source, transforms)
+		fpReq = gbbs.Request{
+			Input:  &gbbs.InputSpec{Source: source, Transforms: transforms},
+			Source: req.Src,
+			Opts:   req.Opts,
+		}
 	}
 
 	// Resolve the seed once — the warm-pool engines run with
@@ -414,12 +496,8 @@ func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
-	fp, err := (gbbs.Request{
-		Input:  &gbbs.InputSpec{Source: source, Transforms: transforms},
-		Source: req.Src,
-		Seed:   &seed,
-		Opts:   req.Opts,
-	}).Key(a)
+	fpReq.Seed = &seed
+	fp, err := fpReq.Key(a)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return nil
@@ -439,7 +517,9 @@ func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
 		algo:       a,
 		source:     source,
 		transforms: transforms,
-		key:        cacheKey(source, transforms),
+		snap:       snap,
+		useStore:   req.Graph != "",
+		key:        key,
 		fp:         fp,
 		seed:       seed,
 		threads:    threads,
@@ -516,26 +596,51 @@ func (s *Server) execute(ctx context.Context, p *parsedRun) (RunResponse, error)
 	// requests never leaks randomness between tenants.
 	eng := s.engines.Get(p.threads)
 	defer s.engines.Put(eng)
-	g, hit, err := s.cache.GetOrBuild(ctx, p.key, func(buildCtx context.Context) (gbbs.Graph, error) {
-		return eng.Build(buildCtx, p.source, p.transforms...)
-	})
-	if err != nil {
-		return RunResponse{}, err
+	var (
+		g          gbbs.Graph
+		cacheState string
+		runReq     gbbs.Request
+	)
+	if p.useStore {
+		// Store-backed runs bypass the graph cache entirely: the snapshot
+		// already resides in the store, pinned by the version this request
+		// resolved at parse time.
+		g = p.snap.Graph
+		cacheState = "store"
+		runReq = gbbs.Request{Graph: g, GraphID: p.snap.ID(), Source: p.req.Src, Seed: &p.seed, Opts: p.req.Opts}
+		if p.algo.Name == "incrcc" {
+			// Offer the stored incremental state (labels of an earlier
+			// version plus the batches since); the runner falls back to a
+			// full union-find when it is nil or unusable.
+			runReq.Incr = s.store.CCState(p.snap.Name, p.snap.Version)
+		}
+	} else {
+		var hit bool
+		var err error
+		g, hit, err = s.cache.GetOrBuild(ctx, p.key, func(buildCtx context.Context) (gbbs.Graph, error) {
+			return eng.Build(buildCtx, p.source, p.transforms...)
+		})
+		if err != nil {
+			return RunResponse{}, err
+		}
+		cacheState = "miss"
+		if hit {
+			cacheState = "hit"
+		}
+		runReq = gbbs.Request{Graph: g, Source: p.req.Src, Seed: &p.seed, Opts: p.req.Opts}
 	}
 
-	res, err := eng.Run(ctx, p.algo.Name, gbbs.Request{
-		Graph:  g,
-		Source: p.req.Src,
-		Seed:   &p.seed,
-		Opts:   p.req.Opts,
-	})
+	res, err := eng.Run(ctx, p.algo.Name, runReq)
 	if err != nil {
 		return RunResponse{}, err
 	}
 	res.Graph = nil
-	cacheState := "miss"
-	if hit {
-		cacheState = "hit"
+	if p.useStore && p.algo.Name == "incrcc" {
+		if labels, ok := res.Value.([]uint32); ok {
+			// Labellings are canonical per version, so recording this one
+			// makes the next run after further insertions incremental.
+			s.store.SaveCC(p.snap.Name, p.snap.Version, labels)
+		}
 	}
 	return RunResponse{
 		Algorithm: p.algo.Name,

@@ -1,0 +1,19 @@
+package store_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/exporteddoc"
+)
+
+// TestExportedIdentifiersDocumented enforces the documentation bar on the
+// store: every exported identifier must carry a godoc comment. It is a thin
+// wrapper over the exporteddoc analyzer, the same check gbbs-lint runs in
+// CI.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	l := analyzertest.RepoLoader("../..", "repro")
+	for _, d := range analyzertest.SyntaxDiagnostics(t, l, exporteddoc.Analyzer, "repro/gbbs/store") {
+		t.Error(d)
+	}
+}

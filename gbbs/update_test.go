@@ -1,0 +1,173 @@
+package gbbs_test
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"slices"
+	"testing"
+
+	"repro/gbbs"
+)
+
+// testBatch returns a fixed batch of edges touching vertices across the
+// rmat:10 vertex range, including a self-loop and a duplicate (both no-ops).
+func testBatch() *gbbs.UpdateBatch {
+	return &gbbs.UpdateBatch{
+		N: 1 << 10,
+		U: []uint32{1, 1, 7, 7, 100, 500, 1000},
+		V: []uint32{1, 900, 800, 800, 101, 501, 0},
+	}
+}
+
+func buildRMAT(t *testing.T, e *gbbs.Engine) *gbbs.CSR {
+	t.Helper()
+	src, err := gbbs.ParseSource("rmat:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := e.BuildCSR(context.Background(), src, gbbs.Symmetrize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestApplyEdgesCompactByteDeterministic(t *testing.T) {
+	var ref *gbbs.CSR
+	for _, p := range []int{1, 4, runtime.NumCPU()} {
+		e := gbbs.New(gbbs.WithThreads(p))
+		base := buildRMAT(t, e)
+		snap, added, err := e.ApplyEdges(context.Background(), base, testBatch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added == 0 {
+			t.Fatal("batch added no edges")
+		}
+		// A second batch exercises the delta-merge path.
+		snap, _, err = e.ApplyEdges(context.Background(), snap,
+			&gbbs.UpdateBatch{N: 1 << 10, U: []uint32{2, 3}, V: []uint32{902, 903}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Compact(context.Background(), snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("compacted snapshot at %d threads differs from 1-thread result", p)
+		}
+	}
+}
+
+func TestApplyEdgesValidation(t *testing.T) {
+	e := gbbs.New(gbbs.WithThreads(2))
+	defer e.Close()
+	g := buildRMAT(t, e)
+	ctx := context.Background()
+	if _, _, err := e.ApplyEdges(ctx, g, &gbbs.UpdateBatch{N: g.N(), U: []uint32{0}, V: []uint32{1 << 10}}); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if _, _, err := e.ApplyEdges(ctx, g, &gbbs.UpdateBatch{N: g.N(), U: []uint32{0}, V: []uint32{1}, W: []int32{3}}); err == nil {
+		t.Fatal("weighted batch accepted for unweighted graph")
+	}
+	// A batch of pure no-ops returns the original snapshot and added == 0.
+	snap, added, err := e.ApplyEdges(ctx, g, &gbbs.UpdateBatch{N: g.N(), U: []uint32{5}, V: []uint32{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || snap != gbbs.Graph(g) {
+		t.Fatalf("no-op batch: added=%d, snapshot replaced=%v", added, snap != gbbs.Graph(g))
+	}
+}
+
+func TestIncrCCMatchesCCAndIncrementalPath(t *testing.T) {
+	e := gbbs.New(gbbs.WithThreads(4))
+	defer e.Close()
+	ctx := context.Background()
+	base := buildRMAT(t, e)
+
+	full, err := e.Run(ctx, "incrcc", gbbs.Request{Graph: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseLabels := full.Value.([]uint32)
+
+	// Same partition as the LDD-based cc.
+	ccRes, err := e.Run(ctx, "cc", gbbs.Request{Graph: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Summary != ccRes.Summary {
+		t.Fatalf("incrcc summary %q != cc summary %q", full.Summary, ccRes.Summary)
+	}
+
+	batch := testBatch()
+	snap, _, err := e.ApplyEdges(ctx, base, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Incremental run with prior state vs full rebuild on the new snapshot:
+	// identical labels and summaries.
+	incr, err := e.Run(ctx, "incrcc", gbbs.Request{
+		Graph: snap,
+		Incr:  &gbbs.CCState{Labels: baseLabels, Batches: []*gbbs.UpdateBatch{batch}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := e.Run(ctx, "incrcc", gbbs.Request{
+		Graph: snap,
+		Incr:  &gbbs.CCState{Labels: baseLabels, Batches: []*gbbs.UpdateBatch{batch}},
+		Opts:  map[string]any{"rebuild": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(incr.Value.([]uint32), rebuilt.Value.([]uint32)) {
+		t.Fatal("incremental labels differ from full rebuild")
+	}
+	if incr.Summary != rebuilt.Summary {
+		t.Fatalf("summaries differ: %q vs %q", incr.Summary, rebuilt.Summary)
+	}
+}
+
+func TestKeyWithGraphID(t *testing.T) {
+	algo, ok := gbbs.Lookup("incrcc")
+	if !ok {
+		t.Fatal("incrcc not registered")
+	}
+	k1, err := gbbs.Request{GraphID: "store(name=wiki,version=3)"}.Key(algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := gbbs.Request{GraphID: "store(name=wiki,version=4)"}.Key(algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("version bump did not change the key")
+	}
+	// Incr is an execution hint: it must not affect the fingerprint.
+	k3, err := gbbs.Request{
+		GraphID: "store(name=wiki,version=3)",
+		Incr:    &gbbs.CCState{Labels: []uint32{0}},
+	}.Key(algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k3 {
+		t.Fatal("Incr changed the key")
+	}
+	// No Input and no GraphID: not fingerprintable.
+	if _, err := (gbbs.Request{}).Key(algo); err == nil {
+		t.Fatal("keyless request fingerprinted")
+	}
+}

@@ -18,11 +18,12 @@ import (
 )
 
 // scope lists the packages held to the documentation bar (-packages flag):
-// the two public, importable surfaces. Internal packages document
-// themselves at whatever density their maintainers find readable.
+// the public, importable surfaces. Internal packages document themselves at
+// whatever density their maintainers find readable.
 var scope = lintutil.NewPackageList(
 	"repro/gbbs",
 	"repro/gbbs/serve",
+	"repro/gbbs/store",
 )
 
 const name = "exporteddoc"

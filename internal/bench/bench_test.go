@@ -154,3 +154,32 @@ func TestMeasureRespectsVariants(t *testing.T) {
 		t.Fatal("Measure ran a directed problem without a directed input")
 	}
 }
+
+func TestMeasureIncremental(t *testing.T) {
+	res := MeasureIncremental(12, 200, 2, 1)
+	if res.StaticNS <= 0 || res.IncrementalNS <= 0 {
+		t.Fatalf("non-positive timings: %+v", res)
+	}
+	if res.Scale != 12 || res.BatchEdges != 200 {
+		t.Fatalf("echoed parameters wrong: %+v", res)
+	}
+	// At any realistic scale the incremental path (O(batch)) beats the
+	// static rebuild (O(graph)); MeasureIncremental itself asserts the two
+	// labellings agree.
+	if res.IncrementalNS >= res.StaticNS {
+		t.Fatalf("incremental (%dns) not faster than static (%dns)", res.IncrementalNS, res.StaticNS)
+	}
+}
+
+func TestWriteJSONIncludesIncremental(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "test", Config{Scale: 9, Seed: 1, SkipSingle: true, Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"incremental"`, `"static_ns"`, `"incremental_ns"`, `"batch_edges"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON report missing %s:\n%s", want, out)
+		}
+	}
+}

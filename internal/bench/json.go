@@ -27,6 +27,10 @@ type JSONReport struct {
 	Seed uint64 `json:"seed"`
 	// Algorithms holds one entry per paper-suite problem, in table order.
 	Algorithms []JSONAlgo `json:"algorithms"`
+	// Incremental compares static connectivity recomputation against the
+	// incremental update path after a small edge batch (the versioned graph
+	// store's workload).
+	Incremental IncrementalResult `json:"incremental"`
 }
 
 // JSONAlgo is one problem's measurements inside a JSONReport.
@@ -77,6 +81,9 @@ func WriteJSON(w io.Writer, label string, c Config) error {
 		}
 		rep.Algorithms = append(rep.Algorithms, a)
 	}
+	// A batch of ~1000 edges against a 2^scale-vertex graph: small relative
+	// to the graph, as store updates are.
+	rep.Incremental = MeasureIncremental(c.Scale, 1000, threads, c.Seed)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

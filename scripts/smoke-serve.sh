@@ -75,4 +75,30 @@ ALGOS=$(curl -sf "http://$ADDR/v1/algorithms") || fail "/v1/algorithms failed"
 echo "$ALGOS" | grep -q '"name": *"bfs"' || fail "algorithm listing is missing bfs: $ALGOS"
 echo "$ALGOS" | grep -q '"name": *"beta"' || fail "algorithm listing is missing parameter schemas: $ALGOS"
 
+# Versioned graph store: create a deterministic graph, run against it by
+# name, POST an edge batch (version bump), and assert the rerun is a
+# result-cache miss whose fingerprint embeds the new version — an update can
+# never serve a stale cached result.
+CREATE_STATUS=$(curl -s -o /dev/null -w '%{http_code}' -X PUT "http://$ADDR/v1/graphs/smoke" \
+    -d '{"source":"grid:64","transforms":["symmetrize"]}')
+[[ "$CREATE_STATUS" == "201" ]] || fail "graph create returned $CREATE_STATUS, want 201"
+
+GRAPHS=$(curl -sf "http://$ADDR/v1/graphs") || fail "/v1/graphs failed"
+echo "$GRAPHS" | grep -q '"name": *"smoke"' || fail "graph listing is missing smoke: $GRAPHS"
+echo "$GRAPHS" | grep -q '"version": *1' || fail "fresh graph should be at version 1: $GRAPHS"
+
+STORE_BODY='{"graph":"smoke","algorithm":"cc","timeout_ms":30000}'
+STORE_FIRST=$(curl -sf -X POST "http://$ADDR/v1/run" -d "$STORE_BODY") || fail "stored-graph run failed"
+echo "$STORE_FIRST" | grep -q 'store(name=smoke,version=1)' || fail "fingerprint missing snapshot ID: $STORE_FIRST"
+STORE_SECOND=$(curl -sf -X POST "http://$ADDR/v1/run" -d "$STORE_BODY") || fail "stored-graph rerun failed"
+echo "$STORE_SECOND" | grep -q '"result_cache": *"hit"' || fail "identical stored-graph rerun should hit: $STORE_SECOND"
+
+EDGES=$(curl -sf -X POST "http://$ADDR/v1/graphs/smoke/edges" -d '{"edges":[[0,4000]]}') || fail "edge batch failed"
+echo "$EDGES" | grep -q '"version": *2' || fail "edge batch should bump to version 2: $EDGES"
+echo "$EDGES" | grep -q '"added": *2' || fail "symmetric insert should add 2 directed edges: $EDGES"
+
+STORE_AFTER=$(curl -sf -X POST "http://$ADDR/v1/run" -d "$STORE_BODY") || fail "post-update run failed"
+echo "$STORE_AFTER" | grep -q '"result_cache": *"miss"' || fail "run after edge update must be a result-cache miss: $STORE_AFTER"
+echo "$STORE_AFTER" | grep -q 'store(name=smoke,version=2)' || fail "post-update fingerprint missing version 2: $STORE_AFTER"
+
 echo "smoke-serve: OK ($(echo "$FIRST" | grep -o '"summary": *"[^"]*"'))"
