@@ -6,7 +6,7 @@ GO ?= go
 LABEL ?= local
 BENCH_SCALE ?= 12
 
-.PHONY: all build test race vet lint fmt fmt-check bench bench-json bench-parallel build-isolation serve smoke-serve clean
+.PHONY: all build test race race-serve fuzz-smoke vet lint fmt fmt-check bench bench-json bench-parallel build-isolation serve smoke-serve clean
 
 all: build test
 
@@ -18,6 +18,22 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Double-run the race-prone packages (server concurrency: limiter fairness,
+# async jobs, singleflight caches; scheduler internals) under the race
+# detector — -count=2 shakes out ordering-dependent races a single pass can
+# miss.
+race-serve:
+	$(GO) test -race -count=2 ./gbbs/serve/... ./internal/parallel/...
+
+# Short-mode fuzz smoke: run each committed fuzz target for a few seconds so
+# the harnesses (and their seed corpora) are exercised on every PR. The Go
+# fuzzer takes one -fuzz target per invocation.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./gbbs -fuzz '^FuzzParseSource$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./gbbs -fuzz '^FuzzParseTransforms$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./gbbs/serve -fuzz '^FuzzRunRequestDecode$$' -fuzztime $(FUZZTIME) -run '^$$'
 
 # Verify the engine-scoped build pipeline: vet plus race-mode tests of the
 # graph-construction packages and the public Build API (covers the

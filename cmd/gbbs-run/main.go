@@ -31,14 +31,27 @@
 // (Engine.ApplyEdges): the algorithm executes on the updated snapshot, which
 // is byte-deterministic at any thread count. Weighted graphs take "u-v=w";
 // self-loops and already-present edges are no-ops.
+//
+// With -server the run executes on a gbbs-serve daemon instead of in
+// process: the flags are serialized into the same RunRequest the HTTP API
+// takes (remote runs require -source, the declarative spec). -async submits
+// the request as a job (POST /v1/jobs), polls its status until it finishes,
+// and fetches the result; -tenant names the fair-share identity the
+// server charges the run to:
+//
+//	gbbs-run -server http://localhost:8080 -algo cc -source "rmat:16"
+//	gbbs-run -server http://localhost:8080 -async -tenant gold \
+//	  -algo bicc -source "rmat:20" -timeout 5m
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -46,6 +59,7 @@ import (
 	"time"
 
 	"repro/gbbs"
+	"repro/gbbs/serve"
 )
 
 func main() {
@@ -81,7 +95,12 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the build+run after this long (0 = no limit)")
 	compressed := flag.Bool("compressed", false, "run on the parallel-byte compressed representation")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout (the same encoding the serve API returns)")
+	server := flag.String("server", "", "execute on a gbbs-serve daemon at this base URL instead of in process (requires -source)")
+	async := flag.Bool("async", false, "with -server: submit as an async job and poll until it finishes")
+	tenant := flag.String("tenant", "", "with -server: tenant the run's admission is charged to")
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if *list {
 		printAlgorithms(os.Stdout)
@@ -103,12 +122,35 @@ func main() {
 		printAlgorithms(os.Stderr)
 		os.Exit(2)
 	}
+	if *server != "" {
+		if *sourceSpec == "" {
+			log.Fatal("-server requires -source (remote runs take the declarative spec, not -i/-gen)")
+		}
+		req := serve.RunRequest{
+			Source:       *sourceSpec,
+			Algorithm:    a.Name,
+			Src:          uint32(*src),
+			Threads:      *threads,
+			Opts:         opts,
+			Tenant:       *tenant,
+			IncludeValue: *jsonOut,
+		}
+		if *transformSpec != "" {
+			req.Transforms = []string{*transformSpec}
+		}
+		if explicit["seed"] {
+			req.Seed = seed
+		}
+		if *timeout > 0 {
+			req.TimeoutMS = timeout.Milliseconds()
+		}
+		runRemote(strings.TrimRight(*server, "/"), req, *async)
+		return
+	}
 
 	// Describe the input declaratively; the engine builds it on its own
 	// scheduler, so -threads 1 measures the paper's single-thread
 	// configuration end to end (build included) without any global state.
-	explicit := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	var source gbbs.GraphSource
 	var transforms []gbbs.Transform
 	switch {
@@ -223,6 +265,109 @@ func main() {
 		fmt.Println(detail)
 	}
 	fmt.Printf("%s: %s in %v\n", a.Name, res.Summary, res.Elapsed.Round(time.Microsecond))
+}
+
+// postJSON posts body to url and decodes the JSON response into out,
+// returning the HTTP status.
+func postJSON(url string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return resp.StatusCode, fmt.Errorf("decoding response: %w", err)
+	}
+	return resp.StatusCode, nil
+}
+
+// getJSON fetches url and decodes the JSON response into out.
+func getJSON(url string, out any) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return resp.StatusCode, fmt.Errorf("decoding response: %w", err)
+	}
+	return resp.StatusCode, nil
+}
+
+// runRemote executes the request on a gbbs-serve daemon. Synchronous mode
+// posts to /v1/run and prints the RunResponse. Async mode submits to
+// /v1/jobs, reports state transitions on stderr while polling, and fetches
+// /v1/jobs/{id}/result once the job finishes. Either way, stdout carries
+// exactly one JSON object: the run's RunResponse (or the server's
+// ErrorResponse, with a non-zero exit).
+func runRemote(base string, req serve.RunRequest, async bool) {
+	if !async {
+		var run json.RawMessage
+		status, err := postJSON(base+"/v1/run", req, &run)
+		if err != nil {
+			log.Fatalf("POST /v1/run: %v", err)
+		}
+		os.Stdout.Write(append(run, '\n'))
+		if status != http.StatusOK {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var job serve.JobStatus
+	status, err := postJSON(base+"/v1/jobs", req, &job)
+	if err != nil {
+		log.Fatalf("POST /v1/jobs: %v", err)
+	}
+	if status != http.StatusAccepted && status != http.StatusOK {
+		log.Fatalf("POST /v1/jobs: status %d", status)
+	}
+	verb := "submitted"
+	if status == http.StatusOK {
+		verb = "joined"
+	}
+	fmt.Fprintf(os.Stderr, "%s %s: %s on %s (tenant %s)\n", verb, job.ID, job.Algorithm, req.Source, job.Tenant)
+
+	const pollInterval = 150 * time.Millisecond
+	lastState := job.State
+	for !terminalJobState(job.State) {
+		time.Sleep(pollInterval)
+		status, err := getJSON(base+"/v1/jobs/"+job.ID, &job)
+		if err != nil {
+			log.Fatalf("GET /v1/jobs/%s: %v", job.ID, err)
+		}
+		if status != http.StatusOK {
+			log.Fatalf("GET /v1/jobs/%s: status %d", job.ID, status)
+		}
+		if job.State != lastState {
+			lastState = job.State
+			switch job.State {
+			case serve.JobQueued:
+				fmt.Fprintf(os.Stderr, "%s queued at position %d\n", job.ID, job.QueuePosition)
+			default:
+				fmt.Fprintf(os.Stderr, "%s %s (queued %dms)\n", job.ID, job.State, job.QueuedMS)
+			}
+		}
+	}
+	var result json.RawMessage
+	status, err = getJSON(base+"/v1/jobs/"+job.ID+"/result", &result)
+	if err != nil {
+		log.Fatalf("GET /v1/jobs/%s/result: %v", job.ID, err)
+	}
+	os.Stdout.Write(append(result, '\n'))
+	if status != http.StatusOK {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s done: queued %dms, ran %dms\n", job.ID, job.QueuedMS, job.RunMS)
+}
+
+// terminalJobState mirrors the server's JobState.terminal (unexported).
+func terminalJobState(s serve.JobState) bool {
+	return s == serve.JobDone || s == serve.JobFailed
 }
 
 // parseUpdateBatch converts -update specs ("u-v", "u-v=w") into an

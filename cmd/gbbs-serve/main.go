@@ -9,7 +9,12 @@
 //
 // Endpoints (see package repro/gbbs/serve):
 //
-//	POST   /v1/run                  execute a run request
+//	POST   /v1/run                  execute a run request synchronously
+//	POST   /v1/jobs                 submit a run request as an async job
+//	GET    /v1/jobs                 list jobs (optionally ?tenant=name)
+//	GET    /v1/jobs/{id}            poll one job's status and queue position
+//	GET    /v1/jobs/{id}/result     fetch a completed job's result
+//	DELETE /v1/jobs/{id}            cancel a queued or running job
 //	GET    /v1/algorithms           list the registry with parameter schemas
 //	GET    /v1/cache                graph- and result-cache contents and counters
 //	DELETE /v1/cache?key=K          invalidate one cache entry by exact key
@@ -24,6 +29,15 @@
 // source vertex, seed and normalized parameters) are answered from the
 // deterministic result cache without executing anything; -result-cache-mb
 // bounds its footprint.
+//
+// Thread admission is weighted-fair across tenants: requests name a tenant
+// in the "tenant" field, and -tenant-weights grants named tenants a larger
+// share of the worker-thread budget under contention, e.g.
+//
+//	gbbs-serve -tenant-weights 'gold=10,silver=3'
+//
+// Unlisted tenants (and requests without a tenant) weigh 1. Async jobs are
+// retained for -job-ttl after they finish; -max-jobs bounds the job table.
 //
 // Example:
 //
@@ -40,10 +54,13 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,7 +76,15 @@ func main() {
 	maxScale := flag.Int("max-scale", 24, "reject generator specs above this scale (0 = no guard)")
 	maxBodyMB := flag.Int64("max-body-mb", 64, "edge-batch body cap in MiB (oversize bodies get 413)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+	tenantWeights := flag.String("tenant-weights", "", "per-tenant fair-share weights as name=weight pairs, comma-separated (unlisted tenants weigh 1)")
+	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "retention of finished async jobs before their results are evicted")
+	maxJobs := flag.Int("max-jobs", 1024, "async job table bound (submissions beyond it get 503)")
 	flag.Parse()
+
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		log.Fatalf("-tenant-weights: %v", err)
+	}
 
 	cacheBytes := *cacheMB << 20
 	if *cacheMB == 0 {
@@ -76,6 +101,9 @@ func main() {
 		DefaultTimeout:   *timeout,
 		MaxSourceScale:   *maxScale,
 		MaxBodyBytes:     *maxBodyMB << 20,
+		TenantWeights:    weights,
+		JobTTL:           *jobTTL,
+		MaxJobs:          *maxJobs,
 	})
 	httpServer := &http.Server{
 		Addr:              *addr,
@@ -101,6 +129,31 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("gbbs-serve stopped")
+}
+
+// parseTenantWeights parses "name=weight,name=weight" into the serve
+// config's weight map. Weights must be positive integers; an empty spec
+// yields a nil map (every tenant weighs 1).
+func parseTenantWeights(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad pair %q: want name=weight", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad weight for tenant %q: want a positive integer, got %q", name, val)
+		}
+		if _, dup := weights[name]; dup {
+			return nil, fmt.Errorf("tenant %q listed twice", name)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }
 
 // statusWriter records the response status for the access log.

@@ -178,11 +178,11 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
 	defer cancel()
 	threads := min(runtime.NumCPU(), s.cfg.MaxThreads)
-	if err := s.limiter.Acquire(ctx, threads); err != nil {
+	if err := s.limiter.Acquire(ctx, DefaultTenant, threads); err != nil {
 		writeStoreError(w, err)
 		return
 	}
-	defer s.limiter.Release(threads)
+	defer s.limiter.Release(DefaultTenant, threads)
 	eng := s.engines.Get(threads)
 	defer s.engines.Put(eng)
 
@@ -236,11 +236,11 @@ func (s *Server) handleGraphEdges(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
 	defer cancel()
 	threads := min(runtime.NumCPU(), s.cfg.MaxThreads)
-	if err := s.limiter.Acquire(ctx, threads); err != nil {
+	if err := s.limiter.Acquire(ctx, DefaultTenant, threads); err != nil {
 		writeStoreError(w, err)
 		return
 	}
-	defer s.limiter.Release(threads)
+	defer s.limiter.Release(DefaultTenant, threads)
 	eng := s.engines.Get(threads)
 	defer s.engines.Put(eng)
 

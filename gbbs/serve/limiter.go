@@ -4,40 +4,95 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 )
 
+// DefaultTenant is the tenant identity used for requests that do not name
+// one. Unnamed traffic shares a single fair-share slot rather than each
+// anonymous request counting as its own tenant.
+const DefaultTenant = "default"
+
+// strideUnit is the virtual-time cost of admitting one worker thread for a
+// tenant of weight 1. A tenant of weight w pays strideUnit/w per thread, so
+// over any contended interval tenants are admitted in proportion to their
+// weights. The constant only needs to be large enough that integer division
+// by a weight loses no meaningful precision.
+const strideUnit = 1 << 20
+
 // Limiter is the server's admission controller: a context-aware weighted
-// semaphore over worker threads. Every request acquires as many units as the
-// engine it is about to create has workers, so the total number of worker
-// goroutines running algorithms at any moment never exceeds the configured
-// capacity — one tenant asking for many threads queues instead of starving
-// the schedulers of everyone else.
+// semaphore over worker threads with per-tenant weighted fair queuing.
+// Every request acquires as many units as the engine it is about to create
+// has workers, so the total number of worker goroutines running algorithms
+// at any moment never exceeds the configured capacity.
 //
-// Waiters are served strictly FIFO: a large request at the head of the queue
-// blocks later small ones rather than being starved by them.
+// Waiters queue per tenant (FIFO within a tenant) and tenants are drained
+// by stride scheduling: each tenant carries a virtual-time pass, admission
+// always serves the backlogged tenant with the smallest pass, and an
+// admission of n threads advances the tenant's pass by n·strideUnit/weight.
+// A tenant submitting fifty jobs therefore cannot starve another tenant's
+// first: over any contended stretch, admissions converge to the configured
+// weight ratio (default weight 1), and a tenant that was idle re-enters at
+// the current virtual time rather than cashing in hoarded credit.
+//
+// The fair-order head is never skipped: when the tenant next in fair order
+// has a head waiter too large for the remaining capacity, admission stops
+// until capacity frees, so large requests block briefly instead of being
+// starved by a stream of small ones (the same guarantee the previous
+// strictly-FIFO limiter gave, now per fair order).
 type Limiter struct {
 	capacity int
+	weights  map[string]int   // configured weights; absent tenants weigh 1
+	now      func() time.Time // injectable for tests; time.Now by default
 
 	mu      sync.Mutex
 	inUse   int
-	waiters list.List // of *limiterWaiter, front = oldest
+	waiting int // total queued waiters across tenants
+	vtime   uint64
+	tenants map[string]*tenantQueue
+}
+
+// tenantQueue is one tenant's admission state: its FIFO of waiters, its
+// stride-scheduling pass, and its share of the in-use budget.
+type tenantQueue struct {
+	name     string
+	weight   int
+	pass     uint64
+	queue    list.List // of *limiterWaiter, front = oldest
+	inUse    int
+	admitted int64
 }
 
 // limiterWaiter is one queued Acquire; ready is closed when the grant
 // happens (under the limiter's lock).
 type limiterWaiter struct {
-	n     int
-	ready chan struct{}
+	n        int
+	tq       *tenantQueue
+	ready    chan struct{}
+	enqueued time.Time
 }
 
-// NewLimiter returns a limiter over capacity worker threads. capacity < 1
-// selects 1.
-func NewLimiter(capacity int) *Limiter {
+// NewLimiter returns a limiter over capacity worker threads with the given
+// per-tenant fair-share weights. capacity < 1 selects 1. weights may be nil;
+// tenants absent from it (including DefaultTenant) weigh 1, and
+// non-positive configured weights are treated as 1.
+func NewLimiter(capacity int, weights map[string]int) *Limiter {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Limiter{capacity: capacity}
+	w := make(map[string]int, len(weights))
+	for name, wt := range weights {
+		if wt > 0 {
+			w[name] = wt
+		}
+	}
+	return &Limiter{
+		capacity: capacity,
+		weights:  w,
+		now:      time.Now,
+		tenants:  make(map[string]*tenantQueue),
+	}
 }
 
 // Capacity reports the total worker-thread budget.
@@ -50,11 +105,60 @@ func (l *Limiter) InUse() int {
 	return l.inUse
 }
 
-// Acquire admits n worker threads, blocking while the budget is exhausted
-// until ctx is done. n larger than the total capacity fails immediately
-// (it could never be admitted); callers clamp requests to Capacity first.
-// A successful Acquire must be paired with exactly one Release(n).
-func (l *Limiter) Acquire(ctx context.Context, n int) error {
+// Weight reports the tenant's configured fair-share weight (1 when not
+// configured).
+func (l *Limiter) Weight(tenant string) int {
+	if w, ok := l.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// Queued reports how many waiters the tenant has queued for admission.
+func (l *Limiter) Queued(tenant string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if tq, ok := l.tenants[tenant]; ok {
+		return tq.queue.Len()
+	}
+	return 0
+}
+
+// tenantLocked returns the tenant's queue state, creating it at the current
+// virtual time if the tenant is new (or was garbage-collected while idle).
+func (l *Limiter) tenantLocked(tenant string) *tenantQueue {
+	tq, ok := l.tenants[tenant]
+	if !ok {
+		tq = &tenantQueue{name: tenant, weight: l.Weight(tenant), pass: l.vtime}
+		l.tenants[tenant] = tq
+	}
+	return tq
+}
+
+// chargeLocked grants n units to the tenant and advances its pass by the
+// weighted stride. The global virtual time tracks the pass at which the
+// latest admission was served, so newly-active tenants join the present
+// instead of replaying the past; a tenant whose remembered pass fell behind
+// while it was not backlogged is likewise served at the present, never from
+// stale credit (the start-tag rule of start-time fair queuing).
+func (l *Limiter) chargeLocked(tq *tenantQueue, n int) {
+	if tq.pass < l.vtime {
+		tq.pass = l.vtime
+	} else {
+		l.vtime = tq.pass
+	}
+	tq.pass += uint64(n) * strideUnit / uint64(tq.weight)
+	tq.admitted++
+	tq.inUse += n
+	l.inUse += n
+}
+
+// Acquire admits n worker threads for the tenant, blocking while the budget
+// is exhausted (or other tenants are ahead in fair order) until ctx is
+// done. n larger than the total capacity fails immediately (it could never
+// be admitted); callers clamp requests to Capacity first. A successful
+// Acquire must be paired with exactly one Release(tenant, n).
+func (l *Limiter) Acquire(ctx context.Context, tenant string, n int) error {
 	if n < 1 {
 		n = 1
 	}
@@ -62,13 +166,24 @@ func (l *Limiter) Acquire(ctx context.Context, n int) error {
 		return fmt.Errorf("serve: request for %d threads exceeds the server's budget of %d", n, l.capacity)
 	}
 	l.mu.Lock()
-	if l.waiters.Len() == 0 && l.inUse+n <= l.capacity {
-		l.inUse += n
+	tq := l.tenantLocked(tenant)
+	if l.waiting == 0 && l.inUse+n <= l.capacity {
+		// Uncontended fast path. The admission is still charged to the
+		// tenant's pass so heavy uncontended usage is on the books when
+		// contention starts.
+		l.chargeLocked(tq, n)
 		l.mu.Unlock()
 		return nil
 	}
-	w := &limiterWaiter{n: n, ready: make(chan struct{})}
-	elem := l.waiters.PushBack(w)
+	if tq.queue.Len() == 0 && tq.pass < l.vtime {
+		// The tenant is (re)activating after idling: start at the current
+		// virtual time. Credit does not accrue while idle, so a burst after
+		// a quiet hour competes at the configured ratio, not with a hoard.
+		tq.pass = l.vtime
+	}
+	w := &limiterWaiter{n: n, tq: tq, ready: make(chan struct{}), enqueued: l.now()}
+	elem := tq.queue.PushBack(w)
+	l.waiting++
 	l.mu.Unlock()
 
 	select {
@@ -81,12 +196,14 @@ func (l *Limiter) Acquire(ctx context.Context, n int) error {
 			// The grant raced the cancellation: give the units back (which
 			// may admit the next waiter) and still report the context error.
 			l.mu.Unlock()
-			l.Release(n)
+			l.Release(tenant, n)
 		default:
-			l.waiters.Remove(elem)
+			tq.queue.Remove(elem)
+			l.waiting--
 			// A departing head waiter may have been the only thing blocking
-			// smaller waiters behind it: re-run the admission scan.
+			// admission: re-run the admission scan.
 			l.admitLocked()
+			l.cleanupLocked()
 			l.mu.Unlock()
 		}
 		return ctx.Err()
@@ -94,33 +211,108 @@ func (l *Limiter) Acquire(ctx context.Context, n int) error {
 }
 
 // Release returns n worker threads to the budget and admits as many queued
-// waiters (in FIFO order) as now fit.
-func (l *Limiter) Release(n int) {
+// waiters (in weighted fair order) as now fit.
+func (l *Limiter) Release(tenant string, n int) {
 	if n < 1 {
 		n = 1
 	}
 	l.mu.Lock()
-	l.inUse -= n
-	if l.inUse < 0 {
+	tq, ok := l.tenants[tenant]
+	if !ok || tq.inUse < n || l.inUse < n {
 		l.mu.Unlock()
 		panic("serve: Limiter.Release without a matching Acquire")
 	}
+	tq.inUse -= n
+	l.inUse -= n
 	l.admitLocked()
+	l.cleanupLocked()
 	l.mu.Unlock()
 }
 
-// admitLocked grants queued waiters in FIFO order while they fit. Called
-// with the lock held whenever capacity frees up or the queue head changes.
+// admitLocked grants queued waiters in weighted fair order while they fit:
+// repeatedly pick the backlogged tenant with the smallest pass (ties broken
+// by name, for determinism) and admit its head waiter. When that head does
+// not fit the remaining capacity, admission stops — the fair-order head
+// blocks rather than being skipped, so large requests cannot be starved.
 func (l *Limiter) admitLocked() {
-	for e := l.waiters.Front(); e != nil; {
-		w := e.Value.(*limiterWaiter)
-		if l.inUse+w.n > l.capacity {
-			break // strict FIFO: never skip the head waiter
+	for {
+		var best *tenantQueue
+		for _, tq := range l.tenants {
+			if tq.queue.Len() == 0 {
+				continue
+			}
+			if best == nil || tq.pass < best.pass || (tq.pass == best.pass && tq.name < best.name) {
+				best = tq
+			}
 		}
-		next := e.Next()
-		l.waiters.Remove(e)
-		l.inUse += w.n
+		if best == nil {
+			return
+		}
+		head := best.queue.Front()
+		w := head.Value.(*limiterWaiter)
+		if l.inUse+w.n > l.capacity {
+			return
+		}
+		best.queue.Remove(head)
+		l.waiting--
+		l.chargeLocked(best, w.n)
 		close(w.ready)
-		e = next
 	}
+}
+
+// cleanupLocked drops tenant entries with nothing queued and nothing
+// admitted, bounding the tenant map by the number of concurrently active
+// tenants rather than every tenant name ever seen. Every charge leaves
+// pass = vtime + one stride, so forgetting an idle tenant forgives at most
+// one admission's worth of virtual time — and a reactivating tenant starts
+// at the current virtual time regardless, so fairness under contention is
+// unaffected.
+func (l *Limiter) cleanupLocked() {
+	for name, tq := range l.tenants {
+		if tq.queue.Len() == 0 && tq.inUse == 0 {
+			delete(l.tenants, name)
+		}
+	}
+}
+
+// TenantStats describes one tenant's admission state for introspection
+// (GET /healthz). Tenants appear while they hold admitted threads or queued
+// waiters.
+type TenantStats struct {
+	// Tenant is the tenant's name.
+	Tenant string `json:"tenant"`
+	// Weight is the tenant's fair-share weight.
+	Weight int `json:"weight"`
+	// InUse is the tenant's currently admitted worker threads.
+	InUse int `json:"in_use"`
+	// Queued is the tenant's waiters queued for admission.
+	Queued int `json:"queued"`
+	// Admitted counts the tenant's admissions since the server started.
+	Admitted int64 `json:"admitted"`
+	// OldestWaitMS is how long the tenant's head waiter has been queued, in
+	// milliseconds (0 when nothing is queued).
+	OldestWaitMS int64 `json:"oldest_wait_ms,omitempty"`
+}
+
+// TenantStats returns a snapshot of every active tenant's admission state,
+// sorted by tenant name.
+func (l *Limiter) TenantStats() []TenantStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TenantStats, 0, len(l.tenants))
+	for _, tq := range l.tenants {
+		ts := TenantStats{
+			Tenant:   tq.name,
+			Weight:   tq.weight,
+			InUse:    tq.inUse,
+			Queued:   tq.queue.Len(),
+			Admitted: tq.admitted,
+		}
+		if head := tq.queue.Front(); head != nil {
+			ts.OldestWaitMS = l.now().Sub(head.Value.(*limiterWaiter).enqueued).Milliseconds()
+		}
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }

@@ -29,9 +29,27 @@
 // result to be served; superseded entries are additionally invalidated by
 // exact key.
 //
+// Long runs go through the async job API instead of holding a connection:
+// POST /v1/jobs accepts the same RunRequest and returns a job ID
+// immediately; the run executes detached, observable through GET
+// /v1/jobs/{id} (state, queue position, elapsed times), its result
+// fetchable via GET /v1/jobs/{id}/result once done, and cancellable with
+// DELETE /v1/jobs/{id} through the engine's context-cancellation path.
+// Jobs are keyed by the same fingerprint as the result cache, so duplicate
+// submissions join one execution and completed jobs feed the cache.
+// Admission itself is tenant-fair: requests name a tenant
+// (RunRequest.Tenant) and the Limiter drains per-tenant queues by weighted
+// fair scheduling (Config.TenantWeights), so one tenant's backlog cannot
+// starve another's first request.
+//
 // Endpoints:
 //
 //	POST   /v1/run                  run a RunRequest, returning a RunResponse
+//	POST   /v1/jobs                 submit a RunRequest as an async job
+//	GET    /v1/jobs                 list resident jobs (optionally ?tenant=)
+//	GET    /v1/jobs/{id}            poll one job's status
+//	GET    /v1/jobs/{id}/result     fetch a finished job's RunResponse
+//	DELETE /v1/jobs/{id}            cancel a queued or running job
 //	GET    /v1/algorithms           list registered algorithms with parameter schemas
 //	GET    /v1/cache                graph- and result-cache entries and counters
 //	DELETE /v1/cache?key=K          invalidate one cache entry by exact key
@@ -98,6 +116,20 @@ type Config struct {
 	// incremental-state log budget); the zero value selects the store's
 	// defaults.
 	StoreConfig store.Config
+	// TenantWeights sets per-tenant fair-share weights for admission
+	// (gbbs-serve -tenant-weights). Tenants absent from the map — including
+	// DefaultTenant — weigh 1. Weights shape the ratio of admissions between
+	// backlogged tenants: weights 3:1 admit three of the first tenant's
+	// requests per one of the second's.
+	TenantWeights map[string]int
+	// JobTTL is how long finished async jobs stay fetchable after
+	// completion before the job table evicts them (a result fetch after
+	// eviction is 410). 0 selects 15 minutes.
+	JobTTL time.Duration
+	// MaxJobs caps resident async jobs. Submissions beyond it are rejected
+	// with 503 while that many jobs are active; finished jobs beyond it are
+	// evicted oldest-first ahead of their TTL. 0 selects 1024.
+	MaxJobs int
 }
 
 // Server runs declarative graph requests over HTTP. Create it with New,
@@ -110,6 +142,7 @@ type Server struct {
 	limiter *Limiter
 	engines *EnginePool
 	store   *store.Store
+	jobs    *jobTable
 	mux     *http.ServeMux
 	started time.Time
 
@@ -134,20 +167,32 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
+	if cfg.JobTTL <= 0 {
+		cfg.JobTTL = 15 * time.Minute
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
 	buildCtx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
 		cache:     NewCache(buildCtx, cfg.CacheBytes),
 		results:   NewResultCache(cfg.ResultCacheBytes),
-		limiter:   NewLimiter(cfg.MaxThreads),
+		limiter:   NewLimiter(cfg.MaxThreads, cfg.TenantWeights),
 		engines:   NewEnginePool(cfg.MaxThreads),
 		store:     store.New(cfg.StoreConfig),
+		jobs:      newJobTable(cfg.JobTTL, cfg.MaxJobs),
 		mux:       http.NewServeMux(),
 		started:   time.Now(),
 		buildCtx:  buildCtx,
 		stopBuild: stop,
 	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
 	s.mux.HandleFunc("DELETE /v1/cache", s.handleCacheInvalidate)
@@ -221,6 +266,14 @@ type RunRequest struct {
 	// validated against the algorithm's parameter schema — unknown keys and
 	// out-of-range values are rejected with 400.
 	Opts map[string]any `json:"opts,omitempty"`
+	// Tenant is the fair-share identity the request's thread admission is
+	// charged to (letters, digits, '.', '_', '-'; at most 64 bytes); empty
+	// selects DefaultTenant. Tenants with backlogged work are admitted in
+	// proportion to their configured weights (Config.TenantWeights). The
+	// tenant is deliberately not part of the result-cache fingerprint:
+	// identical requests from different tenants share one execution and one
+	// cached result.
+	Tenant string `json:"tenant,omitempty"`
 	// IncludeValue returns the algorithm's full output value (which is
 	// O(n) numbers for most algorithms) instead of only the summary.
 	IncludeValue bool `json:"include_value,omitempty"`
@@ -321,6 +374,13 @@ type HealthResponse struct {
 	ResultCacheEntries int `json:"result_cache_entries"`
 	// Goroutines is runtime.NumGoroutine, a cheap load signal.
 	Goroutines int `json:"goroutines"`
+	// Tenants is the per-tenant admission state: weight, admitted threads,
+	// queued waiters, cumulative admissions and oldest wait. Tenants appear
+	// while they hold threads or queued work.
+	Tenants []TenantStats `json:"tenants,omitempty"`
+	// Jobs summarizes the async job table: active and retained jobs plus
+	// lifetime submission/join/eviction counters.
+	Jobs JobsStats `json:"jobs"`
 }
 
 // writeJSON writes v with the given status.
@@ -352,6 +412,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		ResultCacheMisses:  misses,
 		ResultCacheEntries: entries,
 		Goroutines:         runtime.NumGoroutine(),
+		Tenants:            s.limiter.TenantStats(),
+		Jobs:               s.jobs.stats(),
 	})
 }
 
@@ -391,7 +453,7 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 
 // parsedRun is a RunRequest after validation: resolved algorithm, parsed
 // specs, canonical graph-cache key and result-cache fingerprint, resolved
-// seed, effective thread count and timeout.
+// seed and tenant, effective thread count and timeout.
 type parsedRun struct {
 	req        RunRequest
 	algo       gbbs.Algorithm
@@ -402,13 +464,22 @@ type parsedRun struct {
 	key        string         // graph-cache key, or the snapshot ID for store runs
 	fp         string         // result-cache key: gbbs.Request.Key fingerprint
 	seed       uint64         // resolved seed (request seed or gbbs.DefaultSeed)
+	tenant     string         // resolved tenant (request tenant or DefaultTenant)
 	threads    int
 	timeout    time.Duration
+	progress   func(JobState) // async jobs: lifecycle transition hook; nil for /v1/run
 }
 
-// parseRun validates the wire request. It returns a non-nil *parsedRun or
-// writes the error response itself and returns nil.
-func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
+// requestError is a rejected request on its way to an ErrorResponse: the
+// HTTP status to answer with and the human-readable reason.
+type requestError struct {
+	status int
+	msg    string
+}
+
+// decodeRun reads and decodes a RunRequest body, writing the error response
+// itself (false) on malformed or oversized input.
+func (s *Server) decodeRun(w http.ResponseWriter, r *http.Request) (RunRequest, bool) {
 	// A RunRequest is a few hundred bytes; cap the body so one client
 	// cannot buffer gigabytes of JSON into the process.
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
@@ -418,23 +489,56 @@ func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
-			return nil
+			return RunRequest{}, false
 		}
 		writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
-		return nil
+		return RunRequest{}, false
+	}
+	return req, true
+}
+
+// validTenant reports whether the tenant name is well-formed: at most 64
+// bytes of letters, digits, '.', '_' and '-'. The bound keeps
+// client-supplied names from bloating the limiter's per-tenant state.
+func validTenant(t string) bool {
+	if len(t) > 64 {
+		return false
+	}
+	for _, c := range t {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseRunRequest validates a decoded request — algorithm lookup, spec
+// parsing, size guard, schema validation, fingerprinting, tenant/thread/
+// timeout resolution — without touching the network. It is shared by the
+// synchronous /v1/run handler, the async /v1/jobs submission path, and the
+// request-decoder fuzz harness. Exactly one of the results is non-nil.
+func (s *Server) parseRunRequest(req RunRequest) (*parsedRun, *requestError) {
+	fail := func(status int, format string, args ...any) (*parsedRun, *requestError) {
+		return nil, &requestError{status: status, msg: fmt.Sprintf(format, args...)}
 	}
 	a, ok := gbbs.Lookup(req.Algorithm)
 	if !ok {
 		if req.Algorithm == "" {
-			writeError(w, http.StatusBadRequest, "missing \"algorithm\"")
-		} else {
-			writeError(w, http.StatusNotFound, "unknown algorithm %q (GET /v1/algorithms lists the registry)", req.Algorithm)
+			return fail(http.StatusBadRequest, "missing \"algorithm\"")
 		}
-		return nil
+		return fail(http.StatusNotFound, "unknown algorithm %q (GET /v1/algorithms lists the registry)", req.Algorithm)
 	}
 	if (req.Source == "") == (req.Graph == "") {
-		writeError(w, http.StatusBadRequest, "exactly one of \"source\" and \"graph\" is required")
-		return nil
+		return fail(http.StatusBadRequest, "exactly one of \"source\" and \"graph\" is required")
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if !validTenant(tenant) {
+		return fail(http.StatusBadRequest, "bad tenant %q: want at most 64 bytes of [A-Za-z0-9._-]", req.Tenant)
 	}
 
 	var (
@@ -446,14 +550,12 @@ func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
 	)
 	if req.Graph != "" {
 		if len(req.Transforms) > 0 {
-			writeError(w, http.StatusBadRequest, "\"transforms\" apply at graph creation, not to runs against a stored graph")
-			return nil
+			return fail(http.StatusBadRequest, "\"transforms\" apply at graph creation, not to runs against a stored graph")
 		}
 		var ok bool
 		snap, ok = s.store.Get(req.Graph)
 		if !ok {
-			writeError(w, http.StatusNotFound, "unknown graph %q (PUT /v1/graphs/{name} creates one, GET /v1/graphs lists them)", req.Graph)
-			return nil
+			return fail(http.StatusNotFound, "unknown graph %q (PUT /v1/graphs/{name} creates one, GET /v1/graphs lists them)", req.Graph)
 		}
 		// The snapshot ID — name plus version — is the input's canonical
 		// identity: a version bump changes every dependent fingerprint, so
@@ -464,20 +566,17 @@ func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
 		var err error
 		source, err = gbbs.ParseSource(req.Source)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad source spec: %v", err)
-			return nil
+			return fail(http.StatusBadRequest, "bad source spec: %v", err)
 		}
 		for _, spec := range req.Transforms {
 			tfs, err := gbbs.ParseTransforms(spec)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, "bad transform spec: %v", err)
-				return nil
+				return fail(http.StatusBadRequest, "bad transform spec: %v", err)
 			}
 			transforms = append(transforms, tfs...)
 		}
 		if err := s.checkScale(source); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return nil
+			return fail(http.StatusBadRequest, "%v", err)
 		}
 		key = cacheKey(source, transforms)
 		fpReq = gbbs.Request{
@@ -499,8 +598,7 @@ func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
 	fpReq.Seed = &seed
 	fp, err := fpReq.Key(a)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return nil
+		return fail(http.StatusBadRequest, "%v", err)
 	}
 
 	threads := req.Threads
@@ -522,9 +620,10 @@ func (s *Server) parseRun(w http.ResponseWriter, r *http.Request) *parsedRun {
 		key:        key,
 		fp:         fp,
 		seed:       seed,
+		tenant:     tenant,
 		threads:    threads,
 		timeout:    timeout,
-	}
+	}, nil
 }
 
 // cacheKey renders the canonical cache key of a parsed input: the source's
@@ -545,8 +644,13 @@ func cacheKey(source gbbs.GraphSource, transforms []gbbs.Transform) string {
 // threads, fetch or build the graph, dispatch through the registry, and
 // cache the response under the fingerprint.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	p := s.parseRun(w, r)
-	if p == nil {
+	req, ok := s.decodeRun(w, r)
+	if !ok {
+		return
+	}
+	p, rerr := s.parseRunRequest(req)
+	if rerr != nil {
+		writeError(w, rerr.status, "%s", rerr.msg)
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
@@ -584,10 +688,13 @@ func (s *Server) execute(ctx context.Context, p *parsedRun) (RunResponse, error)
 	// must be admitted for. The grant is held until the run finishes; a
 	// build outliving a departed waiter (deadline hit mid-build) can briefly
 	// run past the cap, bounded by one build per key.
-	if err := s.limiter.Acquire(ctx, p.threads); err != nil {
+	if err := s.limiter.Acquire(ctx, p.tenant, p.threads); err != nil {
 		return RunResponse{}, err
 	}
-	defer s.limiter.Release(p.threads)
+	defer s.limiter.Release(p.tenant, p.threads)
+	if p.progress != nil {
+		p.progress(JobBuilding)
+	}
 
 	// The engine comes from the warm pool: its scheduler's workers are the
 	// resident goroutines the admission grant accounts for, parked from a
@@ -630,6 +737,9 @@ func (s *Server) execute(ctx context.Context, p *parsedRun) (RunResponse, error)
 		runReq = gbbs.Request{Graph: g, Source: p.req.Src, Seed: &p.seed, Opts: p.req.Opts}
 	}
 
+	if p.progress != nil {
+		p.progress(JobRunning)
+	}
 	res, err := eng.Run(ctx, p.algo.Name, runReq)
 	if err != nil {
 		return RunResponse{}, err
@@ -660,17 +770,30 @@ func (s *Server) execute(ctx context.Context, p *parsedRun) (RunResponse, error)
 	}, nil
 }
 
-// writeRunError maps an execution error to a status code: deadline expiry
-// to 504, cancellation (client gone or server shutdown) to 503, anything
-// else — validation errors from the registry, build failures — to 400.
-func (s *Server) writeRunError(w http.ResponseWriter, p *parsedRun, err error) {
+// runErrorStatus maps an execution error to a status code: deadline expiry
+// to 504, cancellation (client gone, job canceled, or server shutdown) to
+// 503, anything else — validation errors from the registry, build failures
+// — to 400. Shared by the sync error writer and the job-result replay.
+func runErrorStatus(err error) int {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "%s: deadline exceeded after %v", p.algo.Name, p.timeout)
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "%s: canceled: %v", p.algo.Name, err)
+		return http.StatusServiceUnavailable
 	default:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		return http.StatusBadRequest
+	}
+}
+
+// writeRunError writes an execution error with runErrorStatus's mapping.
+func (s *Server) writeRunError(w http.ResponseWriter, p *parsedRun, err error) {
+	switch status := runErrorStatus(err); status {
+	case http.StatusGatewayTimeout:
+		writeError(w, status, "%s: deadline exceeded after %v", p.algo.Name, p.timeout)
+	case http.StatusServiceUnavailable:
+		writeError(w, status, "%s: canceled: %v", p.algo.Name, err)
+	default:
+		writeError(w, status, "%v", err)
 	}
 }
 
