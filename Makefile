@@ -6,7 +6,7 @@ GO ?= go
 LABEL ?= local
 BENCH_SCALE ?= 12
 
-.PHONY: all build test race race-serve fuzz-smoke vet lint fmt fmt-check bench bench-json bench-parallel build-isolation serve smoke-serve clean
+.PHONY: all build test race race-serve test-crash fuzz-smoke vet lint fmt fmt-check bench bench-json bench-parallel build-isolation serve smoke-serve clean
 
 all: build test
 
@@ -26,6 +26,12 @@ race:
 race-serve:
 	$(GO) test -race -count=2 ./gbbs/serve/... ./internal/parallel/...
 
+# Fault-injected durability suite under the race detector: the crash-recovery
+# property test (every filesystem op is a crash point), degraded-mode
+# serving, corrupt-input rejection, and the vfs fault machinery itself.
+test-crash:
+	$(GO) test -race -run 'Crash|Recover|Degraded|Fault|Corrupt|WAL|Persist' ./gbbs/store/... ./gbbs/serve/... ./internal/vfs/... ./internal/graph/...
+
 # Short-mode fuzz smoke: run each committed fuzz target for a few seconds so
 # the harnesses (and their seed corpora) are exercised on every PR. The Go
 # fuzzer takes one -fuzz target per invocation.
@@ -34,6 +40,7 @@ fuzz-smoke:
 	$(GO) test ./gbbs -fuzz '^FuzzParseSource$$' -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./gbbs -fuzz '^FuzzParseTransforms$$' -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./gbbs/serve -fuzz '^FuzzRunRequestDecode$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./gbbs/store -fuzz '^FuzzWALRecord$$' -fuzztime $(FUZZTIME) -run '^$$'
 
 # Verify the engine-scoped build pipeline: vet plus race-mode tests of the
 # graph-construction packages and the public Build API (covers the

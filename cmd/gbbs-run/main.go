@@ -50,7 +50,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"strconv"
@@ -285,23 +287,65 @@ func postJSON(url string, body, out any) (int, error) {
 	return resp.StatusCode, nil
 }
 
-// getJSON fetches url and decodes the JSON response into out.
-func getJSON(url string, out any) (int, error) {
-	resp, err := http.Get(url)
-	if err != nil {
-		return 0, err
+// getRetry fetches url and returns the status and raw body. Transport
+// errors — connection refused, resets, a dropped reply — are retried with
+// capped exponential backoff plus jitter, which is safe because every GET
+// here is idempotent (job polls and result fetches). An HTTP response,
+// whatever its status, is never retried: the server answered, and the
+// caller decides what the status means.
+func getRetry(url string) (int, []byte, error) {
+	const (
+		attempts    = 5
+		baseBackoff = 100 * time.Millisecond
+		maxBackoff  = 2 * time.Second
+	)
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			backoff := baseBackoff << (i - 1)
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			// Full jitter keeps a fleet of clients from thundering back in
+			// lockstep after a server blip.
+			time.Sleep(backoff/2 + rand.N(backoff/2))
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp.StatusCode, data, nil
 	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return resp.StatusCode, fmt.Errorf("decoding response: %w", err)
+	return 0, nil, fmt.Errorf("giving up after %d attempts: %w", attempts, lastErr)
+}
+
+// serverError renders a non-2xx response for an error message: the "error"
+// field of the server's JSON error body when there is one, the raw body
+// otherwise.
+func serverError(status int, body []byte) string {
+	var e serve.ErrorResponse
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Sprintf("status %d: %s", status, e.Error)
 	}
-	return resp.StatusCode, nil
+	if s := strings.TrimSpace(string(body)); s != "" {
+		return fmt.Sprintf("status %d: %s", status, s)
+	}
+	return fmt.Sprintf("status %d (empty error body)", status)
 }
 
 // runRemote executes the request on a gbbs-serve daemon. Synchronous mode
 // posts to /v1/run and prints the RunResponse. Async mode submits to
 // /v1/jobs, reports state transitions on stderr while polling, and fetches
-// /v1/jobs/{id}/result once the job finishes. Either way, stdout carries
+// /v1/jobs/{id}/result once the job finishes; the idempotent polling GETs
+// ride out transient connection failures (see getRetry), so a server
+// restart mid-poll does not strand the job. Either way, stdout carries
 // exactly one JSON object: the run's RunResponse (or the server's
 // ErrorResponse, with a non-zero exit).
 func runRemote(base string, req serve.RunRequest, async bool) {
@@ -318,13 +362,17 @@ func runRemote(base string, req serve.RunRequest, async bool) {
 		return
 	}
 
-	var job serve.JobStatus
-	status, err := postJSON(base+"/v1/jobs", req, &job)
+	var submitted json.RawMessage
+	status, err := postJSON(base+"/v1/jobs", req, &submitted)
 	if err != nil {
 		log.Fatalf("POST /v1/jobs: %v", err)
 	}
 	if status != http.StatusAccepted && status != http.StatusOK {
-		log.Fatalf("POST /v1/jobs: status %d", status)
+		log.Fatalf("POST /v1/jobs: %s", serverError(status, submitted))
+	}
+	var job serve.JobStatus
+	if err := json.Unmarshal(submitted, &job); err != nil {
+		log.Fatalf("POST /v1/jobs: decoding response: %v", err)
 	}
 	verb := "submitted"
 	if status == http.StatusOK {
@@ -336,12 +384,15 @@ func runRemote(base string, req serve.RunRequest, async bool) {
 	lastState := job.State
 	for !terminalJobState(job.State) {
 		time.Sleep(pollInterval)
-		status, err := getJSON(base+"/v1/jobs/"+job.ID, &job)
+		status, body, err := getRetry(base + "/v1/jobs/" + job.ID)
 		if err != nil {
 			log.Fatalf("GET /v1/jobs/%s: %v", job.ID, err)
 		}
 		if status != http.StatusOK {
-			log.Fatalf("GET /v1/jobs/%s: status %d", job.ID, status)
+			log.Fatalf("GET /v1/jobs/%s: %s", job.ID, serverError(status, body))
+		}
+		if err := json.Unmarshal(body, &job); err != nil {
+			log.Fatalf("GET /v1/jobs/%s: decoding response: %v", job.ID, err)
 		}
 		if job.State != lastState {
 			lastState = job.State
@@ -353,13 +404,15 @@ func runRemote(base string, req serve.RunRequest, async bool) {
 			}
 		}
 	}
-	var result json.RawMessage
-	status, err = getJSON(base+"/v1/jobs/"+job.ID+"/result", &result)
+	status, result, err := getRetry(base + "/v1/jobs/" + job.ID + "/result")
 	if err != nil {
 		log.Fatalf("GET /v1/jobs/%s/result: %v", job.ID, err)
 	}
-	os.Stdout.Write(append(result, '\n'))
+	// Success or not, the body is the one JSON object stdout promises (the
+	// RunResponse, or the server's ErrorResponse with a non-zero exit).
+	os.Stdout.Write(append(bytes.TrimRight(result, "\n"), '\n'))
 	if status != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "GET /v1/jobs/%s/result: %s\n", job.ID, serverError(status, result))
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "%s done: queued %dms, ran %dms\n", job.ID, job.QueuedMS, job.RunMS)

@@ -230,6 +230,13 @@ func ReadBinary(r io.Reader) (*CSR, error) { return graph.ReadBinary(parallel.De
 // the text format; use it for large inputs).
 func WriteBinary(w io.Writer, g *CSR) error { return graph.WriteBinary(w, g) }
 
+// WriteBinaryChecked writes the checked binary graph format: the compact
+// binary layout extended with a header CRC and per-section CRC32C
+// checksums, so corruption is detected at load time. This is the snapshot
+// format of the persistent graph store; read it back with
+// Engine.ReadBinaryChecked.
+func WriteBinaryChecked(w io.Writer, g *CSR) error { return graph.WriteBinaryChecked(w, g) }
+
 // BFS returns hop distances from src; O(m) work, O(diam·log n) depth.
 func BFS(g Graph, src uint32) []uint32 { return core.BFS(parallel.Default, g, src) }
 

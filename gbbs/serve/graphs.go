@@ -193,6 +193,10 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, err := s.store.Create(name, g, cacheKey(source, transforms))
 	if err != nil {
+		if errors.Is(err, store.ErrDegraded) {
+			writeStoreError(w, err)
+			return
+		}
 		status := http.StatusBadRequest
 		if strings.Contains(err.Error(), "already exists") {
 			status = http.StatusConflict
@@ -339,10 +343,17 @@ func writeBodyError(w http.ResponseWriter, err error) {
 	writeError(w, http.StatusBadRequest, "decoding request body: %v", err)
 }
 
-// writeStoreError maps a build/apply failure on the store paths: deadline
-// expiry to 504, cancellation to 503, anything else to 400.
+// writeStoreError maps a build/apply failure on the store paths: a
+// degraded (read-only) graph to 503 with Retry-After, deadline expiry to
+// 504, cancellation to 503, anything else to 400.
 func writeStoreError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, store.ErrDegraded):
+		// The graph keeps serving reads from its last durable state; the
+		// client should retry mutations after an operator intervenes (or a
+		// restart recovers the store).
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
 	case errors.Is(err, context.Canceled):

@@ -1,0 +1,138 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/gbbs/serve"
+	"repro/gbbs/store"
+	"repro/internal/vfs"
+)
+
+// TestServePersistRestart drives the persistence path end to end through the
+// HTTP surface: build a graph, mutate it, crash the filesystem, boot a fresh
+// server over the same data directory, and check that recovery restores the
+// exact pre-crash version and that results still compute.
+func TestServePersistRestart(t *testing.T) {
+	mem := vfs.NewMemFS()
+	cfg := serve.Config{MaxThreads: 2, DataDir: "data", StoreFS: mem}
+
+	_, ts := newTestServer(t, cfg)
+	createGraph(t, ts, "g", `{"source":"grid:8","transforms":["symmetrize"]}`)
+	for _, body := range []string{`{"edges":[[0,9]]}`, `{"edges":[[1,10],[2,11]]}`} {
+		var batch serve.EdgeBatchResponse
+		if status := doJSON(t, ts, http.MethodPost, "/v1/graphs/g/edges", body, &batch); status != http.StatusOK {
+			t.Fatalf("edges status = %d", status)
+		}
+	}
+	var health serve.HealthResponse
+	if status := getJSON(t, ts, "/healthz", &health); status != http.StatusOK {
+		t.Fatalf("healthz status = %d", status)
+	}
+	if !health.Persistent || len(health.Durability) != 1 {
+		t.Fatalf("healthz durability = %+v, want one persistent graph", health)
+	}
+	if d := health.Durability[0]; d.Name != "g" || d.DurableVersion != 3 || d.Degraded {
+		t.Fatalf("durability = %+v, want g durable at version 3", d)
+	}
+	var pre serve.RunResponse
+	if status := postRun(t, ts, `{"graph":"g","algorithm":"cc"}`, &pre); status != http.StatusOK {
+		t.Fatalf("pre-crash run status = %d", status)
+	}
+
+	// Kill the process: everything not fsync'd is gone.
+	mem.Crash(vfs.CrashDropUnsynced)
+
+	srv2, ts2 := newTestServer(t, cfg)
+	report, err := srv2.RecoverGraphs(context.Background())
+	if err != nil {
+		t.Fatalf("RecoverGraphs: %v", err)
+	}
+	if len(report.Graphs) != 1 || report.Graphs[0].Error != "" || report.Graphs[0].Version != 3 {
+		t.Fatalf("recovery report = %+v, want g recovered at version 3", report.Graphs)
+	}
+	var info store.Info
+	if status := getJSON(t, ts2, "/v1/graphs/g", &info); status != http.StatusOK {
+		t.Fatalf("recovered graph get status = %d", status)
+	}
+	if info.Version != 3 || info.Spec != "grid(side=8)|sym" {
+		t.Fatalf("recovered info = %+v, want version 3 of grid(side=8)|sym", info)
+	}
+	var post serve.RunResponse
+	if status := postRun(t, ts2, `{"graph":"g","algorithm":"cc"}`, &post); status != http.StatusOK {
+		t.Fatalf("post-recovery run status = %d", status)
+	}
+	if post.Result.Summary != pre.Result.Summary {
+		t.Fatalf("post-recovery summary %q != pre-crash %q", post.Result.Summary, pre.Result.Summary)
+	}
+}
+
+// TestServeDegradedMode checks the HTTP face of a WAL durability failure:
+// mutations turn into 503s with Retry-After and the server's JSON error
+// body, reads keep working, and /healthz reports the graph degraded.
+func TestServeDegradedMode(t *testing.T) {
+	fault := vfs.NewFaultFS(vfs.NewMemFS())
+	_, ts := newTestServer(t, serve.Config{MaxThreads: 2, DataDir: "data", StoreFS: fault})
+	createGraph(t, ts, "g", `{"source":"grid:8","transforms":["symmetrize"]}`)
+
+	fault.FailNext(1)
+	resp, err := http.Post(ts.URL+"/v1/graphs/g/edges", "application/json",
+		bytes.NewReader([]byte(`{"edges":[[0,9]]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded edge batch status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 is missing Retry-After")
+	}
+	var e serve.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("decoding 503 body: %v", err)
+	}
+	if !strings.Contains(e.Error, "read-only") && !strings.Contains(e.Error, "degraded") {
+		t.Fatalf("503 body %q does not explain the degraded state", e.Error)
+	}
+
+	// The failed batch was never acknowledged, so the version is unchanged
+	// and reads (including runs) keep serving.
+	var info store.Info
+	if status := getJSON(t, ts, "/v1/graphs/g", &info); status != http.StatusOK || info.Version != 1 {
+		t.Fatalf("degraded graph get = %d/%+v, want 200 at version 1", status, info)
+	}
+	var run serve.RunResponse
+	if status := postRun(t, ts, `{"graph":"g","algorithm":"cc"}`, &run); status != http.StatusOK {
+		t.Fatalf("degraded run status = %d", status)
+	}
+	var health serve.HealthResponse
+	if status := getJSON(t, ts, "/healthz", &health); status != http.StatusOK {
+		t.Fatalf("healthz status = %d", status)
+	}
+	if len(health.Durability) != 1 || !health.Durability[0].Degraded {
+		t.Fatalf("healthz durability = %+v, want g degraded", health.Durability)
+	}
+}
+
+// TestServeDrain covers the shutdown contract: Drain returns promptly on an
+// idle job table and honours its context deadline.
+func TestServeDrain(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Config{MaxThreads: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain on idle server: %v", err)
+	}
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := srv.Drain(expired); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain with dead context: %v", err)
+	}
+}

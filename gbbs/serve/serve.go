@@ -76,6 +76,7 @@ import (
 
 	"repro/gbbs"
 	"repro/gbbs/store"
+	"repro/internal/vfs"
 )
 
 // maxRequestBytes caps control-plane bodies (/v1/run, graph creation); such
@@ -116,6 +117,15 @@ type Config struct {
 	// incremental-state log budget); the zero value selects the store's
 	// defaults.
 	StoreConfig store.Config
+	// DataDir, when nonempty, makes the graph store persistent: graphs
+	// survive daemon restarts as checksummed snapshots plus a write-ahead
+	// log (gbbs-serve -data-dir). Call RecoverGraphs at boot to load them.
+	// Overrides StoreConfig.DataDir.
+	DataDir string
+	// StoreFS is the filesystem the persistence layer runs on; nil selects
+	// the real one. Tests inject fault-modeling filesystems here. Ignored
+	// when DataDir is empty. Overrides StoreConfig.FS.
+	StoreFS vfs.FS
 	// TenantWeights sets per-tenant fair-share weights for admission
 	// (gbbs-serve -tenant-weights). Tenants absent from the map — including
 	// DefaultTenant — weigh 1. Weights shape the ratio of admissions between
@@ -172,6 +182,10 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 1024
+	}
+	if cfg.DataDir != "" {
+		cfg.StoreConfig.DataDir = cfg.DataDir
+		cfg.StoreConfig.FS = cfg.StoreFS
 	}
 	buildCtx, stop := context.WithCancel(context.Background())
 	s := &Server{
@@ -381,6 +395,13 @@ type HealthResponse struct {
 	// Jobs summarizes the async job table: active and retained jobs plus
 	// lifetime submission/join/eviction counters.
 	Jobs JobsStats `json:"jobs"`
+	// Persistent reports whether the graph store has a data directory and
+	// survives restarts.
+	Persistent bool `json:"persistent"`
+	// Durability is the per-graph durability state (durable version, WAL
+	// size, degraded flag, recovery stats); only present on persistent
+	// stores.
+	Durability []store.GraphDurability `json:"durability,omitempty"`
 }
 
 // writeJSON writes v with the given status.
@@ -414,6 +435,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Goroutines:         runtime.NumGoroutine(),
 		Tenants:            s.limiter.TenantStats(),
 		Jobs:               s.jobs.stats(),
+		Persistent:         s.store.Persistent(),
+		Durability:         s.store.Durability(),
 	})
 }
 

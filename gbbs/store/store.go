@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/gbbs"
+	"repro/internal/vfs"
 )
 
 // Config tunes a Store; the zero value selects the defaults.
@@ -34,6 +35,15 @@ type Config struct {
 	// the saved labelling are dropped — the next incrcc run recomputes from
 	// the full graph and re-seeds the state. 0 selects the default 1<<22.
 	MaxLogEdges int
+	// DataDir, when nonempty, makes the store persistent: every graph is
+	// durably recorded under this directory as a checksummed snapshot plus
+	// a write-ahead log of applied batches, and Recover rebuilds the store
+	// from it at boot. Empty keeps the store purely in-memory.
+	DataDir string
+	// FS is the filesystem the persistence layer runs on; nil selects the
+	// real one (vfs.OS). Tests inject fault-modeling filesystems here.
+	// Ignored when DataDir is empty.
+	FS vfs.FS
 }
 
 // withDefaults resolves zero Config fields to their documented defaults.
@@ -43,6 +53,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxLogEdges == 0 {
 		c.MaxLogEdges = 1 << 22
+	}
+	if c.DataDir != "" && c.FS == nil {
+		c.FS = vfs.OS()
 	}
 	return c
 }
@@ -76,6 +89,11 @@ type entry struct {
 	ccVersion uint64
 	log       []loggedBatch
 	logEdges  int
+
+	// pst is the graph's durability state, nil for in-memory stores. Its
+	// fields are guarded by mu; the WAL handle inside is only touched under
+	// applyMu.
+	pst *entryPersist
 }
 
 // loggedBatch records one applied batch and the version it produced.
@@ -154,7 +172,9 @@ func validName(name string) bool {
 // Create registers g under name at version 1 and returns its snapshot. The
 // graph must be a *gbbs.CSR (the canonical base representation); spec
 // records where it came from. Creating an existing name is an error —
-// remove it first, versions are not reused.
+// remove it first, versions are not reused. On a persistent store the
+// version-1 snapshot is durable on disk before Create returns; a
+// persistence failure (wrapping ErrDegraded) registers nothing.
 func (st *Store) Create(name string, g *gbbs.CSR, spec string) (Snapshot, error) {
 	if !validName(name) {
 		return Snapshot{}, fmt.Errorf("store: invalid graph name %q (need [A-Za-z0-9._-]+)", name)
@@ -168,6 +188,16 @@ func (st *Store) Create(name string, g *gbbs.CSR, spec string) (Snapshot, error)
 		return Snapshot{}, fmt.Errorf("store: graph %q already exists", name)
 	}
 	e := &entry{name: name, spec: spec, version: 1, snap: g}
+	if st.Persistent() {
+		// Written under st.mu so a concurrent Create of the same name can
+		// never interleave on the same directory; creation is a rare
+		// administrative operation, so briefly blocking lookups is fine.
+		pst, err := st.persistCreate(name, spec, g)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		e.pst = pst
+	}
 	st.graphs[name] = e
 	return Snapshot{Name: name, Version: 1, Graph: g, Spec: spec}, nil
 }
@@ -218,12 +248,22 @@ func (st *Store) List() []Info {
 }
 
 // Remove deletes the named graph, reporting whether it existed. In-flight
-// runs holding its snapshots are unaffected.
+// runs holding its snapshots are unaffected. On a persistent store the
+// graph's on-disk state is deleted best-effort: if the filesystem refuses,
+// the files linger and a later Create of the same name supersedes them.
 func (st *Store) Remove(name string) bool {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	_, ok := st.graphs[name]
+	e, ok := st.graphs[name]
 	delete(st.graphs, name)
+	st.mu.Unlock()
+	if ok && e.pst != nil {
+		e.applyMu.Lock()
+		if e.pst.wal != nil {
+			e.pst.wal.close()
+		}
+		st.cfg.FS.RemoveAll(e.pst.dir)
+		e.applyMu.Unlock()
+	}
 	return ok
 }
 
@@ -246,6 +286,10 @@ func (st *Store) ApplyEdges(ctx context.Context, eng *gbbs.Engine, name string, 
 	e.applyMu.Lock()
 	defer e.applyMu.Unlock()
 
+	if derr := e.degradedErr(); derr != nil {
+		return Snapshot{}, 0, fmt.Errorf("store: apply to %s: %w: %w", name, ErrDegraded, derr)
+	}
+
 	e.mu.RLock()
 	cur := e.snap
 	curVersion := e.version
@@ -259,13 +303,23 @@ func (st *Store) ApplyEdges(ctx context.Context, eng *gbbs.Engine, name string, 
 	if added == 0 {
 		return Snapshot{Name: name, Version: curVersion, Graph: cur, Spec: e.spec}, 0, nil
 	}
+	var compacted *gbbs.CSR
 	if ov, isOverlay := next.(*gbbs.Overlay); isOverlay && st.cfg.CompactFraction > 0 &&
 		float64(ov.DeltaM()) > st.cfg.CompactFraction*float64(ov.Base().M()) {
-		compacted, err := eng.Compact(ctx, ov)
+		compacted, err = eng.Compact(ctx, ov)
 		if err != nil {
 			return Snapshot{}, 0, fmt.Errorf("store: compact %s: %w", name, err)
 		}
 		next = compacted
+	}
+
+	// Durability before acknowledgement: the batch's WAL record must be
+	// fsync'd before the new version becomes visible. A WAL failure leaves
+	// the old version installed and the graph degraded.
+	if e.pst != nil {
+		if perr := e.persistApply(curVersion+1, batch, compacted, e.spec, st.cfg.FS); perr != nil {
+			return Snapshot{}, 0, perr
+		}
 	}
 
 	e.mu.Lock()

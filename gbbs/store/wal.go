@@ -1,0 +1,185 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/gbbs"
+	"repro/internal/vfs"
+)
+
+// The write-ahead log holds, per graph, every edge batch applied since the
+// last snapshot. One record per acknowledged batch:
+//
+//	length uint32   payload byte count
+//	crc    uint32   CRC32C (Castagnoli) of the payload
+//	payload:
+//	  version uint64  the version this batch produced
+//	  flags   uint8   bit0 weighted; other bits must be zero
+//	  count   uint32  edge count
+//	  u       [count]uint32
+//	  v       [count]uint32
+//	  w       [count]int32  (weighted only)
+//
+// All fields little-endian. A record is acknowledged to the client only
+// after the bytes are written and fsync'd; replay stops at the first
+// record whose frame is short or whose checksum does not match — the torn
+// tail a crash mid-append leaves behind — and truncates it away.
+
+// walCRC is the CRC32C polynomial table for WAL record checksums.
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// maxWALBatchEdges bounds the edge count a single WAL record may declare.
+// Encoding enforces it, so decode treats anything larger as corruption
+// (and never allocates for it).
+const maxWALBatchEdges = 1 << 27
+
+// encodeWALRecord frames one applied batch as a WAL record, including the
+// length prefix and checksum.
+func encodeWALRecord(version uint64, batch *gbbs.UpdateBatch) ([]byte, error) {
+	count := batch.Len()
+	if count > maxWALBatchEdges {
+		return nil, fmt.Errorf("store: batch of %d edges exceeds the WAL record limit %d", count, maxWALBatchEdges)
+	}
+	flags := uint8(0)
+	words := 2
+	if batch.Weighted() {
+		flags = 1
+		words = 3
+	}
+	payloadLen := 8 + 1 + 4 + words*4*count
+	rec := make([]byte, 8+payloadLen)
+	payload := rec[8:]
+	binary.LittleEndian.PutUint64(payload[0:], version)
+	payload[8] = flags
+	binary.LittleEndian.PutUint32(payload[9:], uint32(count))
+	off := 13
+	for _, u := range batch.U {
+		binary.LittleEndian.PutUint32(payload[off:], u)
+		off += 4
+	}
+	for _, v := range batch.V {
+		binary.LittleEndian.PutUint32(payload[off:], v)
+		off += 4
+	}
+	if batch.Weighted() {
+		for _, w := range batch.W {
+			binary.LittleEndian.PutUint32(payload[off:], uint32(w))
+			off += 4
+		}
+	}
+	binary.LittleEndian.PutUint32(rec[0:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, walCRC))
+	return rec, nil
+}
+
+// decodeWALRecord parses a checksum-verified record payload. It is strict —
+// unknown flag bits, a count disagreeing with the payload length, or
+// trailing bytes are errors — so that encode(decode(p)) == p for every
+// accepted payload.
+func decodeWALRecord(payload []byte) (version uint64, batch *gbbs.UpdateBatch, err error) {
+	if len(payload) < 13 {
+		return 0, nil, fmt.Errorf("store: WAL record payload of %d bytes is shorter than its fixed fields", len(payload))
+	}
+	version = binary.LittleEndian.Uint64(payload[0:])
+	flags := payload[8]
+	if flags&^uint8(1) != 0 {
+		return 0, nil, fmt.Errorf("store: WAL record has unknown flag bits %#x", flags&^uint8(1))
+	}
+	count := int(binary.LittleEndian.Uint32(payload[9:]))
+	if count > maxWALBatchEdges {
+		return 0, nil, fmt.Errorf("store: WAL record declares %d edges, over the limit %d", count, maxWALBatchEdges)
+	}
+	weighted := flags&1 != 0
+	words := 2
+	if weighted {
+		words = 3
+	}
+	if want := 13 + words*4*count; len(payload) != want {
+		return 0, nil, fmt.Errorf("store: WAL record payload is %d bytes, want %d for %d edges", len(payload), want, count)
+	}
+	batch = &gbbs.UpdateBatch{U: make([]uint32, count), V: make([]uint32, count)}
+	off := 13
+	for i := range batch.U {
+		batch.U[i] = binary.LittleEndian.Uint32(payload[off:])
+		off += 4
+	}
+	for i := range batch.V {
+		batch.V[i] = binary.LittleEndian.Uint32(payload[off:])
+		off += 4
+	}
+	if weighted {
+		batch.W = make([]int32, count)
+		for i := range batch.W {
+			batch.W[i] = int32(binary.LittleEndian.Uint32(payload[off:]))
+			off += 4
+		}
+	}
+	return version, batch, nil
+}
+
+// wal is one graph's open write-ahead log. It is not concurrency-safe; the
+// store serializes access per graph through the entry's apply lock.
+type wal struct {
+	fs    vfs.FS
+	path  string
+	f     vfs.File
+	bytes int64
+}
+
+// openWAL opens (creating if missing) a graph's WAL for appending.
+func openWAL(fs vfs.FS, path string) (*wal, error) {
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open WAL %s: %w", path, err)
+	}
+	size, err := fs.Size(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: size WAL %s: %w", path, err)
+	}
+	return &wal{fs: fs, path: path, f: f, bytes: size}, nil
+}
+
+// append writes one record and fsyncs. Only after append returns nil may
+// the version the record carries be acknowledged.
+func (w *wal) append(rec []byte) error {
+	if _, err := w.f.Write(rec); err != nil {
+		return fmt.Errorf("store: WAL append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: WAL fsync: %w", err)
+	}
+	w.bytes += int64(len(rec))
+	return nil
+}
+
+// reset empties the WAL after its contents were folded into a durable
+// snapshot. The handle is reopened so later appends start from a clean
+// file.
+func (w *wal) reset() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: WAL close: %w", err)
+	}
+	if err := w.fs.Truncate(w.path, 0); err != nil {
+		return fmt.Errorf("store: WAL truncate: %w", err)
+	}
+	f, err := w.fs.OpenAppend(w.path)
+	if err != nil {
+		return fmt.Errorf("store: WAL reopen: %w", err)
+	}
+	w.f = f
+	w.bytes = 0
+	return nil
+}
+
+// close releases the file handle.
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -3,6 +3,7 @@ package gbbs
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -84,6 +85,24 @@ func (e *Engine) Compact(ctx context.Context, g Graph) (*CSR, error) {
 	default:
 		return nil, fmt.Errorf("gbbs: Compact: snapshot type %T cannot be compacted", g)
 	}
+}
+
+// ReadBinaryChecked parses the checked binary graph format written by
+// WriteBinaryChecked, verifying its header and per-section CRC32C checksums
+// and failing with a descriptive error on any corruption. Directed graphs
+// get their transpose rebuilt on the engine's scheduler. The persistent
+// graph store loads its snapshots through this.
+func (e *Engine) ReadBinaryChecked(ctx context.Context, r io.Reader) (*CSR, error) {
+	var g *CSR
+	var readErr error
+	err := e.exec(ctx, func(s *parallel.Scheduler) { g, readErr = graph.ReadBinaryChecked(s, r) })
+	if err != nil {
+		return nil, err
+	}
+	if readErr != nil {
+		return nil, readErr
+	}
+	return g, nil
 }
 
 // CCState carries connectivity knowledge forward across edge insertions:

@@ -24,6 +24,7 @@ var scope = lintutil.NewPackageList(
 	"repro/gbbs",
 	"repro/gbbs/serve",
 	"repro/gbbs/store",
+	"repro/internal/vfs",
 )
 
 const name = "exporteddoc"

@@ -1,7 +1,10 @@
 package graph
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 
 	"repro/internal/parallel"
@@ -53,6 +56,189 @@ func TestWriteBinaryPropagatesWriteErrors(t *testing.T) {
 			t.Fatalf("limit %d: error %v, want disk error", limit, err)
 		}
 	}
+}
+
+// binBytes serializes g in the plain binary format.
+func binBytes(t *testing.T, g *CSR) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkedBytes serializes g in the checked binary format.
+func checkedBytes(t *testing.T, g *CSR) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinaryChecked(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// mustNotLoad asserts that decoding b fails with an error — and, above all,
+// does not panic or return a graph.
+func mustNotLoad(t *testing.T, what string, decode func([]byte) (*CSR, error), b []byte) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: decode panicked: %v", what, r)
+		}
+	}()
+	if g, err := decode(b); err == nil {
+		t.Fatalf("%s: decode succeeded (n=%d), want error", what, g.N())
+	}
+}
+
+func decodePlain(b []byte) (*CSR, error) {
+	return ReadBinary(parallel.Default, bytes.NewReader(b))
+}
+
+func decodeChecked(b []byte) (*CSR, error) {
+	return ReadBinaryChecked(parallel.Default, bytes.NewReader(b))
+}
+
+func TestReadBinaryCheckedRoundTrip(t *testing.T) {
+	sym := testGraphForIO()
+	g, err := ReadBinaryChecked(parallel.Default, bytes.NewReader(checkedBytes(t, sym)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(binBytes(t, g), binBytes(t, sym)) {
+		t.Fatal("checked round trip is not byte-identical")
+	}
+
+	// A directed graph exercises the transpose rebuild on load.
+	el := &EdgeList{N: 10}
+	for i := 0; i < 9; i++ {
+		el.Add(uint32(i), uint32(i+1), 0)
+	}
+	dir := FromEdgeList(parallel.Default, 10, el, BuildOptions{})
+	g, err = ReadBinaryChecked(parallel.Default, bytes.NewReader(checkedBytes(t, dir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(binBytes(t, g), binBytes(t, dir)) {
+		t.Fatal("directed checked round trip is not byte-identical")
+	}
+}
+
+// Every prefix of a checked binary file must be rejected: truncation can
+// strike any byte and the loader must never return a partial graph.
+func TestReadBinaryCheckedRejectsTruncation(t *testing.T) {
+	full := checkedBytes(t, testGraphForIO())
+	for n := 0; n < len(full); n++ {
+		mustNotLoad(t, "truncated at "+itoa(n), decodeChecked, full[:n])
+	}
+}
+
+// Every single-bit flip anywhere in a checked binary file must be detected —
+// this is the whole point of the per-section checksums. (The plain format
+// only catches flips that break a structural invariant.)
+func TestReadBinaryCheckedRejectsBitFlips(t *testing.T) {
+	full := checkedBytes(t, testGraphForIO())
+	for i := range full {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x10
+		mustNotLoad(t, "bit flip at byte "+itoa(i), decodeChecked, mut)
+	}
+}
+
+// Checked binary header layout, for field-targeted corruption:
+//
+//	0..8   magic
+//	8..12  flags
+//	12..20 n
+//	20..28 m
+//	28..32 header CRC
+const checkedHdrOff, checkedHdrLen, checkedCRCOff = 8, 20, 28
+
+// patchCheckedHeader mutates header fields and recomputes the header CRC, so
+// corruption must be caught by structural validation, not the checksum.
+func patchCheckedHeader(b []byte, patch func(hdr []byte)) []byte {
+	mut := append([]byte(nil), b...)
+	patch(mut[checkedHdrOff : checkedHdrOff+checkedHdrLen])
+	sum := crc32.Checksum(mut[checkedHdrOff:checkedHdrOff+checkedHdrLen], castagnoli)
+	binary.LittleEndian.PutUint32(mut[checkedCRCOff:], sum)
+	return mut
+}
+
+// Field-targeted header corruption with a valid checksum: structural
+// validation must still reject what the CRC cannot.
+func TestReadBinaryCheckedRejectsBadHeaderFields(t *testing.T) {
+	full := checkedBytes(t, testGraphForIO())
+	cases := []struct {
+		name  string
+		patch func(hdr []byte)
+	}{
+		{"unknown flag bits", func(h []byte) { binary.LittleEndian.PutUint32(h[0:], 1|2|8) }},
+		{"implausible n", func(h []byte) { binary.LittleEndian.PutUint64(h[4:], 1<<40) }},
+		{"n shrunk", func(h []byte) { binary.LittleEndian.PutUint64(h[4:], 3) }},
+		{"m shrunk", func(h []byte) { binary.LittleEndian.PutUint64(h[12:], 1) }},
+		{"m grown", func(h []byte) { binary.LittleEndian.PutUint64(h[12:], 1<<30) }},
+		{"weighted flag cleared", func(h []byte) { binary.LittleEndian.PutUint32(h[0:], 2) }},
+	}
+	for _, tc := range cases {
+		mustNotLoad(t, tc.name, decodeChecked, patchCheckedHeader(full, tc.patch))
+	}
+	mustNotLoad(t, "wrong magic", decodeChecked, append([]byte("GBBSBIN9"), full[8:]...))
+	// The plain format's magic must not load as checked, nor vice versa.
+	mustNotLoad(t, "plain magic on checked reader", decodeChecked, binBytes(t, testGraphForIO()))
+	mustNotLoad(t, "checked magic on plain reader", decodePlain, full)
+}
+
+// Plain binary header layout: 0..8 magic, 8..12 flags, 12..20 n, 20..28 m.
+// The plain format has no checksums, so only structural corruption is
+// detectable — this table pins down that every validated field stays
+// validated.
+func TestReadBinaryRejectsBadHeaderFields(t *testing.T) {
+	full := binBytes(t, testGraphForIO())
+	patch := func(b []byte, off int, put func([]byte)) []byte {
+		mut := append([]byte(nil), b...)
+		put(mut[off:])
+		return mut
+	}
+	cases := []struct {
+		name string
+		mut  []byte
+	}{
+		{"wrong magic", append([]byte("NOTAGRPH"), full[8:]...)},
+		{"implausible n", patch(full, 12, func(b []byte) { binary.LittleEndian.PutUint64(b, 1<<40) })},
+		{"m beyond data", patch(full, 20, func(b []byte) { binary.LittleEndian.PutUint64(b, 1<<30) })},
+		{"offset out of range", patch(full, 28, func(b []byte) { binary.LittleEndian.PutUint64(b, 1<<50) })},
+		{"offsets decreasing", patch(full, 28+16, func(b []byte) { binary.LittleEndian.PutUint64(b, 0) })},
+	}
+	// Decreasing-offsets case: offsets[0] is always 0, so write a large value
+	// there and a smaller one after it.
+	cases[4].mut = patch(cases[4].mut, 28, func(b []byte) { binary.LittleEndian.PutUint64(b, 2) })
+	for _, tc := range cases {
+		mustNotLoad(t, tc.name, decodePlain, tc.mut)
+	}
+	for n := 0; n < 36; n++ {
+		mustNotLoad(t, "header truncated at "+itoa(n), decodePlain, full[:n])
+	}
+	// Edge target out of range: the first edge word sits right after the
+	// offsets section.
+	edgeOff := 28 + (100+1)*8
+	mustNotLoad(t, "edge target out of range", decodePlain,
+		patch(full, edgeOff, func(b []byte) { binary.LittleEndian.PutUint32(b, 1<<20) }))
+}
+
+// itoa avoids importing strconv just for test labels.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
 }
 
 func TestWriteSucceedsWithExactBudget(t *testing.T) {

@@ -1,0 +1,225 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the transient fault returned by operations failed via
+// FailNext — it models an fsync error, an ENOSPC short write, or any other
+// single-operation I/O failure the caller should handle without the
+// process dying.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// ErrCrashed is returned by every operation at and after the crash point
+// set via CrashAt: the simulated process is dead and no further I/O can
+// succeed.
+var ErrCrashed = errors.New("vfs: crashed")
+
+// FaultFS wraps another FS and injects faults deterministically. Every FS
+// and File operation increments a shared operation counter; CrashAt(n)
+// makes operation n and all later operations fail with ErrCrashed (a
+// crashing Write is torn: half its bytes reach the underlying file first),
+// and FailNext(k) makes the next k operations fail transiently with
+// ErrInjected. Because the counter is deterministic for a deterministic
+// workload, a clean run's Ops() total enumerates every possible injection
+// point for an exhaustive crash-recovery sweep.
+//
+// FaultFS is safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	ops      int64
+	crashAt  int64 // 0 = disabled; ops >= crashAt fail permanently
+	failNext int   // countdown of transient failures
+	crashed  bool
+}
+
+// NewFaultFS wraps inner with deterministic fault injection. With no
+// faults armed it is a transparent (but counting) pass-through.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner}
+}
+
+// Ops returns the number of operations observed so far.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// CrashAt arms a permanent crash: the n-th operation from now (1-based
+// relative to the current count) and every operation after it fail with
+// ErrCrashed. A crashing Write tears: half the bytes reach the underlying
+// file before the error.
+func (f *FaultFS) CrashAt(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = f.ops + n
+}
+
+// FailNext makes the next k operations fail with ErrInjected, then clears
+// itself. A failing Write is short: half the bytes reach the underlying
+// file before the error.
+func (f *FaultFS) FailNext(k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failNext = k
+}
+
+// Crashed reports whether the armed crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step counts one operation and decides its fate: nil (proceed), ErrCrashed
+// (permanent), or ErrInjected (transient).
+func (f *FaultFS) step() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.crashAt > 0 && f.ops >= f.crashAt {
+		f.crashed = true
+		return ErrCrashed
+	}
+	if f.failNext > 0 {
+		f.failNext--
+		return ErrInjected
+	}
+	return nil
+}
+
+// MkdirAll creates dir and any missing parents.
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.step(); err != nil {
+		return fmt.Errorf("mkdirall %s: %w", dir, err)
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// Create opens name for writing, truncating it if it exists.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.step(); err != nil {
+		return nil, fmt.Errorf("create %s: %w", name, err)
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+// Open opens name for reading.
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.step(); err != nil {
+		return nil, fmt.Errorf("open %s: %w", name, err)
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+// OpenAppend opens name for appending, creating it if missing.
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if err := f.step(); err != nil {
+		return nil, fmt.Errorf("openappend %s: %w", name, err)
+	}
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: file}, nil
+}
+
+// Rename atomically replaces newname with oldname.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.step(); err != nil {
+		return fmt.Errorf("rename %s %s: %w", oldname, newname, err)
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Remove deletes a file.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.step(); err != nil {
+		return fmt.Errorf("remove %s: %w", name, err)
+	}
+	return f.inner.Remove(name)
+}
+
+// RemoveAll deletes path and everything under it.
+func (f *FaultFS) RemoveAll(path string) error {
+	if err := f.step(); err != nil {
+		return fmt.Errorf("removeall %s: %w", path, err)
+	}
+	return f.inner.RemoveAll(path)
+}
+
+// ReadDir lists the entries of dir in name order.
+func (f *FaultFS) ReadDir(dir string) ([]DirEntry, error) {
+	if err := f.step(); err != nil {
+		return nil, fmt.Errorf("readdir %s: %w", dir, err)
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// Size returns the byte size of a file.
+func (f *FaultFS) Size(name string) (int64, error) {
+	if err := f.step(); err != nil {
+		return 0, fmt.Errorf("size %s: %w", name, err)
+	}
+	return f.inner.Size(name)
+}
+
+// Truncate cuts the named file down to size bytes.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.step(); err != nil {
+		return fmt.Errorf("truncate %s: %w", name, err)
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// faultFile counts and fault-injects operations on an open file.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if err := ff.fs.step(); err != nil {
+		return 0, fmt.Errorf("read %s: %w", ff.name, err)
+	}
+	return ff.inner.Read(p)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if err := ff.fs.step(); err != nil {
+		// A failing write tears: half the payload reaches the file before
+		// the error surfaces, like a real partial write at a full disk or a
+		// crash mid-write.
+		n, _ := ff.inner.Write(p[:len(p)/2])
+		return n, fmt.Errorf("write %s: %w", ff.name, err)
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.step(); err != nil {
+		return fmt.Errorf("sync %s: %w", ff.name, err)
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	// Close is not an injection point: recovery paths close files
+	// unconditionally in defers, and a failing close adds no interesting
+	// states the write/sync faults don't already cover.
+	return ff.inner.Close()
+}

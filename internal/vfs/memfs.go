@@ -1,0 +1,319 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models durability for crash testing. Every
+// file has two views: the applied content (what reads observe while the
+// process lives) and the durable content (the last state covered by Sync).
+// Crash discards the applied view and reinstates the durable one, with a
+// configurable amount of the unsynced append suffix surviving — which is
+// how torn write-ahead-log tails are manufactured. Directories and renames
+// are treated as immediately durable (the persistence layer's
+// write-fsync-rename protocol never depends on more than that; crashes
+// before the rename are exercised by FaultFS failing the rename operation
+// itself).
+//
+// MemFS is safe for concurrent use.
+type MemFS struct {
+	mu      sync.Mutex
+	dirs    map[string]bool
+	files   map[string]*memFile
+	durable map[string][]byte // last-synced content per name
+}
+
+// memFile is the applied view of one file.
+type memFile struct {
+	data []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		dirs:    map[string]bool{".": true, "/": true},
+		files:   make(map[string]*memFile),
+		durable: make(map[string][]byte),
+	}
+}
+
+// CrashMode selects how much of each file's unsynced append suffix a
+// simulated crash preserves.
+type CrashMode int
+
+// The crash modes: what survives of data written after the last Sync.
+const (
+	// CrashDropUnsynced loses everything after the last Sync.
+	CrashDropUnsynced CrashMode = iota
+	// CrashTornUnsynced keeps half of the unsynced suffix — a torn tail.
+	CrashTornUnsynced
+	// CrashKeepUnsynced keeps the full unsynced suffix (the lucky case
+	// where the page cache made it to disk anyway).
+	CrashKeepUnsynced
+)
+
+// Crash simulates a process/machine crash: every file reverts to its
+// durable content, except that when the applied content is a pure append
+// extension of the durable content, mode selects how much of the unsynced
+// suffix survives. Files never synced are removed entirely (modulo the
+// surviving suffix rule applied to an empty durable view). Open handles
+// from before the crash must not be used afterwards.
+func (m *MemFS) Crash(mode CrashMode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make(map[string]bool, len(m.files)+len(m.durable))
+	for name := range m.files {
+		names[name] = true
+	}
+	for name := range m.durable {
+		names[name] = true
+	}
+	for name := range names {
+		d, durableExists := m.durable[name]
+		f, applied := m.files[name]
+		keep := append([]byte(nil), d...)
+		if applied && len(f.data) >= len(d) && (len(d) == 0 || string(f.data[:len(d)]) == string(d)) {
+			suffix := f.data[len(d):]
+			switch mode {
+			case CrashTornUnsynced:
+				suffix = suffix[:len(suffix)/2]
+			case CrashDropUnsynced:
+				suffix = nil
+			}
+			keep = append(keep, suffix...)
+		}
+		if !durableExists && len(keep) == 0 {
+			delete(m.files, name)
+			continue
+		}
+		m.files[name] = &memFile{data: keep}
+	}
+}
+
+// MkdirAll creates dir and any missing parents.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = path.Clean(dir)
+	for d := dir; d != "." && d != "/" && d != ""; d = parentOf(d) {
+		m.dirs[d] = true
+	}
+	return nil
+}
+
+// Create opens name for writing, truncating any existing content.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, name: name, f: f, write: true}, nil
+}
+
+// Open opens name for reading.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("vfs: open %s: file does not exist", name)
+	}
+	return &memHandle{fs: m, name: name, f: f}, nil
+}
+
+// OpenAppend opens name for appending, creating it if missing.
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	f, ok := m.files[name]
+	if !ok {
+		f = &memFile{}
+		m.files[name] = f
+	}
+	return &memHandle{fs: m, name: name, f: f, write: true}, nil
+}
+
+// Rename atomically (and, in this model, durably) replaces newname.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldname, newname = path.Clean(oldname), path.Clean(newname)
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("vfs: rename %s: file does not exist", oldname)
+	}
+	m.files[newname] = f
+	delete(m.files, oldname)
+	if d, ok := m.durable[oldname]; ok {
+		m.durable[newname] = d
+		delete(m.durable, oldname)
+	} else {
+		delete(m.durable, newname)
+	}
+	return nil
+}
+
+// Remove deletes a file from both views.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("vfs: remove %s: file does not exist", name)
+	}
+	delete(m.files, name)
+	delete(m.durable, name)
+	return nil
+}
+
+// RemoveAll deletes p and everything under it from both views.
+func (m *MemFS) RemoveAll(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	prefix := p + "/"
+	for name := range m.files {
+		if name == p || strings.HasPrefix(name, prefix) {
+			delete(m.files, name)
+			delete(m.durable, name)
+		}
+	}
+	for d := range m.dirs {
+		if d == p || strings.HasPrefix(d, prefix) {
+			delete(m.dirs, d)
+		}
+	}
+	return nil
+}
+
+// ReadDir lists dir's immediate children in name order.
+func (m *MemFS) ReadDir(dir string) ([]DirEntry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = path.Clean(dir)
+	if !m.dirs[dir] {
+		return nil, fmt.Errorf("vfs: readdir %s: directory does not exist", dir)
+	}
+	seen := make(map[string]bool)
+	var out []DirEntry
+	for d := range m.dirs {
+		if parentOf(d) == dir && !seen[path.Base(d)] {
+			seen[path.Base(d)] = true
+			out = append(out, DirEntry{Name: path.Base(d), Dir: true})
+		}
+	}
+	for name := range m.files {
+		if parentOf(name) == dir && !seen[path.Base(name)] {
+			seen[path.Base(name)] = true
+			out = append(out, DirEntry{Name: path.Base(name)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Size returns the applied byte size of a file.
+func (m *MemFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	f, ok := m.files[name]
+	if !ok {
+		return 0, fmt.Errorf("vfs: size %s: file does not exist", name)
+	}
+	return int64(len(f.data)), nil
+}
+
+// Truncate cuts a file's applied content to size bytes. The durable view
+// shrinks with it (a shorter file cannot resurrect dropped bytes).
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = path.Clean(name)
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("vfs: truncate %s: file does not exist", name)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("vfs: truncate %s: size %d out of range [0, %d]", name, size, len(f.data))
+	}
+	f.data = f.data[:size]
+	if d, ok := m.durable[name]; ok && int64(len(d)) > size {
+		m.durable[name] = d[:size]
+	}
+	return nil
+}
+
+// DurableLen reports the durable byte length of a file (testing hook).
+func (m *MemFS) DurableLen(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.durable[path.Clean(name)])
+}
+
+// memHandle is an open MemFS file: sequential reads from a private offset,
+// writes appended at the end of the applied content.
+type memHandle struct {
+	fs      *MemFS
+	name    string
+	f       *memFile
+	readOff int
+	write   bool
+	closed  bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fmt.Errorf("vfs: read %s: file closed", h.name)
+	}
+	if h.readOff >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.readOff:])
+	h.readOff += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fmt.Errorf("vfs: write %s: file closed", h.name)
+	}
+	if !h.write {
+		return 0, fmt.Errorf("vfs: write %s: file opened read-only", h.name)
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("vfs: sync %s: file closed", h.name)
+	}
+	// Sync makes the current applied content durable — but only if the name
+	// still resolves to this file (a concurrent Remove wins).
+	if cur, ok := h.fs.files[h.name]; ok && cur == h.f {
+		h.fs.durable[h.name] = append([]byte(nil), h.f.data...)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package vfs abstracts the filesystem operations the persistence layer
+// performs — create/rename/fsync of snapshot files, append/fsync of
+// write-ahead logs, directory listing at recovery — behind a small
+// injectable interface. Production code runs on OS() (thin wrappers over
+// package os); tests run on NewMemFS(), an in-memory filesystem that
+// models durability (data not fsync'd may vanish at a simulated crash),
+// usually wrapped in NewFaultFS(), which injects short writes, fsync
+// errors and crash-at-operation-N faults so recovery code can be driven
+// through every failure point deterministically.
+//
+// Paths are slash-separated relative or absolute names; implementations
+// do not interpret them beyond parent/child structure (the OS
+// implementation hands them to package os verbatim, which accepts slashes
+// on every supported platform).
+package vfs
+
+import (
+	"io"
+	"os"
+	"path"
+	"sort"
+)
+
+// File is an open file: sequential reads or writes plus Sync, which must
+// not return until previously written data is durable.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes written data to durable storage (fsync).
+	Sync() error
+}
+
+// FS is the filesystem surface the persistence layer needs. Methods mirror
+// package os; all take slash-separated paths.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating it if it exists.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if missing.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// RemoveAll deletes path and everything under it.
+	RemoveAll(path string) error
+	// ReadDir lists the entries of dir in name order.
+	ReadDir(dir string) ([]DirEntry, error)
+	// Size returns the byte size of a file.
+	Size(name string) (int64, error)
+	// Truncate cuts the named file down to size bytes (recovery uses it to
+	// drop a torn write-ahead-log tail).
+	Truncate(name string, size int64) error
+}
+
+// DirEntry is one ReadDir result.
+type DirEntry struct {
+	// Name is the entry's base name.
+	Name string
+	// Dir reports whether the entry is a directory.
+	Dir bool
+}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+// osFS delegates to package os.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+func (osFS) ReadDir(dir string) ([]DirEntry, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, len(ents))
+	for i, e := range ents {
+		out[i] = DirEntry{Name: e.Name(), Dir: e.IsDir()}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func (osFS) Size(name string) (int64, error) {
+	info, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// parentOf returns the cleaned parent directory of a cleaned path.
+func parentOf(p string) string { return path.Dir(path.Clean(p)) }

@@ -1,0 +1,323 @@
+package vfs_test
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+func writeFile(t *testing.T, fs vfs.FS, name, content string) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatalf("Create(%s): %v", name, err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatalf("Write(%s): %v", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync(%s): %v", name, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close(%s): %v", name, err)
+	}
+}
+
+func readFile(t *testing.T, fs vfs.FS, name string) string {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", name, err)
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatalf("ReadAll(%s): %v", name, err)
+	}
+	return string(b)
+}
+
+// roundTrip exercises the shared FS contract on any implementation.
+func roundTrip(t *testing.T, fs vfs.FS, root string) {
+	t.Helper()
+	dir := root + "/a/b"
+	if err := fs.MkdirAll(dir); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	writeFile(t, fs, dir+"/one", "hello")
+	if got := readFile(t, fs, dir+"/one"); got != "hello" {
+		t.Fatalf("read back %q, want hello", got)
+	}
+
+	ap, err := fs.OpenAppend(dir + "/one")
+	if err != nil {
+		t.Fatalf("OpenAppend: %v", err)
+	}
+	if _, err := ap.Write([]byte(" world")); err != nil {
+		t.Fatalf("append write: %v", err)
+	}
+	if err := ap.Sync(); err != nil {
+		t.Fatalf("append sync: %v", err)
+	}
+	ap.Close()
+	if got := readFile(t, fs, dir+"/one"); got != "hello world" {
+		t.Fatalf("after append got %q, want %q", got, "hello world")
+	}
+
+	sz, err := fs.Size(dir + "/one")
+	if err != nil || sz != int64(len("hello world")) {
+		t.Fatalf("Size = %d, %v; want %d", sz, err, len("hello world"))
+	}
+	if err := fs.Truncate(dir+"/one", 5); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if got := readFile(t, fs, dir+"/one"); got != "hello" {
+		t.Fatalf("after truncate got %q, want hello", got)
+	}
+
+	writeFile(t, fs, dir+"/two.tmp", "temp")
+	if err := fs.Rename(dir+"/two.tmp", dir+"/two"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if got := readFile(t, fs, dir+"/two"); got != "temp" {
+		t.Fatalf("after rename got %q, want temp", got)
+	}
+
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name)
+	}
+	if got := strings.Join(names, ","); got != "one,two" {
+		t.Fatalf("ReadDir = %q, want one,two", got)
+	}
+
+	ents, err = fs.ReadDir(root + "/a")
+	if err != nil {
+		t.Fatalf("ReadDir parent: %v", err)
+	}
+	if len(ents) != 1 || ents[0].Name != "b" || !ents[0].Dir {
+		t.Fatalf("ReadDir parent = %+v, want single dir entry b", ents)
+	}
+
+	if err := fs.Remove(dir + "/two"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := fs.Open(dir + "/two"); err == nil {
+		t.Fatal("Open removed file should fail")
+	}
+	if err := fs.RemoveAll(root + "/a"); err != nil {
+		t.Fatalf("RemoveAll: %v", err)
+	}
+	if _, err := fs.Open(dir + "/one"); err == nil {
+		t.Fatal("Open file under removed tree should fail")
+	}
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	roundTrip(t, vfs.OS(), filepath.ToSlash(t.TempDir()))
+}
+
+func TestMemRoundTrip(t *testing.T) {
+	roundTrip(t, vfs.NewMemFS(), "root")
+}
+
+func TestFaultPassThroughRoundTrip(t *testing.T) {
+	ffs := vfs.NewFaultFS(vfs.NewMemFS())
+	roundTrip(t, ffs, "root")
+	if ffs.Ops() == 0 {
+		t.Fatal("FaultFS should have counted operations")
+	}
+}
+
+func TestMemCrashDurability(t *testing.T) {
+	m := vfs.NewMemFS()
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, m, "d/synced", "durable")
+
+	// Append more without syncing.
+	ap, err := m.OpenAppend("d/synced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.Write([]byte("-unsynced")); err != nil {
+		t.Fatal(err)
+	}
+	ap.Close()
+
+	// And a file never synced at all.
+	f, err := m.Create("d/never")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("gone"))
+	f.Close()
+
+	m.Crash(vfs.CrashDropUnsynced)
+	if got := readFile(t, m, "d/synced"); got != "durable" {
+		t.Fatalf("after crash got %q, want durable", got)
+	}
+	if _, err := m.Open("d/never"); err == nil {
+		t.Fatal("never-synced file should not survive a crash")
+	}
+	// The directory survives (dirs are durable on creation).
+	if _, err := m.ReadDir("d"); err != nil {
+		t.Fatalf("dir should survive crash: %v", err)
+	}
+}
+
+func TestMemCrashTornAndKeep(t *testing.T) {
+	for _, tc := range []struct {
+		mode vfs.CrashMode
+		want string
+	}{
+		{vfs.CrashDropUnsynced, "base"},
+		{vfs.CrashTornUnsynced, "base1234"},     // half of the 8-byte suffix
+		{vfs.CrashKeepUnsynced, "base12345678"}, // all of it
+	} {
+		m := vfs.NewMemFS()
+		writeFile(t, m, "f", "base")
+		ap, err := m.OpenAppend("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap.Write([]byte("12345678"))
+		ap.Close()
+		m.Crash(tc.mode)
+		if got := readFile(t, m, "f"); got != tc.want {
+			t.Errorf("mode %v: got %q, want %q", tc.mode, got, tc.want)
+		}
+	}
+}
+
+func TestMemCrashRewrittenFileRevertsToDurable(t *testing.T) {
+	m := vfs.NewMemFS()
+	writeFile(t, m, "f", "original")
+	// Recreate with different, unsynced content: not an append extension,
+	// so the crash reverts fully to the durable bytes.
+	f, err := m.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("xx"))
+	f.Close()
+	m.Crash(vfs.CrashKeepUnsynced)
+	if got := readFile(t, m, "f"); got != "original" {
+		t.Fatalf("got %q, want original", got)
+	}
+}
+
+func TestMemRenameIsDurable(t *testing.T) {
+	m := vfs.NewMemFS()
+	writeFile(t, m, "f.tmp", "snap")
+	if err := m.Rename("f.tmp", "f"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(vfs.CrashDropUnsynced)
+	if got := readFile(t, m, "f"); got != "snap" {
+		t.Fatalf("renamed file lost at crash: got %q", got)
+	}
+	if _, err := m.Open("f.tmp"); err == nil {
+		t.Fatal("old name should be gone after rename + crash")
+	}
+}
+
+func TestMemTruncateShrinksDurable(t *testing.T) {
+	m := vfs.NewMemFS()
+	writeFile(t, m, "f", "0123456789")
+	if err := m.Truncate("f", 4); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(vfs.CrashDropUnsynced)
+	if got := readFile(t, m, "f"); got != "0123" {
+		t.Fatalf("truncate should shrink the durable view too: got %q", got)
+	}
+	if err := m.Truncate("f", 100); err == nil {
+		t.Fatal("growing truncate should be rejected")
+	}
+}
+
+func TestFaultFailNext(t *testing.T) {
+	m := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(m)
+	writeFile(t, ffs, "f", "ok")
+
+	ffs.FailNext(1)
+	if err := ffs.MkdirAll("d"); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	// Transient: the very next operation succeeds.
+	if err := ffs.MkdirAll("d"); err != nil {
+		t.Fatalf("fault should have cleared: %v", err)
+	}
+	if ffs.Crashed() {
+		t.Fatal("FailNext must not count as a crash")
+	}
+}
+
+func TestFaultShortWrite(t *testing.T) {
+	m := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(m)
+	f, err := ffs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailNext(1)
+	n, err := f.Write([]byte("12345678"))
+	if !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write should land half the bytes, wrote %d", n)
+	}
+	if got := readFile(t, m, "f"); got != "1234" {
+		t.Fatalf("underlying file has %q, want the torn half", got)
+	}
+}
+
+func TestFaultCrashAtIsSticky(t *testing.T) {
+	m := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(m)
+	writeFile(t, ffs, "f", "ok")
+	before := ffs.Ops()
+
+	ffs.CrashAt(2)
+	if err := ffs.MkdirAll("d"); err != nil {
+		t.Fatalf("op before crash point should succeed: %v", err)
+	}
+	if err := ffs.MkdirAll("d"); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("Crashed() should report true")
+	}
+	// Permanently dead: everything keeps failing.
+	if _, err := ffs.Open("f"); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("post-crash op must fail, got %v", err)
+	}
+	if ffs.Ops() <= before {
+		t.Fatal("ops should keep counting")
+	}
+}
+
+func TestFaultOpsDeterministic(t *testing.T) {
+	run := func() int64 {
+		ffs := vfs.NewFaultFS(vfs.NewMemFS())
+		ffs.MkdirAll("a/b")
+		writeFile(t, ffs, "a/b/f", "data")
+		readFile(t, ffs, "a/b/f")
+		return ffs.Ops()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical workloads counted %d vs %d ops", a, b)
+	}
+}

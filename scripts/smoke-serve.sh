@@ -4,7 +4,9 @@
 # deterministic result cache (observable through the response's
 # result_cache field and the /v1/cache counters), with bad parameters
 # rejected as 400; then exercise the async job API (submit, duplicate-join,
-# poll, result) and a cross-tenant fairness spot check. All waits are
+# poll, result) and a cross-tenant fairness spot check; finally SIGKILL the
+# daemon and restart it over the same -data-dir, asserting the stored graph
+# recovers to its pre-crash version and answer. All waits are
 # retry-with-deadline, never fixed sleeps. Used by `make smoke-serve` and CI.
 set -euo pipefail
 
@@ -56,8 +58,11 @@ job_in_state() {
 
 go build -o "$BIN" ./cmd/gbbs-serve
 
-"$BIN" -addr "$ADDR" -threads 4 -cache-mb 256 -timeout 60s \
-    -tenant-weights 'gold=3,bronze=1' -job-ttl 10m >"$LOG" 2>&1 &
+DATA_DIR="$TMPDIR_SMOKE/data"
+SERVE_FLAGS=(-addr "$ADDR" -threads 4 -cache-mb 256 -timeout 60s
+    -tenant-weights 'gold=3,bronze=1' -job-ttl 10m -data-dir "$DATA_DIR")
+
+"$BIN" "${SERVE_FLAGS[@]}" >"$LOG" 2>&1 &
 SERVER_PID=$!
 
 # Wait for the listener.
@@ -161,5 +166,35 @@ fi
 HEALTH_JOBS=$(curl -sf "http://$ADDR/healthz") || fail "healthz after jobs failed"
 echo "$HEALTH_JOBS" | grep -q '"submitted": *2' || fail "healthz should count 2 submissions: $HEALTH_JOBS"
 echo "$HEALTH_JOBS" | grep -q '"joined": *1' || fail "healthz should count 1 join: $HEALTH_JOBS"
+
+# Crash safety: SIGKILL the daemon (no graceful shutdown, no final flush)
+# and restart it over the same data directory. The stored graph must
+# recover to its pre-crash version with an identical fingerprint — the
+# rerun is a result-cache miss (caches are process-local) that recomputes
+# the exact pre-crash answer.
+STORE_KEY=$(echo "$STORE_AFTER" | grep -o '"key": *"[^"]*"')
+STORE_SUMMARY=$(echo "$STORE_AFTER" | grep -o '"summary": *"[^"]*"')
+[[ -n "$STORE_KEY" && -n "$STORE_SUMMARY" ]] || fail "pre-crash run carries no key/summary: $STORE_AFTER"
+
+kill -9 "$SERVER_PID" 2>/dev/null || fail "SIGKILL failed"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+"$BIN" "${SERVE_FLAGS[@]}" >>"$LOG" 2>&1 &
+SERVER_PID=$!
+retry_until 10 "the restarted listener" curl -sf "http://$ADDR/healthz"
+
+HEALTH_RESTART=$(curl -sf "http://$ADDR/healthz") || fail "healthz after restart failed"
+echo "$HEALTH_RESTART" | grep -q '"persistent": *true' || fail "restarted healthz should report persistence: $HEALTH_RESTART"
+echo "$HEALTH_RESTART" | grep -q '"durable_version": *2' || fail "smoke graph should be durable at version 2: $HEALTH_RESTART"
+
+GRAPHS_RESTART=$(curl -sf "http://$ADDR/v1/graphs") || fail "/v1/graphs after restart failed"
+echo "$GRAPHS_RESTART" | grep -q '"name": *"smoke"' || fail "recovered listing is missing smoke: $GRAPHS_RESTART"
+echo "$GRAPHS_RESTART" | grep -q '"version": *2' || fail "smoke should recover at version 2: $GRAPHS_RESTART"
+
+STORE_RECOVERED=$(curl -sf -X POST "http://$ADDR/v1/run" -d "$STORE_BODY") || fail "post-restart run failed"
+echo "$STORE_RECOVERED" | grep -q '"result_cache": *"miss"' || fail "post-restart run should miss the fresh cache: $STORE_RECOVERED"
+echo "$STORE_RECOVERED" | grep -qF "$STORE_KEY" || fail "post-restart fingerprint differs: want $STORE_KEY in $STORE_RECOVERED"
+echo "$STORE_RECOVERED" | grep -qF "$STORE_SUMMARY" || fail "post-restart answer differs: want $STORE_SUMMARY in $STORE_RECOVERED"
 
 echo "smoke-serve: OK ($(echo "$FIRST" | grep -o '"summary": *"[^"]*"'))"
