@@ -1,0 +1,44 @@
+package gbbs
+
+import "testing"
+
+// FuzzParsePartition drives the partition-spec parser with arbitrary input,
+// alongside FuzzParseSource/FuzzParseTransforms. Beyond no-panics it checks
+// the round-trip contract the fingerprint machinery relies on: every
+// accepted spec renders a canonical String() that re-parses to the same
+// value (partition specs, unlike source specs, are re-parseable — the
+// serving layer round-trips them through JSON requests).
+func FuzzParsePartition(f *testing.F) {
+	f.Add("4")
+	f.Add("shards=4")
+	f.Add("shards=2,by=range")
+	f.Add("by=block,shards=8")
+	f.Add("shards=256,by=hash")
+	f.Add("shards=0")
+	f.Add("shards=4,by=modulo")
+	f.Add("shards=4,shards=4")
+	f.Add(" shards=1 , by=hash ")
+	f.Add("4,8")
+	f.Add("=")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePartition(spec)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParsePartition(%q) accepted invalid partition %+v: %v", spec, p, err)
+		}
+		canon := p.String()
+		back, err := ParsePartition(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if back != p {
+			t.Fatalf("round trip %q -> %+v -> %q -> %+v", spec, p, canon, back)
+		}
+		if again := back.String(); again != canon {
+			t.Fatalf("canonical form not stable: %q then %q", canon, again)
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/gbbs"
+	"repro/gbbs/shard"
+)
+
+// This file wires the gbbs/shard coordinator into the serving layer: a
+// RunRequest (or stored graph) may carry a partition spec ("shards":
+// "4,by=hash"), and mergeable algorithms then execute by scatter-gather
+// across per-shard engines instead of on one engine. Decompositions are
+// expensive to build (a full split of the graph plus K engines), so the
+// server keeps them in a small LRU of coordinators keyed by graph identity
+// plus canonical partition — the same identity Request.Key folds into the
+// result-cache fingerprint, so a sharded result can never be served for an
+// unsharded request or across shard counts.
+
+// maxShardCoordinators bounds the resident coordinators. Each holds a full
+// decomposition of its graph (roughly the graph's size again) plus K+2
+// engines, so the bound is deliberately small; evicted coordinators are
+// rebuilt on demand.
+const maxShardCoordinators = 8
+
+// shardKey is the cache identity of a coordinator: the graph's canonical
+// identity (spec cache key, or snapshot ID for store-backed graphs) plus the
+// canonical partition.
+func shardKey(graphKey string, part gbbs.Partition) string {
+	return graphKey + "|" + part.String()
+}
+
+// storeShardPrefix is the prefix a coordinator cache key carries exactly
+// when its graph is a version of the named stored graph (the key starts
+// with the snapshot ID). The trailing ",version=" makes the name boundary
+// unambiguous, as in storeKeyFragment.
+func storeShardPrefix(name string) string {
+	return "store(name=" + name + ",version="
+}
+
+// shardCache is an LRU of shard coordinators with singleflight construction:
+// concurrent sharded requests for one (graph, partition) share the one
+// in-flight split instead of each splitting their own copy.
+type shardCache struct {
+	mu      sync.Mutex
+	entries map[string]*shardEntry
+	lru     *list.List // of *shardEntry, front = most recently used
+
+	hits, misses, evictions int64
+}
+
+// shardEntry is one resident (or in-flight) coordinator. ready is closed
+// when construction completes; co/err are immutable afterwards.
+type shardEntry struct {
+	key   string
+	ready chan struct{}
+	co    *shard.Coordinator
+	err   error
+	elem  *list.Element
+}
+
+func newShardCache() *shardCache {
+	return &shardCache{entries: make(map[string]*shardEntry), lru: list.New()}
+}
+
+// getOrBuild returns the coordinator cached under key, joining an in-flight
+// construction if one is running, or invoking build otherwise. hit is false
+// only for the caller that ran build. Waiting is bounded by ctx; the build
+// itself runs on the calling goroutine (a split is a small multiple of one
+// graph pass, unlike the minutes-long builds the graph cache detaches).
+func (c *shardCache) getOrBuild(ctx context.Context, key string, build func() (*shard.Coordinator, error)) (co *shard.Coordinator, hit bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.hits++
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.co, true, e.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	e := &shardEntry{key: key, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	e.co, e.err = build()
+	close(e.ready)
+	if e.err != nil {
+		// Failed constructions are not retained: drop the entry so the next
+		// request retries instead of replaying the error forever.
+		c.remove(e)
+		return nil, false, e.err
+	}
+	c.evictOverflow()
+	return e.co, false, nil
+}
+
+// remove drops one entry (under its own lock acquisition).
+func (c *shardCache) remove(e *shardEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[e.key] == e {
+		delete(c.entries, e.key)
+		c.lru.Remove(e.elem)
+	}
+}
+
+// evictOverflow closes and drops least-recently-used coordinators beyond the
+// resident bound. Only completed entries are evicted; an in-flight one is
+// skipped (its builder holds no lock while splitting, so it cannot be
+// removed safely until ready).
+func (c *shardCache) evictOverflow() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.lru.Len() > maxShardCoordinators {
+		evicted := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*shardEntry)
+			select {
+			case <-e.ready:
+			default:
+				continue // still building
+			}
+			delete(c.entries, e.key)
+			c.lru.Remove(el)
+			if e.co != nil {
+				e.co.Close()
+			}
+			c.evictions++
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything resident is in-flight
+		}
+	}
+}
+
+// invalidateMatching closes and drops every completed coordinator whose key
+// matches, returning how many were dropped. The update and delete paths call
+// it with the stored graph's key fragment so decompositions of superseded
+// versions stop occupying residency.
+func (c *shardCache) invalidateMatching(match func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.lru.Back(); el != nil; {
+		prev := el.Prev()
+		e := el.Value.(*shardEntry)
+		select {
+		case <-e.ready:
+			if match(e.key) {
+				delete(c.entries, e.key)
+				c.lru.Remove(el)
+				if e.co != nil {
+					e.co.Close()
+				}
+				dropped++
+			}
+		default: // in-flight; skip
+		}
+		el = prev
+	}
+	return dropped
+}
+
+// ShardCoordinatorInfo describes one resident shard coordinator for
+// /healthz: its cache identity, partition and per-shard decomposition stats
+// (ownership, edge split, approximate bytes), so partition skew is visible
+// to operators.
+type ShardCoordinatorInfo struct {
+	// Key is the coordinator's cache identity: graph identity plus canonical
+	// partition.
+	Key string `json:"key"`
+	// Partition is the canonical partition spec ("shards=4,by=hash").
+	Partition string `json:"partition"`
+	// Shards holds per-shard decomposition statistics, in shard order.
+	Shards []shard.ShardStat `json:"shards"`
+}
+
+// stats snapshots every completed resident coordinator, most recently used
+// first.
+func (c *shardCache) stats() []ShardCoordinatorInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ShardCoordinatorInfo, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*shardEntry)
+		select {
+		case <-e.ready:
+		default:
+			continue
+		}
+		if e.co == nil {
+			continue
+		}
+		out = append(out, ShardCoordinatorInfo{
+			Key:       e.key,
+			Partition: e.co.Partition().String(),
+			Shards:    e.co.Stats(),
+		})
+	}
+	return out
+}
+
+// peek returns the completed coordinator under key without affecting LRU
+// order, or nil. The graph-describe endpoint uses it to report shard stats
+// without forcing a split.
+func (c *shardCache) peek(key string) *shard.Coordinator {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	select {
+	case <-e.ready:
+		return e.co
+	default:
+		return nil
+	}
+}
+
+// closeAll closes every completed coordinator (server shutdown).
+func (c *shardCache) closeAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*shardEntry)
+		select {
+		case <-e.ready:
+			if e.co != nil {
+				e.co.Close()
+			}
+		default:
+		}
+	}
+	c.entries = make(map[string]*shardEntry)
+	c.lru.Init()
+}
+
+// parseShards validates a request's partition spec against the server's
+// sharding configuration and the algorithm's mergeability. An empty spec
+// returns (nil, nil).
+func (s *Server) parseShards(spec, algorithm string) (*gbbs.Partition, *requestError) {
+	if spec == "" {
+		return nil, nil
+	}
+	if s.cfg.MaxShards <= 0 {
+		return nil, &requestError{status: http.StatusBadRequest, msg: "sharded execution is disabled on this server (start gbbs-serve with -shards)"}
+	}
+	part, err := gbbs.ParsePartition(spec)
+	if err != nil {
+		return nil, &requestError{status: http.StatusBadRequest, msg: fmt.Sprintf("bad shards spec: %v", err)}
+	}
+	if part.Shards > s.cfg.MaxShards {
+		return nil, &requestError{status: http.StatusBadRequest, msg: fmt.Sprintf("shards=%d exceeds the server's cap of %d", part.Shards, s.cfg.MaxShards)}
+	}
+	if algorithm != "" && !shard.Mergeable(algorithm) {
+		return nil, &requestError{status: http.StatusBadRequest, msg: fmt.Sprintf("algorithm %q has no sharded merge step (mergeable: %v)", algorithm, shard.MergeableAlgorithms())}
+	}
+	return &part, nil
+}
+
+// shardDefault returns the default partition recorded for a stored graph at
+// creation time (PUT /v1/graphs/{name} with "shards"), if any.
+func (s *Server) shardDefault(name string) (gbbs.Partition, bool) {
+	s.shardDefaultsMu.Lock()
+	defer s.shardDefaultsMu.Unlock()
+	p, ok := s.shardDefaults[name]
+	return p, ok
+}
+
+// setShardDefault records (or clears, for remember=false) a stored graph's
+// default partition.
+func (s *Server) setShardDefault(name string, p gbbs.Partition, remember bool) {
+	s.shardDefaultsMu.Lock()
+	defer s.shardDefaultsMu.Unlock()
+	if remember {
+		s.shardDefaults[name] = p
+	} else {
+		delete(s.shardDefaults, name)
+	}
+}
+
+// coordinatorFor returns the coordinator executing p's sharded run: the
+// resident one under the request's (graph, partition) identity, or a fresh
+// split of g. The per-shard engines divide the request's admitted thread
+// budget; a cached coordinator keeps the budget of the request that built
+// it (results are thread-count independent, only latency varies).
+func (s *Server) coordinatorFor(ctx context.Context, p *parsedRun, eng *gbbs.Engine, g gbbs.Graph) (*shard.Coordinator, bool, error) {
+	key := shardKey(p.key, *p.part)
+	return s.shards.getOrBuild(ctx, key, func() (*shard.Coordinator, error) {
+		csr, err := eng.Compact(ctx, g)
+		if err != nil {
+			return nil, fmt.Errorf("sharded execution needs an uncompressed graph: %w", err)
+		}
+		perShard := p.threads / p.part.Shards
+		if perShard < 1 {
+			perShard = 1
+		}
+		return shard.NewCoordinator(ctx, eng, csr, *p.part,
+			shard.WithShardThreads(perShard), shard.WithSeed(p.seed))
+	})
+}

@@ -1,0 +1,362 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/gbbs"
+	"repro/internal/atomics"
+)
+
+// This file implements the per-algorithm merge steps. Each follows the same
+// shape: scatter a shard-local phase across the per-shard engines, then
+// combine the outputs on the merge engine. The contracts (which results are
+// byte-identical to single-engine runs, which are valid-but-partition-
+// dependent) are documented on Coordinator.Run.
+
+// runConnectivity executes cc/incrcc sharded. Shard-local phase: canonical
+// union-find connectivity ("incrcc") on each internal subgraph, labelling
+// every vertex with the minimum vertex of its shard-internal component.
+// Merge: stitch the per-shard labellings into one minimum-label forest and
+// unite the boundary edges through the incremental-connectivity machinery —
+// the merged labelling is exactly the canonical labelling of the full graph
+// (byte-identical to a single-engine "incrcc" run), because union-find with
+// monotone minimum hooking is insensitive to the order edges arrive in.
+func (c *Coordinator) runConnectivity(ctx context.Context, req gbbs.Request, rep *Report) (gbbs.Result, error) {
+	results, err := c.scatter(ctx, "incrcc", gbbs.Request{Seed: req.Seed}, rep)
+	if err != nil {
+		return gbbs.Result{}, err
+	}
+	mergeStart := time.Now()
+	n := c.pg.Graph.N()
+	combined := make([]uint32, n)
+	owner := c.pg.Owner
+	err = c.merge.Exec(ctx, func(b *gbbs.Builder) {
+		shardLabels := make([][]uint32, len(results))
+		for i, r := range results {
+			shardLabels[i] = r.Value.([]uint32)
+		}
+		b.Parallel(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				combined[v] = shardLabels[owner[v]][v]
+			}
+		})
+	})
+	if err != nil {
+		return gbbs.Result{}, err
+	}
+	labels, err := c.merge.IncrementalConnectivity(ctx, combined, []*gbbs.UpdateBatch{c.pg.Boundary})
+	if err != nil {
+		return gbbs.Result{}, err
+	}
+	num, largest := componentSummary(labels)
+	rep.MergeElapsed = time.Since(mergeStart)
+	return gbbs.Result{Summary: fmt.Sprintf("%d components, largest %d", num, largest), Value: labels}, nil
+}
+
+// componentSummary counts the components of a canonical (minimum-vertex)
+// labelling and the size of the largest, matching core.ComponentCount.
+func componentSummary(labels []uint32) (num int, largest int64) {
+	counts := make([]int64, len(labels))
+	for _, l := range labels {
+		counts[l]++
+	}
+	for _, cnt := range counts {
+		if cnt > 0 {
+			num++
+			if cnt > largest {
+				largest = cnt
+			}
+		}
+	}
+	return num, largest
+}
+
+// runBFS executes BFS by iterative frontier exchange: each round, every
+// shard expands its owned slice of the frontier over its internal and
+// boundary edges (claiming newly reached vertices with an atomic
+// write-min, so each vertex is discovered exactly once), and the gather
+// step routes the discoveries to their owning shards as the next round's
+// frontier. Hop distances are unique, so the merged distance array is
+// byte-identical to the single-engine run at any shard count.
+func (c *Coordinator) runBFS(ctx context.Context, req gbbs.Request, rep *Report) (gbbs.Result, error) {
+	n := c.pg.Graph.N()
+	k := len(c.engines)
+	dist := make([]uint32, n)
+	err := c.merge.Exec(ctx, func(b *gbbs.Builder) {
+		b.Parallel(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				dist[v] = gbbs.Inf
+			}
+		})
+	})
+	if err != nil {
+		return gbbs.Result{}, err
+	}
+	src := req.Source
+	dist[src] = 0
+	frontiers := make([][]uint32, k)
+	frontiers[c.pg.Owner[src]] = []uint32{src}
+	for depth := uint32(1); ; depth++ {
+		live := 0
+		for _, f := range frontiers {
+			live += len(f)
+		}
+		if live == 0 {
+			break
+		}
+		rep.Rounds++
+		next := make([][]uint32, k)
+		errs := make([]error, k)
+		err := c.control.Exec(ctx, func(cb *gbbs.Builder) {
+			cb.Parallel(k, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if len(frontiers[i]) == 0 {
+						continue
+					}
+					start := time.Now()
+					next[i], errs[i] = c.expand(ctx, i, frontiers[i], dist, depth)
+					rep.Shards[i].Elapsed += time.Since(start)
+				}
+			})
+		})
+		if err != nil {
+			return gbbs.Result{}, err
+		}
+		for i, e := range errs {
+			if e != nil {
+				return gbbs.Result{}, fmt.Errorf("shard %d: %w", i, e)
+			}
+		}
+		// Gather: route each discovery to its owner for the next round, in
+		// sorted order so every round's work list is deterministic.
+		frontiers = make([][]uint32, k)
+		for i := 0; i < k; i++ {
+			for _, u := range next[i] {
+				o := c.pg.Owner[u]
+				frontiers[o] = append(frontiers[o], u)
+			}
+		}
+		for i := range frontiers {
+			f := frontiers[i]
+			sort.Slice(f, func(a, b int) bool { return f[a] < f[b] })
+		}
+	}
+	reached := 0
+	for _, d := range dist {
+		if d != gbbs.Inf {
+			reached++
+		}
+	}
+	return gbbs.Result{Summary: fmt.Sprintf("reached %d vertices", reached), Value: dist}, nil
+}
+
+// expand runs one BFS round on shard i: relax every edge of the shard's
+// frontier slice (internal and boundary rows) on the shard engine, claiming
+// unvisited endpoints at distance d. Returns the vertices this shard
+// discovered, in nondeterministic order (the caller sorts).
+func (c *Coordinator) expand(ctx context.Context, i int, frontier []uint32, dist []uint32, d uint32) ([]uint32, error) {
+	var out []uint32
+	var mu sync.Mutex
+	sub, cut := c.pg.Subs[i], c.pg.Cuts[i]
+	err := c.engines[i].Exec(ctx, func(b *gbbs.Builder) {
+		b.Parallel(len(frontier), func(lo, hi int) {
+			var buf []uint32
+			relax := func(u uint32, _ int32) bool {
+				if atomics.Load32(&dist[u]) > d && atomics.WriteMin32(&dist[u], d) {
+					buf = append(buf, u)
+				}
+				return true
+			}
+			for j := lo; j < hi; j++ {
+				sub.OutNgh(frontier[j], relax)
+				cut.OutNgh(frontier[j], relax)
+			}
+			if len(buf) > 0 {
+				mu.Lock()
+				out = append(out, buf...)
+				mu.Unlock()
+			}
+		})
+	})
+	return out, err
+}
+
+// runTriangleCount counts triangles exactly by ownership: shard i counts
+// every triangle a < b < c whose minimum vertex a it owns, scanning a's
+// adjacency and intersecting with b's. Neighbor rows are read through the
+// coordinator's full-graph handle — the in-process form of the halo
+// adjacency an out-of-process shard would fetch from the owner — so each
+// triangle is counted exactly once and the merged sum is byte-identical to
+// the single-engine count.
+func (c *Coordinator) runTriangleCount(ctx context.Context, req gbbs.Request, rep *Report) (gbbs.Result, error) {
+	g := c.pg.Graph
+	if !g.Symmetric() {
+		return gbbs.Result{}, fmt.Errorf("shard: tc requires a symmetric graph")
+	}
+	k := len(c.engines)
+	counts := make([]int64, k)
+	errs := make([]error, k)
+	err := c.control.Exec(ctx, func(cb *gbbs.Builder) {
+		cb.Parallel(k, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				start := time.Now()
+				counts[i], errs[i] = c.countOwned(ctx, i)
+				rep.Shards[i].Elapsed = time.Since(start)
+			}
+		})
+	})
+	if err != nil {
+		return gbbs.Result{}, err
+	}
+	var total int64
+	for i, e := range errs {
+		if e != nil {
+			return gbbs.Result{}, fmt.Errorf("shard %d: %w", i, e)
+		}
+		total += counts[i]
+	}
+	return gbbs.Result{Summary: fmt.Sprintf("%d triangles", total), Value: total}, nil
+}
+
+// countOwned counts the triangles whose minimum vertex shard i owns.
+func (c *Coordinator) countOwned(ctx context.Context, i int) (int64, error) {
+	g := c.pg.Graph
+	owned := c.pg.Owned[i]
+	var total int64
+	var mu sync.Mutex
+	err := c.engines[i].Exec(ctx, func(b *gbbs.Builder) {
+		b.Parallel(len(owned), func(lo, hi int) {
+			var sum int64
+			for idx := lo; idx < hi; idx++ {
+				v := owned[idx]
+				row := g.OutNghSlice(v)
+				for _, u := range row {
+					if u > v {
+						sum += countCommonAbove(row, g.OutNghSlice(u), u)
+					}
+				}
+			}
+			mu.Lock()
+			total += sum
+			mu.Unlock()
+		})
+	})
+	return total, err
+}
+
+// countCommonAbove counts the elements greater than pivot common to two
+// sorted neighbor rows.
+func countCommonAbove(a, b []uint32, pivot uint32) int64 {
+	i := sort.Search(len(a), func(x int) bool { return a[x] > pivot })
+	j := sort.Search(len(b), func(x int) bool { return b[x] > pivot })
+	var cnt int64
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			cnt++
+			i++
+			j++
+		}
+	}
+	return cnt
+}
+
+// runMaximalMatching executes mm sharded: each shard matches its internal
+// subgraph greedily (shard matchings touch only owned vertices, so their
+// union is a matching), then the merge step extends it over the boundary
+// edges in deterministic order. Every internal edge saw a maximal
+// shard-local pass and every boundary edge is scanned, so the merged
+// matching is maximal over the full graph; its size may depend on the
+// partition, but for a fixed (partition, seed) it is deterministic at any
+// thread count.
+func (c *Coordinator) runMaximalMatching(ctx context.Context, req gbbs.Request, rep *Report) (gbbs.Result, error) {
+	if !c.pg.Graph.Symmetric() {
+		return gbbs.Result{}, fmt.Errorf("shard: mm requires a symmetric graph")
+	}
+	results, err := c.scatter(ctx, "mm", gbbs.Request{Seed: req.Seed}, rep)
+	if err != nil {
+		return gbbs.Result{}, err
+	}
+	mergeStart := time.Now()
+	matched := make([]bool, c.pg.Graph.N())
+	var match []gbbs.WEdge
+	for _, r := range results {
+		for _, e := range r.Value.([]gbbs.WEdge) {
+			matched[e.U] = true
+			matched[e.V] = true
+			match = append(match, e)
+		}
+	}
+	bd := c.pg.Boundary
+	for i := 0; i < bd.Len(); i++ {
+		u, v := bd.U[i], bd.V[i]
+		// A symmetric graph stores both directions of every boundary edge;
+		// the u < v filter scans each undirected edge exactly once.
+		if u >= v || matched[u] || matched[v] {
+			continue
+		}
+		matched[u], matched[v] = true, true
+		w := int32(1)
+		if bd.W != nil {
+			w = bd.W[i]
+		}
+		match = append(match, gbbs.WEdge{U: u, V: v, W: w})
+	}
+	rep.MergeElapsed = time.Since(mergeStart)
+	return gbbs.Result{Summary: fmt.Sprintf("%d matched edges", len(match)), Value: match}, nil
+}
+
+// runSpanningForest executes spanforest sharded: each shard computes a
+// rooted spanning forest of its internal subgraph, and the merge step runs
+// the single-engine algorithm over the reduced graph formed by the shard
+// forest edges plus all boundary edges. The reduced graph has exactly the
+// full graph's components, so the tree and forest-edge counts (the summary)
+// are byte-identical to the single-engine run; the parent array is a valid
+// rooted spanning forest of the full graph but not byte-equal to the
+// unsharded one.
+func (c *Coordinator) runSpanningForest(ctx context.Context, req gbbs.Request, rep *Report) (gbbs.Result, error) {
+	if !c.pg.Graph.Symmetric() {
+		return gbbs.Result{}, fmt.Errorf("shard: spanforest requires a symmetric graph")
+	}
+	results, err := c.scatter(ctx, "spanforest", gbbs.Request{Seed: req.Seed, Opts: req.Opts}, rep)
+	if err != nil {
+		return gbbs.Result{}, err
+	}
+	mergeStart := time.Now()
+	n := c.pg.Graph.N()
+	reduced := &gbbs.UpdateBatch{N: n}
+	for i, r := range results {
+		parent := r.Value.([]uint32)
+		for _, v := range c.pg.Owned[i] {
+			if p := parent[v]; p != v {
+				reduced.U = append(reduced.U, v)
+				reduced.V = append(reduced.V, p)
+			}
+		}
+	}
+	bd := c.pg.Boundary
+	for i := 0; i < bd.Len(); i++ {
+		if bd.U[i] < bd.V[i] {
+			reduced.U = append(reduced.U, bd.U[i])
+			reduced.V = append(reduced.V, bd.V[i])
+		}
+	}
+	rg, err := c.merge.Build(ctx, gbbs.Edges(reduced), gbbs.Symmetrize())
+	if err != nil {
+		return gbbs.Result{}, err
+	}
+	res, err := c.merge.Run(ctx, "spanforest", gbbs.Request{Graph: rg, Seed: req.Seed, Opts: req.Opts})
+	if err != nil {
+		return gbbs.Result{}, err
+	}
+	rep.MergeElapsed = time.Since(mergeStart)
+	return gbbs.Result{Summary: res.Summary, Value: res.Value}, nil
+}

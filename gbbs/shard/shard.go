@@ -1,0 +1,153 @@
+// Package shard executes algorithms over a partitioned graph by
+// scatter-gather: a Partitioner splits one CSR into K per-shard subgraphs
+// with explicit boundary-edge sets, and a Coordinator owns K per-shard
+// gbbs.Engine instances (each with its own scheduler and thread budget),
+// runs the shard-local phase on all of them in parallel, and merges the
+// per-shard outputs into a result equal to (or, where documented, a valid
+// counterpart of) the single-engine run.
+//
+// # Partitioning invariants
+//
+// Every shard graph lives in the global vertex ID space [0, n). For shard i,
+// Sub holds the internal edges (both endpoints owned by i; symmetric when
+// the input is) and Cut holds the boundary edges stored from the owning side
+// — so each stored edge of the input lands in exactly one Sub or Cut, and in
+// a symmetric graph each undirected boundary edge appears in exactly two Cut
+// graphs, once per side. Ownership is a pure function of
+// (n, Partition.Shards, Partition.By), recomputable anywhere — the property
+// a follow-on out-of-process deployment needs to route vertices (and
+// consistent-hash Request.Key fingerprints) without a directory service.
+//
+// # Merge contract
+//
+// Each mergeable algorithm declares how shard-local outputs combine:
+// connectivity merges union-find forests over the boundary edges (the
+// incrcc machinery), BFS exchanges frontiers between shards round by round,
+// triangle counting sums per-ownership counts, matching and spanning-forest
+// extend the disjoint shard-local solutions across the boundary. The
+// coordinator scatters work as ordinary gbbs.Request values dispatched
+// through each shard engine's registry — the same serialized request shape
+// (and Request.Key fingerprint) the serving layer speaks, so moving shards
+// out of process changes transport, not algorithm code.
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/gbbs"
+)
+
+// Partitioner computes vertex ownership for a validated gbbs.Partition and
+// splits graphs accordingly. It is stateless apart from the partition value;
+// one Partitioner may split any number of graphs.
+type Partitioner struct {
+	part gbbs.Partition
+}
+
+// NewPartitioner returns a Partitioner for the given partition spec,
+// rejecting invalid specs (shard count out of range, unknown strategy).
+func NewPartitioner(p gbbs.Partition) (*Partitioner, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Partitioner{part: p}, nil
+}
+
+// Partition returns the spec the partitioner was built from.
+func (pt *Partitioner) Partition() gbbs.Partition { return pt.part }
+
+// Owners returns the shard assignment of every vertex in [0, n):
+// Owners(n)[v] is the shard owning v. Deterministic in (n, partition).
+func (pt *Partitioner) Owners(n int) []uint32 { return pt.part.Owners(n) }
+
+// PartitionedGraph is the output of Partitioner.Split: the full graph plus
+// its per-shard decomposition. The full graph stays reachable because some
+// scatter phases (triangle counting) read remote adjacency through it — the
+// in-process stand-in for the halo fetches an out-of-process deployment
+// would serve over the wire.
+type PartitionedGraph struct {
+	// Graph is the full input graph.
+	Graph *gbbs.CSR
+	// Part is the partition the split was computed under.
+	Part gbbs.Partition
+	// Owner maps each vertex to its owning shard.
+	Owner []uint32
+	// Subs holds each shard's internal edges (rows of owned vertices
+	// restricted to owned neighbors), over the global ID space.
+	Subs []*gbbs.CSR
+	// Cuts holds each shard's boundary edges (rows of owned vertices
+	// restricted to foreign neighbors), stored from the owning side only.
+	Cuts []*gbbs.CSR
+	// Owned lists each shard's owned vertices in increasing order.
+	Owned [][]uint32
+	// Boundary is every boundary edge as one list, in deterministic order
+	// (shards in order, then rows in vertex order, then adjacency order).
+	// For symmetric graphs each undirected boundary edge appears twice,
+	// once per direction; merge steps that need each edge once filter
+	// U < V.
+	Boundary *gbbs.UpdateBatch
+}
+
+// Split partitions g under the partitioner's spec on eng's scheduler and
+// returns the decomposition. The split is deterministic: equal inputs
+// produce byte-identical shard graphs at any thread count.
+func (pt *Partitioner) Split(ctx context.Context, eng *gbbs.Engine, g *gbbs.CSR) (*PartitionedGraph, error) {
+	k := pt.part.Shards
+	owner := pt.Owners(g.N())
+	subs, cuts, err := eng.SplitCSR(ctx, g, owner, k)
+	if err != nil {
+		return nil, err
+	}
+	pg := &PartitionedGraph{
+		Graph: g,
+		Part:  pt.part,
+		Owner: owner,
+		Subs:  subs,
+		Cuts:  cuts,
+		Owned: make([][]uint32, k),
+	}
+	for v, o := range owner {
+		pg.Owned[o] = append(pg.Owned[o], uint32(v))
+	}
+	boundary := 0
+	for _, c := range cuts {
+		boundary += c.M()
+	}
+	el := &gbbs.UpdateBatch{N: g.N()}
+	el.U = make([]uint32, 0, boundary)
+	el.V = make([]uint32, 0, boundary)
+	if g.Weighted() {
+		el.W = make([]int32, 0, boundary)
+	}
+	for i := 0; i < k; i++ {
+		for _, v := range pg.Owned[i] {
+			ws := cuts[i].OutWeightSlice(v)
+			for j, u := range cuts[i].OutNghSlice(v) {
+				el.U = append(el.U, v)
+				el.V = append(el.V, u)
+				if el.W != nil {
+					el.W = append(el.W, ws[j])
+				}
+			}
+		}
+	}
+	pg.Boundary = el
+	return pg, nil
+}
+
+// BuildSharded materializes src (with transforms) through eng and wraps the
+// result in a ready-to-run Coordinator under the given partition — the
+// sharded counterpart of Engine.Build. The build must produce an
+// uncompressed CSR; compressed graphs cannot be split and are rejected.
+func BuildSharded(ctx context.Context, eng *gbbs.Engine, part gbbs.Partition, src gbbs.GraphSource, tfs ...gbbs.Transform) (*Coordinator, error) {
+	g, err := eng.Build(ctx, src, tfs...)
+	if err != nil {
+		return nil, err
+	}
+	csr, ok := g.(*gbbs.CSR)
+	if !ok {
+		return nil, fmt.Errorf("shard: sharded execution requires an uncompressed CSR graph, got %T (drop the compress transform)", g)
+	}
+	return NewCoordinator(ctx, eng, csr, part)
+}

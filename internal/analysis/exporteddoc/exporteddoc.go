@@ -23,6 +23,7 @@ import (
 var scope = lintutil.NewPackageList(
 	"repro/gbbs",
 	"repro/gbbs/serve",
+	"repro/gbbs/shard",
 	"repro/gbbs/store",
 	"repro/internal/vfs",
 )

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/gbbs"
+	"repro/gbbs/shard"
+)
+
+// ShardedResult records one shard-scaling connectivity measurement: a
+// single-engine connectivity run over an RMAT input against scatter-gather
+// runs of the same problem at several shard counts, all on one machine.
+// The sharded times include the merge but not the one-time split, which is
+// reported separately per shard count (it is amortized across runs by the
+// serving layer's coordinator cache).
+type ShardedResult struct {
+	// Scale is the log2 vertex count of the RMAT input.
+	Scale int `json:"scale"`
+	// SingleNS is the time of an unsharded canonical connectivity run.
+	SingleNS int64 `json:"single_ns"`
+	// Runs holds one entry per shard count measured.
+	Runs []ShardedRun `json:"runs"`
+}
+
+// ShardedRun is one shard count's measurements inside a ShardedResult.
+type ShardedRun struct {
+	// Shards is the shard count (the partition is shards=K,by=hash).
+	Shards int `json:"shards"`
+	// SplitNS is the one-time cost of partitioning the CSR and building the
+	// per-shard engines.
+	SplitNS int64 `json:"split_ns"`
+	// RunNS is the scatter-gather connectivity time (local runs + merge).
+	RunNS int64 `json:"run_ns"`
+	// MergeNS is the boundary-edge merge portion of RunNS.
+	MergeNS int64 `json:"merge_ns"`
+}
+
+// MeasureSharded builds an RMAT graph and times canonical connectivity on a
+// single engine against the shard coordinator at each shard count in ks,
+// asserting every sharded run returns the single-engine labels. Panics on
+// engine errors or label divergence: inputs are programmer-specified.
+func MeasureSharded(scale, threads int, seed uint64, ks ...int) ShardedResult {
+	ctx := context.Background()
+	eng := gbbs.New(gbbs.WithThreads(threads), gbbs.WithSeed(seed))
+	defer eng.Close()
+	csr, err := eng.BuildCSR(ctx, gbbs.RMAT(scale, 8, seed), gbbs.Symmetrize())
+	if err != nil {
+		panic(fmt.Sprintf("bench: building sharded input: %v", err))
+	}
+
+	start := time.Now()
+	single, err := eng.Run(ctx, "incrcc", gbbs.Request{Graph: csr})
+	singleDur := time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("bench: single-engine connectivity: %v", err))
+	}
+	want := single.Value.([]uint32)
+
+	res := ShardedResult{Scale: scale, SingleNS: int64(singleDur)}
+	for _, k := range ks {
+		perShard := threads / k
+		if perShard < 1 {
+			perShard = 1
+		}
+		start = time.Now()
+		co, err := shard.NewCoordinator(ctx, eng, csr, gbbs.Partition{Shards: k, By: gbbs.ByHash},
+			shard.WithShardThreads(perShard), shard.WithSeed(seed))
+		splitDur := time.Since(start)
+		if err != nil {
+			panic(fmt.Sprintf("bench: splitting into %d shards: %v", k, err))
+		}
+		start = time.Now()
+		got, rep, err := co.Run(ctx, "incrcc", gbbs.Request{Seed: &seed})
+		runDur := time.Since(start)
+		if err != nil {
+			co.Close()
+			panic(fmt.Sprintf("bench: sharded connectivity at k=%d: %v", k, err))
+		}
+		labels := got.Value.([]uint32)
+		for v := range want {
+			if labels[v] != want[v] {
+				co.Close()
+				panic(fmt.Sprintf("bench: sharded labels diverge at k=%d vertex %d: %d != %d", k, v, labels[v], want[v]))
+			}
+		}
+		co.Close()
+		res.Runs = append(res.Runs, ShardedRun{
+			Shards:  k,
+			SplitNS: int64(splitDur),
+			RunNS:   int64(runDur),
+			MergeNS: int64(rep.MergeElapsed),
+		})
+	}
+	return res
+}

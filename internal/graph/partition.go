@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"repro/internal/parallel"
+)
+
+// SplitCSR partitions g into k per-shard subgraphs by vertex ownership:
+// owner[v] names the shard in [0, k) that owns vertex v. For each shard i it
+// returns two CSRs over the full vertex ID space [0, n):
+//
+//   - subs[i] holds the internal edges — rows of vertices owned by i,
+//     restricted to neighbors also owned by i. It inherits g's symmetric
+//     flag: for a symmetric input both directions of an internal edge have
+//     both endpoints in the shard, so the restriction is itself symmetric
+//     and shard-local algorithms may rely on that.
+//   - cuts[i] holds the boundary edges from the owning side — rows of
+//     vertices owned by i, restricted to neighbors owned elsewhere. A cut
+//     graph stores only this out-direction (no transpose) and is an edge-set
+//     container for coordinators, not an algorithm input; in a symmetric
+//     graph each undirected boundary edge therefore appears in exactly two
+//     cut graphs, once from each side.
+//
+// Rows keep g's adjacency order (sorted neighbors stay sorted) and weights
+// are carried through, so every stored edge of g lands in exactly one
+// returned graph: sum over i of subs[i].M() + cuts[i].M() == g.M(). Vertices
+// not owned by shard i have empty rows in both of i's graphs — keeping the
+// global ID space costs k extra offset arrays but lets shard-local results
+// (labels, distances, matchings) merge without any ID translation, the same
+// trade the coordinator's merge step depends on.
+//
+// The split runs on scheduler s in O(m + k·n) work and is deterministic:
+// equal (g, owner, k) always produce byte-identical shards.
+func SplitCSR(s *parallel.Scheduler, g *CSR, owner []uint32, k int) (subs, cuts []*CSR) {
+	n := g.n
+	// Per-vertex internal/boundary degrees, computed once for all shards.
+	subDeg := make([]int64, n)
+	cutDeg := make([]int64, n)
+	s.Poll()
+	s.For(n, 256, func(v int) {
+		o := owner[v]
+		var in, out int64
+		for _, u := range g.OutNghSlice(uint32(v)) {
+			if owner[u] == o {
+				in++
+			} else {
+				out++
+			}
+		}
+		subDeg[v] = in
+		cutDeg[v] = out
+	})
+	subs = make([]*CSR, k)
+	cuts = make([]*CSR, k)
+	for i := 0; i < k; i++ {
+		s.Poll()
+		subs[i] = splitOne(s, g, owner, uint32(i), subDeg, true)
+		cuts[i] = splitOne(s, g, owner, uint32(i), cutDeg, false)
+	}
+	return subs, cuts
+}
+
+// splitOne lays out one shard graph: the rows of vertices owned by shard,
+// keeping internal edges (internal == true) or boundary edges. deg is the
+// matching per-vertex degree array computed by SplitCSR.
+func splitOne(s *parallel.Scheduler, g *CSR, owner []uint32, shard uint32, deg []int64, internal bool) *CSR {
+	n := g.n
+	offsets := make([]int64, n+1)
+	var total int64
+	for v := 0; v < n; v++ {
+		offsets[v] = total
+		if owner[v] == shard {
+			total += deg[v]
+		}
+	}
+	offsets[n] = total
+	edges := make([]uint32, total)
+	var weights []int32
+	if g.weights != nil {
+		weights = make([]int32, total)
+	}
+	s.For(n, 256, func(v int) {
+		if owner[v] != shard {
+			return
+		}
+		i := offsets[v]
+		lo, hi := g.offsets[v], g.offsets[v+1]
+		for j := lo; j < hi; j++ {
+			u := g.edges[j]
+			if (owner[u] == shard) != internal {
+				continue
+			}
+			edges[i] = u
+			if weights != nil {
+				weights[i] = g.weights[j]
+			}
+			i++
+		}
+	})
+	sub := &CSR{n: n, offsets: offsets, edges: edges, weights: weights}
+	// Internal subgraphs of a symmetric graph are symmetric (both directions
+	// of every kept edge are internal to the same shard). Cut graphs store
+	// one direction only and never claim symmetry.
+	sub.symmetric = internal && g.symmetric
+	return sub
+}

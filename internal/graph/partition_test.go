@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// splitFixture builds a small weighted symmetric graph and an uneven
+// ownership map exercising empty shards and skewed shards.
+func splitFixture(t *testing.T, s *parallel.Scheduler) (*CSR, []uint32) {
+	t.Helper()
+	el := &EdgeList{N: 10}
+	add := func(u, v uint32) { el.U = append(el.U, u); el.V = append(el.V, v) }
+	add(0, 1)
+	add(1, 2)
+	add(2, 3)
+	add(3, 4)
+	add(4, 0)
+	add(5, 6)
+	add(6, 7)
+	add(8, 9)
+	add(0, 9)
+	el.W = make([]int32, el.Len())
+	for i := range el.W {
+		el.W[i] = int32(i + 1)
+	}
+	g := FromEdgeList(s, el.N, el, BuildOptions{Symmetrize: true})
+	owner := []uint32{0, 0, 1, 1, 0, 2, 2, 0, 1, 1}
+	return g, owner
+}
+
+func TestSplitCSRPartitionsEveryEdgeOnce(t *testing.T) {
+	s := parallel.New(4)
+	defer s.Close()
+	g, owner := splitFixture(t, s)
+	const k = 4 // shard 3 owns nothing
+	subs, cuts := SplitCSR(s, g, owner, k)
+
+	total := 0
+	for i := 0; i < k; i++ {
+		total += subs[i].M() + cuts[i].M()
+		if subs[i].N() != g.N() || cuts[i].N() != g.N() {
+			t.Fatalf("shard %d: N = %d/%d, want %d", i, subs[i].N(), cuts[i].N(), g.N())
+		}
+		if !subs[i].Symmetric() {
+			t.Errorf("shard %d: sub graph lost the symmetric flag", i)
+		}
+		if cuts[i].Symmetric() {
+			t.Errorf("shard %d: cut graph claims symmetry", i)
+		}
+	}
+	if total != g.M() {
+		t.Fatalf("sum of shard edges = %d, want %d", total, g.M())
+	}
+
+	// Every row must be owned, correctly classified, and in g's order.
+	for i := 0; i < k; i++ {
+		for v := uint32(0); int(v) < g.N(); v++ {
+			sub, cut := subs[i].OutNghSlice(v), cuts[i].OutNghSlice(v)
+			if owner[v] != uint32(i) {
+				if len(sub) != 0 || len(cut) != 0 {
+					t.Fatalf("shard %d stores row of foreign vertex %d", i, v)
+				}
+				continue
+			}
+			var wantSub, wantCut []uint32
+			for _, u := range g.OutNghSlice(v) {
+				if owner[u] == uint32(i) {
+					wantSub = append(wantSub, u)
+				} else {
+					wantCut = append(wantCut, u)
+				}
+			}
+			if !equalU32(sub, wantSub) || !equalU32(cut, wantCut) {
+				t.Fatalf("shard %d vertex %d: sub=%v cut=%v, want %v / %v", i, v, sub, cut, wantSub, wantCut)
+			}
+			if !sort.SliceIsSorted(sub, func(a, b int) bool { return sub[a] < sub[b] }) {
+				t.Fatalf("shard %d vertex %d: sub row not sorted: %v", i, v, sub)
+			}
+		}
+	}
+
+	if subs[0].Weighted() != g.Weighted() {
+		t.Fatalf("sub graph dropped weights")
+	}
+	// Weights ride along with their edges.
+	for _, u := range []uint32{0, 1, 4} {
+		ws := subs[owner[u]].OutWeightSlice(u)
+		ngh := subs[owner[u]].OutNghSlice(u)
+		for j, v := range ngh {
+			want := weightOf(t, g, u, v)
+			if ws[j] != want {
+				t.Fatalf("sub weight (%d,%d) = %d, want %d", u, v, ws[j], want)
+			}
+		}
+	}
+}
+
+func TestSplitCSRSingleShardIsIdentity(t *testing.T) {
+	s := parallel.New(2)
+	defer s.Close()
+	g, _ := splitFixture(t, s)
+	owner := make([]uint32, g.N())
+	subs, cuts := SplitCSR(s, g, owner, 1)
+	if subs[0].M() != g.M() || cuts[0].M() != 0 {
+		t.Fatalf("single shard: sub.M=%d cut.M=%d, want %d / 0", subs[0].M(), cuts[0].M(), g.M())
+	}
+	for v := uint32(0); int(v) < g.N(); v++ {
+		if !equalU32(subs[0].OutNghSlice(v), g.OutNghSlice(v)) {
+			t.Fatalf("single shard row %d differs", v)
+		}
+	}
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func weightOf(t *testing.T, g *CSR, u, v uint32) int32 {
+	t.Helper()
+	ngh, ws := g.OutNghSlice(u), g.OutWeightSlice(u)
+	for i, x := range ngh {
+		if x == v {
+			return ws[i]
+		}
+	}
+	t.Fatalf("edge (%d,%d) not in g", u, v)
+	return 0
+}
